@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_tableN`` module (a) benchmarks the solver kernels that
+dominate that table with pytest-benchmark, and (b) regenerates the
+paper table through :mod:`repro.harness`, writing the rendered rows to
+``benchmarks/results/<experiment>.txt`` so the output survives pytest's
+capture (``pytest benchmarks/ --benchmark-only`` is the canonical
+invocation).  Set ``REPRO_FULL=1`` for paper-scale instances.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_result(result) -> str:
+    """Render an ExperimentResult and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = result.render()
+    (RESULTS_DIR / f"{result.experiment}.txt").write_text(text + "\n")
+    return text

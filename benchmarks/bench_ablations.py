@@ -1,0 +1,147 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* Convergence-check frequency: the paper notes speedups improve by
+  verifying every other (or every fifth) iteration because the check is
+  the serial phase; this ablation measures its *serial-time* cost too.
+* Warm-started multipliers across projection steps: general SEA hands
+  the previous diagonal subproblem's ``mu`` to the next one (the paper's
+  general SEA needed only 2 inner iterations — warm starts are how a
+  nested scheme stays cheap).
+* B-K inner solver choice: 1978-style active-set pivoting vs a modern
+  Dykstra projection — quantifies how much of Table 7's gap is the
+  algorithm class rather than the decade.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bachem_korte import (
+    active_set_transportation,
+    dykstra_transportation,
+)
+from repro.core.convergence import StoppingRule
+from repro.core.sea_general import solve_general
+from repro.datasets.general import general_table7_instance
+from repro.datasets.spe_data import spe_instance
+from repro.spe.model import solve_spe
+
+
+class TestCheckFrequency:
+    @pytest.mark.parametrize("check_every", [1, 2, 5])
+    def test_spe_check_every(self, benchmark, check_every):
+        problem = spe_instance(150)
+        stop = StoppingRule(eps=1e-2, criterion="delta-x",
+                            check_every=check_every, max_iterations=20_000)
+        result = benchmark.pedantic(
+            solve_spe, args=(problem,), kwargs={"stop": stop},
+            rounds=1, iterations=1, warmup_rounds=0,
+        )
+        assert result.converged
+        # Sparser checks do no more than check_every-1 extra iterations.
+        assert result.counts.serial_checks <= result.iterations
+
+
+class TestWarmStart:
+    def test_general_sea_with_warm_start(self, benchmark):
+        problem = general_table7_instance(40)
+        result = benchmark.pedantic(
+            solve_general, args=(problem,), rounds=1, iterations=1,
+            warmup_rounds=0,
+        )
+        assert result.converged
+
+    def test_general_sea_without_warm_start(self, benchmark):
+        """Cold inner starts: emulated by solving each projection step
+        through a fresh solve with mu0 = 0 (monkeypatched warm handoff)."""
+        import repro.core.sea_general as sg
+
+        problem = general_table7_instance(40)
+        original = sg.solve_general
+
+        def cold(problem, **kwargs):
+            # Re-run with the warm-start channel disabled by wrapping the
+            # inner solvers to ignore mu0.
+            from repro.core import sea
+
+            orig_fixed = sea.solve_fixed
+
+            def cold_fixed(p, stop=None, mu0=None, **kw):
+                return orig_fixed(p, stop=stop, mu0=None, **kw)
+
+            sg_fixed = sg.solve_fixed
+            sg.solve_fixed = cold_fixed
+            try:
+                return original(problem, **kwargs)
+            finally:
+                sg.solve_fixed = sg_fixed
+
+        result = benchmark.pedantic(
+            cold, args=(problem,), rounds=1, iterations=1, warmup_rounds=0
+        )
+        assert result.converged
+
+
+class TestBKInnerSolver:
+    """Active-set (1978-class) vs Dykstra (modern) on one transportation QP."""
+
+    def _qp(self):
+        problem = general_table7_instance(30)
+        m, n = problem.shape
+        gamma = np.diag(problem.G).reshape(m, n)
+        return problem.x0, gamma, problem.s0, problem.d0, problem.mask
+
+    def test_active_set(self, benchmark):
+        x0, gamma, s0, d0, mask = self._qp()
+        x, _, _, pivots = benchmark.pedantic(
+            active_set_transportation, args=(x0, gamma, s0, d0, mask),
+            rounds=1, iterations=1, warmup_rounds=0,
+        )
+        assert np.all(x >= 0)
+
+    def test_dykstra(self, benchmark):
+        x0, gamma, s0, d0, mask = self._qp()
+        x, sweeps, residual = benchmark.pedantic(
+            dykstra_transportation, args=(x0, gamma, s0, d0, mask),
+            kwargs={"eps": 1e-3 * float(s0.max()), "max_sweeps": 100_000},
+            rounds=1, iterations=1, warmup_rounds=0,
+        )
+        assert residual <= 1e-3 * float(s0.max())
+
+
+class TestNewtonVsSEA:
+    """Klincewicz-style exact Newton vs SEA: iteration count vs
+    per-iteration cost on the same diagonal instance."""
+
+    def _problem(self, n=200):
+        import numpy as np
+        from repro.core.problems import FixedTotalsProblem
+
+        rng = np.random.default_rng(13)
+        x0 = rng.uniform(1.0, 100.0, (n, n))
+        witness = x0 * rng.uniform(0.5, 1.5, (n, n))
+        return FixedTotalsProblem(
+            x0=x0, gamma=1.0 / x0,
+            s0=witness.sum(axis=1), d0=witness.sum(axis=0),
+        )
+
+    def test_sea(self, benchmark):
+        from repro.core.sea import solve_fixed
+
+        problem = self._problem()
+        result = benchmark.pedantic(
+            solve_fixed, args=(problem,),
+            kwargs={"stop": StoppingRule(eps=1e-6, max_iterations=20_000)},
+            rounds=1, iterations=1, warmup_rounds=0,
+        )
+        assert result.converged
+
+    def test_newton(self, benchmark):
+        from repro.baselines.newton import solve_newton_dual
+
+        problem = self._problem()
+        result = benchmark.pedantic(
+            solve_newton_dual, args=(problem,),
+            rounds=1, iterations=1, warmup_rounds=0,
+        )
+        assert result.converged
+        assert result.iterations <= 20

@@ -1,0 +1,101 @@
+"""Benchmarks for the extension modules and the sparse execution path.
+
+* bounded vs classic kernel overhead (two breakpoints per cell vs one);
+* entropy SEA vs RAS (same fixed point, closed-form steps both ways);
+* sparse vs dense SEA across densities — locates the density crossover
+  below which the ``O(nnz log nnz)`` segmented path beats the dense
+  ``O(mn log n)`` kernel (the IO72 family sits well below it).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ras import solve_ras
+from repro.core.convergence import StoppingRule
+from repro.core.problems import FixedTotalsProblem
+from repro.core.sea import solve_fixed
+from repro.extensions.bounded import BoundedProblem, solve_bounded
+from repro.extensions.entropy import EntropyProblem, solve_entropy
+from repro.sparse.sea import solve_fixed_sparse
+
+STOP = StoppingRule(eps=1e-4, max_iterations=5000)
+
+
+def _fixed_instance(n=300, density=1.0, seed=3):
+    rng = np.random.default_rng(seed)
+    x0 = rng.uniform(1.0, 100.0, (n, n))
+    mask = rng.random((n, n)) < density
+    mask[:, 0] = True
+    mask[0, :] = True
+    base = np.where(mask, x0, 0.0)
+    s0 = 1.5 * base.sum(axis=1)
+    d0 = base.sum(axis=0)
+    d0 *= s0.sum() / d0.sum()
+    gamma = np.where(mask, 1.0 / np.where(mask, x0, 1.0), 1.0)
+    return FixedTotalsProblem(x0=x0, gamma=gamma, s0=s0, d0=d0, mask=mask)
+
+
+class TestBoundedOverhead:
+    def test_classic(self, benchmark):
+        p = _fixed_instance()
+        result = benchmark.pedantic(solve_fixed, args=(p,), kwargs={"stop": STOP},
+                                    rounds=1, iterations=1, warmup_rounds=0)
+        assert result.converged
+
+    def test_bounded_inactive_bounds(self, benchmark):
+        p = _fixed_instance(density=1.0)
+        bounded = BoundedProblem(x0=p.x0, gamma=p.gamma, s0=p.s0, d0=p.d0)
+        result = benchmark.pedantic(solve_bounded, args=(bounded,),
+                                    kwargs={"stop": STOP},
+                                    rounds=1, iterations=1, warmup_rounds=0)
+        assert result.converged
+
+    def test_bounded_active_caps(self, benchmark):
+        p = _fixed_instance(density=1.0)
+        cap = np.full(p.shape, float(np.quantile(p.x0, 0.95)) * 1.6)
+        bounded = BoundedProblem(x0=p.x0, gamma=p.gamma, s0=p.s0, d0=p.d0,
+                                 upper=cap)
+        result = benchmark.pedantic(solve_bounded, args=(bounded,),
+                                    kwargs={"stop": STOP},
+                                    rounds=1, iterations=1, warmup_rounds=0)
+        assert result.converged
+
+
+class TestEntropyVsRAS:
+    def test_entropy_sea(self, benchmark):
+        p = _fixed_instance()
+        ep = EntropyProblem(x0=np.where(p.mask, p.x0, 0.0), s0=p.s0, d0=p.d0)
+        result = benchmark.pedantic(
+            solve_entropy, args=(ep,),
+            kwargs={"stop": StoppingRule(eps=1e-6, criterion="imbalance",
+                                         max_iterations=20_000)},
+            rounds=1, iterations=1, warmup_rounds=0,
+        )
+        assert result.converged
+
+    def test_ras(self, benchmark):
+        p = _fixed_instance()
+        x0 = np.where(p.mask, p.x0, 0.0)
+        result = benchmark.pedantic(
+            solve_ras, args=(x0, p.s0, p.d0), kwargs={"eps": 1e-6},
+            rounds=1, iterations=1, warmup_rounds=0,
+        )
+        assert result.converged
+
+
+class TestSparseCrossover:
+    @pytest.mark.parametrize("density", [0.1, 0.3, 0.6])
+    def test_sparse_path(self, benchmark, density):
+        p = _fixed_instance(density=density, seed=7)
+        result = benchmark.pedantic(solve_fixed_sparse, args=(p,),
+                                    kwargs={"stop": STOP},
+                                    rounds=1, iterations=1, warmup_rounds=0)
+        assert result.converged
+
+    @pytest.mark.parametrize("density", [0.1, 0.3, 0.6])
+    def test_dense_path(self, benchmark, density):
+        p = _fixed_instance(density=density, seed=7)
+        result = benchmark.pedantic(solve_fixed, args=(p,),
+                                    kwargs={"stop": STOP},
+                                    rounds=1, iterations=1, warmup_rounds=0)
+        assert result.converged

@@ -1,0 +1,54 @@
+"""Micro-benchmarks of the exact-equilibration kernel.
+
+The kernel is the library's hot loop — everything in Tables 1-9 reduces
+to repeated calls into it.  Benchmarked here:
+
+* vectorized whole-matrix solve vs the scalar per-row reference
+  (quantifies the value of the array-wide formulation);
+* sorting-strategy ablation: the paper picked HEAPSORT for long arrays
+  and STRAIGHT INSERTION SORT for the short (10-120 element) general
+  rows; NumPy's introsort/heapsort/mergesort stand in for that choice.
+"""
+
+import numpy as np
+import pytest
+
+from repro.equilibration.exact import solve_piecewise_linear
+from repro.equilibration.scalar import solve_piecewise_linear_scalar
+
+
+def _instance(m, n, seed=0):
+    rng = np.random.default_rng(seed)
+    B = rng.uniform(-50.0, 50.0, (m, n))
+    SL = rng.uniform(0.1, 10.0, (m, n))
+    target = rng.uniform(10.0, 100.0, m)
+    return B, SL, target
+
+
+class TestKernelThroughput:
+    @pytest.mark.parametrize("size", [100, 500, 1000])
+    def test_vectorized_kernel(self, benchmark, size):
+        B, SL, target = _instance(size, size)
+        lam = benchmark(solve_piecewise_linear, B, SL, target)
+        assert np.all(np.isfinite(lam))
+
+    def test_scalar_reference_small(self, benchmark):
+        B, SL, target = _instance(100, 100)
+        def run():
+            return [
+                solve_piecewise_linear_scalar(B[i], SL[i], target[i])
+                for i in range(100)
+            ]
+        out = benchmark(run)
+        assert len(out) == 100
+
+
+class TestSortAblation:
+    """The kernel's cost is sort-dominated (paper Section 4.1.1); this
+    ablation isolates the sort strategy on kernel-shaped data."""
+
+    @pytest.mark.parametrize("kind", ["quicksort", "heapsort", "mergesort"])
+    def test_sort_strategy(self, benchmark, kind):
+        B, _, _ = _instance(1000, 1000, seed=3)
+        out = benchmark(np.sort, B, axis=1, kind=kind)
+        assert out.shape == B.shape

@@ -1,0 +1,77 @@
+"""Ablation: convergence rate vs curvature spread (eq. 76 in practice).
+
+The geometric contraction factor ``1 - A/(4 M_bar)`` degrades as the
+dual's curvature spread ``M_l / m_l`` — driven by the spread of the
+weights ``1/(2 gamma)`` — widens.  This ablation solves the same
+instance under progressively wider weight spreads and benchmarks the
+cost; the companion assertions check the measured iteration counts
+increase with the spread, which is the theory's testable content.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import StoppingRule
+from repro.core.problems import FixedTotalsProblem
+from repro.core.sea import solve_fixed
+from repro.datasets.spe_data import spe_instance
+from repro.spe.model import solve_spe
+
+STOP = StoppingRule(eps=1e-6, max_iterations=100_000)
+
+
+def _instance(spread, n=150, seed=5):
+    rng = np.random.default_rng(seed)
+    x0 = rng.uniform(1.0, 50.0, (n, n))
+    witness = x0 * rng.uniform(0.5, 1.5, (n, n))
+    gamma = 10.0 ** rng.uniform(-spread / 2, spread / 2, (n, n))
+    return FixedTotalsProblem(
+        x0=x0, gamma=gamma,
+        s0=witness.sum(axis=1), d0=witness.sum(axis=0),
+    )
+
+
+class TestRateVsSpread:
+    @pytest.mark.parametrize("spread", [0.0, 1.0, 2.0, 3.0])
+    def test_weight_spread(self, benchmark, spread):
+        problem = _instance(spread)
+        result = benchmark.pedantic(
+            solve_fixed, args=(problem,), kwargs={"stop": STOP},
+            rounds=1, iterations=1, warmup_rounds=0,
+        )
+        assert result.converged
+
+    def test_iterations_grow_with_spread(self):
+        iters = []
+        for spread in (0.0, 1.5, 3.0):
+            result = solve_fixed(_instance(spread), stop=STOP)
+            assert result.converged
+            iters.append(result.iterations)
+        assert iters[0] <= iters[1] <= iters[2]
+        assert iters[2] > iters[0]
+
+
+class TestTolerancesAreLogAdditive:
+    """Paper remark after eq. (77): tightening eps 10x adds roughly a
+    constant number of iterations (log-additive, not multiplicative)."""
+
+    def test_spe_iteration_increments(self, benchmark):
+        spe = spe_instance(100)
+        counts = []
+        for eps in (1e-2, 1e-4, 1e-6):
+            result = solve_spe(spe, stop=StoppingRule(
+                eps=eps, criterion="delta-x", max_iterations=100_000))
+            assert result.converged
+            counts.append(result.iterations)
+        inc1 = counts[1] - counts[0]
+        inc2 = counts[2] - counts[1]
+        # Additive: the two 100x tightenings cost comparable increments.
+        assert inc2 < 2.5 * max(inc1, 1)
+
+        def run_tightest():
+            return solve_spe(spe, stop=StoppingRule(
+                eps=1e-6, criterion="delta-x", max_iterations=100_000))
+
+        result = benchmark.pedantic(run_tightest, rounds=1, iterations=1,
+                                    warmup_rounds=0)
+        assert result.converged

@@ -1,0 +1,34 @@
+"""Table 1: SEA on large-scale diagonal quadratic constrained matrix problems.
+
+Benchmarks ``solve_fixed`` on the Table 1 instance family (dense
+``U[.1, 10000]`` entries, chi-square weights, doubled totals) across
+sizes, and regenerates the paper table into
+``benchmarks/results/table1.txt``.
+
+Shape target: CPU time grows superlinearly with the side length
+(paper: 205s at 750^2 up to 13,562s at 3000^2 on one 3090 processor).
+"""
+
+import pytest
+
+from _util import write_result
+from repro.core.sea import solve_fixed
+from repro.datasets.synthetic import large_diagonal_fixed
+from repro.harness.experiments import is_full_scale, run_table1
+
+SIZES = (750, 1000, 2000, 3000) if is_full_scale() else (150, 200, 400, 600)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_sea_large_diagonal(benchmark, size):
+    problem = large_diagonal_fixed(size, seed=size)
+    result = benchmark.pedantic(
+        solve_fixed, args=(problem,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.converged
+
+
+def test_regenerate_table1(benchmark):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    text = write_result(result)
+    assert result.all_shapes_hold, text

@@ -1,0 +1,34 @@
+"""Table 2: SEA on United States input/output matrix datasets.
+
+Benchmarks ``solve_fixed`` on one instance from each I/O family (205^2
+at 52-58% density, 485^2 at 16%) and regenerates the full nine-row
+table into ``benchmarks/results/table2.txt``.
+
+Shape target: the 485^2 instances cost an order of magnitude more than
+the 205^2 ones (paper: ~330-440s vs ~14-30s); growth-factor variants
+differ mildly.
+"""
+
+import pytest
+
+from _util import write_result
+from repro.core.sea import solve_fixed
+from repro.datasets.io_tables import io_instance
+from repro.harness.experiments import run_table2
+
+
+@pytest.mark.parametrize("name", ["IOC72a", "IOC77b", "IO72b"])
+def test_sea_io_instance(benchmark, name):
+    problem = io_instance(name)
+    result = benchmark.pedantic(
+        solve_fixed, args=(problem,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.converged
+
+
+def test_regenerate_table2(benchmark):
+    result = benchmark.pedantic(
+        run_table2, kwargs={"replicates_c": 3}, rounds=1, iterations=1
+    )
+    text = write_result(result)
+    assert result.all_shapes_hold, text

@@ -1,0 +1,34 @@
+"""Table 3: SEA on social accounting matrix datasets.
+
+Benchmarks ``solve_sam`` on the real-structure SAMs (STONE/TURK/SRI,
+USDA82E) and the large random ones (S500-S1000), regenerating the table
+into ``benchmarks/results/table3.txt``.
+
+Shape targets: small SAMs solve in fractions of the large ones' time;
+cost grows with the transaction count (paper: 0.0024s for STONE through
+95s for S1000).
+"""
+
+import pytest
+
+from _util import write_result
+from repro.core.sea import solve_sam
+from repro.datasets.sam import sam_instance
+from repro.harness.experiments import is_full_scale, run_table3
+
+NAMES = ("STONE", "USDA82E", "S500") + (("S1000",) if is_full_scale() else ())
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_sea_sam_instance(benchmark, name):
+    problem = sam_instance(name)
+    result = benchmark.pedantic(
+        solve_sam, args=(problem,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.converged
+
+
+def test_regenerate_table3(benchmark):
+    result = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    text = write_result(result)
+    assert result.all_shapes_hold, text

@@ -1,0 +1,31 @@
+"""Table 4: SEA on United States migration tables (elastic model).
+
+Benchmarks ``solve_elastic`` on one instance of each difficulty class
+and regenerates the nine-row table into ``benchmarks/results/table4.txt``.
+
+Shape targets: per vintage, the 0-100% growth (b) variants are the
+hardest and the perturbation-only (c) variants the easiest (paper:
+9.11s for MIG7580b vs 0.80s for MIG7580c).
+"""
+
+import pytest
+
+from _util import write_result
+from repro.core.sea import solve_elastic
+from repro.datasets.migration import migration_instance
+from repro.harness.experiments import run_table4
+
+
+@pytest.mark.parametrize("name", ["MIG7580a", "MIG7580b", "MIG7580c"])
+def test_sea_migration_instance(benchmark, name):
+    problem = migration_instance(name)
+    result = benchmark.pedantic(
+        solve_elastic, args=(problem,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.converged
+
+
+def test_regenerate_table4(benchmark):
+    result = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    text = write_result(result)
+    assert result.all_shapes_hold, text

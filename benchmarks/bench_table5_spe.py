@@ -1,0 +1,39 @@
+"""Table 5: SEA on spatial price equilibrium problems.
+
+Benchmarks ``solve_spe`` across market counts via the SPE-to-elastic
+isomorphism and regenerates the table into
+``benchmarks/results/table5.txt``.
+
+Shape targets: time grows superlinearly with the market count, and the
+elastic iteration counts sit far above the 1-2 iterations of the fixed
+problems (paper: 84 iterations for SP500, 104 for SP750).
+"""
+
+import pytest
+
+from _util import write_result
+from repro.core.convergence import StoppingRule
+from repro.datasets.spe_data import spe_instance
+from repro.harness.experiments import is_full_scale, run_table5
+from repro.spe.model import solve_spe
+
+SIZES = (50, 100, 250, 500, 750) if is_full_scale() else (50, 100, 250)
+STOP = StoppingRule(eps=1e-2, criterion="delta-x", check_every=2,
+                    max_iterations=20_000)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_sea_spe_instance(benchmark, size):
+    problem = spe_instance(size)
+    result = benchmark.pedantic(
+        solve_spe, args=(problem,), kwargs={"stop": STOP},
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert result.converged
+    assert result.iterations > 5  # elastic: far above the fixed problems' 1-2
+
+
+def test_regenerate_table5(benchmark):
+    result = benchmark.pedantic(run_table5, rounds=1, iterations=1)
+    text = write_result(result)
+    assert result.all_shapes_hold, text

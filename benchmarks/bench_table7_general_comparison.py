@@ -1,0 +1,46 @@
+"""Table 7: SEA vs RC vs B-K on general problems with 100% dense G.
+
+Benchmarks all three algorithms on shared instances and regenerates the
+comparison table into ``benchmarks/results/table7.txt``.
+
+Shape targets (paper): SEA outperforms RC by 3-4x and B-K by up to two
+orders of magnitude; B-K becomes prohibitively expensive beyond
+G = 900^2 and is not run there.
+"""
+
+import pytest
+
+from _util import write_result
+from repro.baselines.bachem_korte import solve_bachem_korte
+from repro.baselines.rc import solve_rc_general
+from repro.core.convergence import StoppingRule
+from repro.core.sea_general import solve_general
+from repro.datasets.general import general_table7_instance
+from repro.harness.experiments import is_full_scale, run_table7
+
+SIDE = 50 if is_full_scale() else 30
+STOP = StoppingRule(eps=1e-3, criterion="delta-x")
+
+ALGORITHMS = {
+    "SEA": solve_general,
+    "RC": solve_rc_general,
+    "B-K": solve_bachem_korte,
+}
+
+
+@pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+def test_general_solver(benchmark, algorithm):
+    problem = general_table7_instance(SIDE)
+    result = benchmark.pedantic(
+        ALGORITHMS[algorithm], args=(problem,), kwargs={"stop": STOP},
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert result.converged
+
+
+def test_regenerate_table7(benchmark):
+    result = benchmark.pedantic(
+        run_table7, kwargs={"repeats": 3}, rounds=1, iterations=1
+    )
+    text = write_result(result)
+    assert result.all_shapes_hold, text

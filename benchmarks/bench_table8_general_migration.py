@@ -1,0 +1,35 @@
+"""Table 8: general SEA on migration tables, dense G 2304x2304.
+
+Benchmarks ``solve_general`` on GMIG instances (48x48 migration tables
+under the full general objective (1)) and regenerates the six-row table
+into ``benchmarks/results/table8.txt``.
+
+Shape target: all six instances cost about the same (paper: 23-29s) —
+the dense-G projection dominates and is identical across instances.
+"""
+
+import pytest
+
+from _util import write_result
+from repro.core.convergence import StoppingRule
+from repro.core.sea_general import solve_general
+from repro.datasets.migration import migration_instance
+from repro.harness.experiments import run_table8
+
+STOP = StoppingRule(eps=1e-3, criterion="delta-x")
+
+
+@pytest.mark.parametrize("name", ["GMIG5560a", "GMIG7580b"])
+def test_general_migration(benchmark, name):
+    problem = migration_instance(name)
+    result = benchmark.pedantic(
+        solve_general, args=(problem,), kwargs={"stop": STOP},
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert result.converged
+
+
+def test_regenerate_table8(benchmark):
+    result = benchmark.pedantic(run_table8, rounds=1, iterations=1)
+    text = write_result(result)
+    assert result.all_shapes_hold, text

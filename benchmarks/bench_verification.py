@@ -1,0 +1,15 @@
+"""Soundness appendix: optimality audits across the model classes.
+
+Not in any paper table, but load-bearing for the reproduction: each
+timing number in Tables 1-9 is only meaningful if the solutions are
+optimal.  Regenerates ``benchmarks/results/verification.txt``.
+"""
+
+from _util import write_result
+from repro.harness.verification import run_verification
+
+
+def test_verification_audits(benchmark):
+    result = benchmark.pedantic(run_verification, rounds=1, iterations=1)
+    text = write_result(result)
+    assert result.all_shapes_hold, text

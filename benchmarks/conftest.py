@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration."""
+
+import sys
+import pathlib
+
+# Make _util importable when pytest runs with rootdir-based collection.
+sys.path.insert(0, str(pathlib.Path(__file__).parent))

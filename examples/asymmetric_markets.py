@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Asymmetric market interactions — beyond optimization, into VI.
+
+The paper notes its framework reaches "asymmetric spatial price
+equilibrium problems, for which no equivalent optimization formulations
+exist": when producing in one region raises costs in another (shared
+inputs, congestion) *asymmetrically*, no objective function generates
+the equilibrium, and the problem lives in variational-inequality form.
+
+This example builds an energy-market flavored instance: five producing
+regions share a fuel supply chain, so each region's supply price rises
+with the others' output — but upstream regions affect downstream ones
+more than vice versa (the asymmetry).  SEA solves it through the VI
+projection method, and the equilibrium is audited against the market
+complementarity conditions directly, since there is no objective to
+check.
+
+Run:  python examples/asymmetric_markets.py
+"""
+
+import numpy as np
+
+from repro.spe.asymmetric import (
+    AsymmetricSPE,
+    asymmetric_equilibrium_violations,
+    solve_asymmetric_spe,
+)
+
+REGIONS = ["North", "South", "East", "West", "Central"]
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    m = n = len(REGIONS)
+
+    # Supply interactions: upstream -> downstream cost pressure.
+    # R[i][k] = effect of region k's output on region i's supply price.
+    R = np.zeros((m, m))
+    np.fill_diagonal(R, rng.uniform(1.0, 1.6, m))
+    for i in range(m):
+        for k in range(m):
+            if k < i:          # upstream regions press harder downstream
+                R[i, k] = 0.25
+            elif k > i:        # weak feedback the other way
+                R[i, k] = 0.05
+
+    problem = AsymmetricSPE(
+        p=rng.uniform(8.0, 14.0, m),
+        R=R,
+        q=rng.uniform(70.0, 100.0, n),
+        W=np.diag(rng.uniform(0.8, 1.4, n)),
+        h=rng.uniform(2.0, 12.0, (m, n)),
+        g=rng.uniform(0.3, 1.0, (m, n)),
+        name="energy-asym",
+    )
+
+    result = solve_asymmetric_spe(problem, record_history=True)
+    print(result.summary())
+    print(f"(no objective value: the asymmetric problem has none — "
+          f"note objective = {result.objective})")
+
+    print(f"\nVI projection steps: {result.iterations}; "
+          f"inner SEA iterations: {result.inner_iterations}")
+
+    pi = problem.supply_price(result.s)
+    print(f"\n{'region':>8} {'output':>8} {'supply price':>13}")
+    for i, name in enumerate(REGIONS):
+        print(f"{name:>8} {result.s[i]:8.2f} {pi[i]:13.2f}")
+
+    v = asymmetric_equilibrium_violations(problem, result.x, result.s, result.d)
+    print("\nequilibrium audit:",
+          ", ".join(f"{k}={val:.1e}" for k, val in v.items()))
+
+    # Show the asymmetry at work: kill the upstream pressure and resolve.
+    symmetric = AsymmetricSPE(
+        p=problem.p, R=np.diag(np.diag(R)), q=problem.q,
+        W=problem.W, h=problem.h, g=problem.g, name="energy-sym",
+    )
+    base = solve_asymmetric_spe(symmetric)
+    print(f"\nwithout cross-market cost pressure, total output would be "
+          f"{base.s.sum():.1f} instead of {result.s.sum():.1f} "
+          f"({100 * (1 - result.s.sum() / base.s.sum()):.1f}% withheld by "
+          "the interactions).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Census sample adjustment — the Deming & Stephan (1940) problem.
+
+A survey cross-tabulates two questions on a 5,000-person sample, but
+the full census knows each question's *marginal* distribution exactly.
+Adjust the sampled two-way table so its margins match the census while
+staying as close as possible (chi-square) to the observed frequencies —
+the original 1940 application the paper's framework generalizes.
+
+The same run also contrasts the quadratic (SEA) and entropy (RAS)
+adjustments: both restore the margins, but they distribute the
+correction differently.
+
+Run:  python examples/census_adjustment.py
+"""
+
+import numpy as np
+
+from repro import StoppingRule, solve_fixed
+from repro.baselines.ras import solve_ras
+from repro.datasets.contingency import contingency_instance
+
+
+def main() -> None:
+    problem = contingency_instance(rows=12, cols=8, sample=5_000,
+                                   population=1_000_000)
+    m, n = problem.shape
+    sampled = np.where(problem.mask, problem.x0, 0.0)
+
+    print(f"{m}x{n} contingency table, sample scaled to a population of "
+          f"{problem.s0.sum():,.0f}")
+    row_err = np.abs(sampled.sum(axis=1) - problem.s0) / problem.s0
+    print(f"margin error of the raw sample: up to {100 * row_err.max():.1f}% "
+          f"per row category\n")
+
+    result = solve_fixed(problem, stop=StoppingRule(eps=1e-4,
+                                                    max_iterations=5000))
+    print("chi-square adjustment (SEA):")
+    print(" ", result.summary())
+    moved = np.abs(result.x - sampled)[problem.mask] / np.maximum(
+        sampled[problem.mask], 1.0
+    )
+    print(f"  cells moved by {100 * np.median(moved):.2f}% (median), "
+          f"{100 * moved.max():.1f}% (max)")
+
+    ras = solve_ras(sampled, problem.s0, problem.d0)
+    print("\nentropy adjustment (RAS):")
+    print(f"  converged in {ras.iterations} scalings")
+
+    diff = np.abs(result.x - ras.x)[problem.mask]
+    print(f"\nthe two adjustments agree on most cells (median gap "
+          f"{np.median(diff):.1f} persons) but differ where the sample is "
+          f"thin (max gap {diff.max():.0f} persons) — the choice of")
+    print("objective is a modelling decision the unified framework makes "
+          "explicit (paper Section 2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Projecting interstate migration flows under growth scenarios.
+
+Migration tables record population flows between origin states (rows)
+and destination states (columns).  Planners project future tables from
+a past one plus growth conjectures about each state's in/out totals —
+conjectures, not facts, so the totals are estimated jointly with the
+flows (the paper's elastic model (5), Table 4's setting).
+
+This example projects a 48-state table under two scenarios (mild and
+strong growth) and inspects how the difficulty (iterations) and the
+resulting flows respond.
+
+Run:  python examples/migration_projection.py
+"""
+
+import numpy as np
+
+from repro import ElasticProblem, solve_elastic
+from repro.datasets.migration import base_migration_table
+
+N = 48
+
+
+def project(flows: np.ndarray, growth_hi: float, seed: int):
+    """Build and solve one projection scenario."""
+    rng = np.random.default_rng(seed)
+    mask = ~np.eye(N, dtype=bool)
+    problem = ElasticProblem(
+        x0=flows,
+        gamma=np.ones_like(flows),           # paper: all weights one
+        s0=flows.sum(axis=1) * (1 + rng.uniform(0, growth_hi, N)),
+        d0=flows.sum(axis=0) * (1 + rng.uniform(0, growth_hi, N)),
+        alpha=np.ones(N),
+        beta=np.ones(N),
+        mask=mask,
+        name=f"projection-{growth_hi:.0%}",
+    )
+    return problem, solve_elastic(problem)
+
+
+def main() -> None:
+    flows = base_migration_table(7580)
+    print(f"base table: {N} states, {flows.sum() / 1e6:.1f}M movers, "
+          f"largest corridor {flows.max() / 1e3:.0f}k")
+
+    for growth, label in ((0.10, "mild (0-10% growth)"),
+                          (1.00, "strong (0-100% growth)")):
+        problem, result = project(flows, growth, seed=11)
+        print(f"\nscenario: {label}")
+        print(f"  {result.summary()}")
+        print(f"  projected movers: {result.x.sum() / 1e6:.2f}M "
+              f"(base {flows.sum() / 1e6:.2f}M)")
+        # The estimated totals compromise between conjecture and flows.
+        gap = np.abs(result.s - problem.s0) / problem.s0
+        print(f"  estimated out-totals deviate from conjecture by "
+              f"{100 * gap.mean():.2f}% on average (max {100 * gap.max():.2f}%)")
+        top = np.unravel_index(np.argmax(result.x - flows), flows.shape)
+        print(f"  fastest-growing corridor: state {top[0]} -> state {top[1]} "
+              f"(+{(result.x - flows)[top] / 1e3:.1f}k movers)")
+
+    print("\nThe strong-growth scenario needs more SEA iterations — the")
+    print("paper's Table 4 observation that the 0-100% 'b' variants are")
+    print("the hardest instances.")
+
+
+if __name__ == "__main__":
+    main()

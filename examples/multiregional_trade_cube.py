@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Multi-regional commodity trade: a 3-D constrained cube, then time.
+
+Two forward extensions of the paper's framework in one workflow:
+
+1. **Space x space x commodity.**  A trade cube (origin region x
+   destination region x commodity class) must match origin totals,
+   destination totals *and* commodity totals — the triproportional
+   problem.  SEA-3D cycles exact equilibration over the three
+   multiplier families; 3-D IPF gives the entropy counterpart.
+
+2. **Space x time.**  The aggregate flow table is then projected three
+   periods forward under diverging regional growth, with populations
+   evolving by the migration accounting identity.
+
+Run:  python examples/multiregional_trade_cube.py
+"""
+
+import numpy as np
+
+from repro.extensions.three_dim import (
+    ThreeWayProblem,
+    solve_three_way,
+    tri_proportional_fit,
+)
+from repro.multiperiod import ProjectionPeriod, project_flows
+
+REGIONS = ["North", "South", "East", "West"]
+GOODS = ["food", "energy", "manufactures"]
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    m = n = len(REGIONS)
+    p = len(GOODS)
+
+    # Base-year cube: flows of each good between regions (no self-trade
+    # restriction here: intra-regional shipments are real trade).
+    x0 = rng.uniform(10.0, 200.0, (m, n, p))
+
+    # New-year totals: regions grow differently; goods shift toward
+    # manufactures. Feasibility by constructing from a witness cube.
+    witness = x0 * rng.uniform(0.9, 1.4, (m, n, p))
+    witness[:, :, 2] *= 1.2  # manufactures boom
+    problem = ThreeWayProblem(
+        x0=x0,
+        gamma=1.0 / x0,  # chi-square
+        a=witness.sum(axis=(1, 2)),
+        b=witness.sum(axis=(0, 2)),
+        c=witness.sum(axis=(0, 1)),
+        name="trade-cube",
+    )
+    result = solve_three_way(problem)
+    print(result.summary())
+    res = problem.residuals(result.x)
+    print("axis residuals:",
+          ", ".join(f"{k}={v:.2e}" for k, v in res.items()))
+    print(f"\n{'good':>13} {'base total':>11} {'target':>9} {'estimated':>10}")
+    for k, good in enumerate(GOODS):
+        print(f"{good:>13} {x0[:, :, k].sum():11.0f} {problem.c[k]:9.0f} "
+              f"{result.x[:, :, k].sum():10.0f}")
+
+    ipf, converged, sweeps = tri_proportional_fit(
+        x0, problem.a, problem.b, problem.c
+    )
+    gap = np.abs(result.x - ipf).max()
+    print(f"\n3-D IPF (entropy objective) converged in {sweeps} sweeps; "
+          f"largest cell disagreement with the quadratic cube: {gap:.1f}")
+
+    # Part 2: aggregate over goods, reuse the corridor structure as a
+    # migration pattern scaled to realistic mobility (~2.5% of the
+    # population moves per period), and project through time.
+    table = result.x.sum(axis=2)
+    np.fill_diagonal(table, 0.0)
+    populations = rng.uniform(2e6, 8e6, n)
+    table *= 0.025 * populations.sum() / table.sum()
+    scenario = [
+        ProjectionPeriod(out_growth=np.array([1.2, 1.0, 0.9, 1.0]),
+                         in_growth=np.array([0.9, 1.1, 1.1, 1.0]),
+                         label="rust-belt shift"),
+        ProjectionPeriod(out_growth=1.05, in_growth=1.05, label="steady"),
+        ProjectionPeriod(out_growth=1.05, in_growth=1.05, label="steady"),
+    ]
+    trajectory = project_flows(table, populations, scenario)
+    print(f"\nthree-period projection ({'converged' if trajectory.converged else 'NOT converged'}):")
+    print(f"{'period':>8} " + "".join(f"{r:>10}" for r in REGIONS))
+    for t, pop in enumerate(trajectory.populations):
+        label = "base" if t == 0 else scenario[t - 1].label
+        print(f"{label[:8]:>8} " + "".join(f"{v / 1e6:9.2f}M" for v in pop))
+    print("\nNorth loses population across the shift period and the system")
+    print("conserves total population exactly (accounting identity).")
+
+
+if __name__ == "__main__":
+    main()

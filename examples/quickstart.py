@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: update an input/output table to new row/column totals.
+
+The classic constrained matrix problem: you have last year's
+inter-industry transaction table and this year's (known) sector totals;
+estimate this year's table as the weighted-least-squares adjustment of
+last year's, keeping every cell nonnegative.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import FixedTotalsProblem, StoppingRule, solve_fixed
+from repro.core.kkt import kkt_violations
+from repro.core.weights import cell_weights
+
+SECTORS = ["agric", "mining", "manuf", "services", "energy"]
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # Last year's table: transactions between five sectors.
+    x0 = np.round(rng.uniform(5.0, 120.0, (5, 5)), 1)
+
+    # This year's totals: each sector grew by a different factor.
+    growth_out = 1.0 + rng.uniform(0.0, 0.25, 5)   # sales growth per sector
+    growth_in = 1.0 + rng.uniform(0.0, 0.25, 5)    # purchases growth
+    s0 = x0.sum(axis=1) * growth_out
+    d0 = x0.sum(axis=0) * growth_in
+    d0 *= s0.sum() / d0.sum()  # totals must balance
+
+    # Chi-square weights (Deming & Stephan 1940): deviations are judged
+    # relative to the size of the base entry.
+    problem = FixedTotalsProblem(
+        x0=x0,
+        gamma=cell_weights(x0, "chi-square"),
+        s0=s0,
+        d0=d0,
+        name="quickstart-io-update",
+    )
+
+    result = solve_fixed(problem, stop=StoppingRule(eps=1e-6))
+    print(result.summary())
+    print()
+
+    header = "          " + "".join(f"{s:>10}" for s in SECTORS) + f"{'total':>10}"
+    print("Updated table (row = selling sector):")
+    print(header)
+    for i, name in enumerate(SECTORS):
+        cells = "".join(f"{v:10.1f}" for v in result.x[i])
+        print(f"{name:>10}{cells}{result.x[i].sum():10.1f}")
+    print(f"{'total':>10}" + "".join(f"{v:10.1f}" for v in result.x.sum(axis=0)))
+    print()
+
+    v = kkt_violations(problem, result.x, result.lam, result.mu)
+    print("Optimality audit (KKT violations):")
+    for key, val in v.items():
+        print(f"  {key:>16}: {val:.3e}")
+
+
+if __name__ == "__main__":
+    main()

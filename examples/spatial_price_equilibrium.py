@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Spatial price equilibrium via the constrained-matrix isomorphism.
+
+Stone observed in 1951 that matrix balancing and spatial market
+equilibrium are the same computation; the paper operationalizes this.
+Here a 25x25 commodity market (linear supply/demand price and
+transaction-cost functions) is solved by mapping it onto an elastic
+constrained matrix problem and running SEA, then verified against the
+Samuelson/Takayama-Judge equilibrium conditions, and finally hit with
+a demand shock to show comparative statics.
+
+Run:  python examples/spatial_price_equilibrium.py
+"""
+
+import numpy as np
+
+from repro.core.convergence import StoppingRule
+from repro.datasets.spe_data import spe_instance
+from repro.spe.equilibrium import equilibrium_violations
+from repro.spe.model import SpatialPriceProblem, solve_spe
+
+STOP = StoppingRule(eps=1e-6, criterion="delta-x", max_iterations=50_000)
+
+
+def describe(spe, result, label):
+    print(f"--- {label} ---")
+    print(f"  {result.summary()}")
+    used = result.x > 1e-6
+    pi = spe.supply_price(result.s)
+    rho = spe.demand_price(result.d)
+    print(f"  active trade routes: {used.sum()} of {used.size} "
+          f"({100 * used.mean():.0f}%)")
+    print(f"  supply prices: {pi.min():.2f} .. {pi.max():.2f}; "
+          f"demand prices: {rho.min():.2f} .. {rho.max():.2f}")
+    v = equilibrium_violations(spe, result.x, result.s, result.d)
+    print("  equilibrium audit: "
+          + ", ".join(f"{k}={val:.1e}" for k, val in v.items()))
+    return rho
+
+
+def main() -> None:
+    spe = spe_instance(25)
+    result = solve_spe(spe, stop=STOP)
+    rho0 = describe(spe, result, "baseline equilibrium")
+
+    # Demand shock: consumers in the first five markets value the good
+    # 30% more (intercept q up).
+    q_shocked = spe.q.copy()
+    q_shocked[:5] *= 1.30
+    shocked = SpatialPriceProblem(
+        p=spe.p, r=spe.r, q=q_shocked, w=spe.w, h=spe.h, g=spe.g,
+        name="demand-shock",
+    )
+    result2 = solve_spe(shocked, stop=STOP)
+    rho1 = describe(shocked, result2, "after +30% demand in markets 0-4")
+
+    print("\ncomparative statics:")
+    print(f"  demand price in shocked markets: "
+          f"{rho0[:5].mean():.2f} -> {rho1[:5].mean():.2f}")
+    print(f"  demand price elsewhere:          "
+          f"{rho0[5:].mean():.2f} -> {rho1[5:].mean():.2f}")
+    print(f"  total trade: {result.x.sum():.1f} -> {result2.x.sum():.1f}")
+    print("\nHigher willingness to pay pulls supply toward the shocked")
+    print("markets, raising prices there and (slightly) everywhere —")
+    print("competition over the same producers propagates the shock.")
+
+
+if __name__ == "__main__":
+    main()

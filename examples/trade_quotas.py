@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Trade-table update under import quotas and uncertain totals.
+
+A bilateral trade table (exporters x importers) must be updated to new
+export/import totals, but trade policy caps specific flows (quotas) and
+some totals are only known as intervals.  This exercises the library's
+extension modules, which implement the bounded and interval variants the
+paper's Section 2 cites (Ohuchi & Kaji 1984; Harrigan & Buchanan 1984):
+
+1. feasibility certification (max-flow) before solving,
+2. the bounded solver with binding quota cells,
+3. the interval-totals solver when export totals are ranges.
+
+Run:  python examples/trade_quotas.py
+"""
+
+import numpy as np
+
+from repro.extensions import (
+    BoundedProblem,
+    IntervalTotalsProblem,
+    solve_bounded,
+    solve_intervals,
+)
+from repro.feasibility import certify_feasible
+
+COUNTRIES = ["USA", "EU", "China", "Japan", "Brazil", "India"]
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    n = len(COUNTRIES)
+
+    # Base year bilateral flows (billions), no self-trade.
+    x0 = rng.uniform(5.0, 80.0, (n, n))
+    np.fill_diagonal(x0, 0.0)
+    mask = ~np.eye(n, dtype=bool)
+
+    # New totals: exports/imports each grew 5-20%.
+    s0 = x0.sum(axis=1) * rng.uniform(1.05, 1.20, n)
+    d0 = x0.sum(axis=0) * rng.uniform(1.05, 1.20, n)
+    d0 *= s0.sum() / d0.sum()
+
+    # Quotas: importers cap their two largest inflows at 105% of base.
+    upper = np.where(mask, np.inf, 0.0)
+    quota_cells = []
+    for j in range(n):
+        top2 = np.argsort(x0[:, j])[-2:]
+        for i in top2:
+            upper[i, j] = 1.05 * x0[i, j]
+            quota_cells.append((i, j))
+
+    feasible = certify_feasible(mask, s0, d0, upper=upper)
+    print(f"feasibility certificate (max-flow): "
+          f"{'polytope nonempty' if feasible else 'INFEASIBLE'}")
+    assert feasible
+
+    gamma = np.where(mask, 1.0 / np.where(mask, x0, 1.0), 1.0)
+    problem = BoundedProblem(
+        x0=x0, gamma=gamma, s0=s0, d0=d0, upper=upper, name="trade-quota",
+    )
+    result = solve_bounded(problem)
+    print(result.summary())
+
+    binding = [
+        (i, j) for i, j in quota_cells
+        if result.x[i, j] >= upper[i, j] - 1e-6 * upper[i, j]
+    ]
+    print(f"\n{len(binding)} of {len(quota_cells)} quotas bind; "
+          "trade diverted around them:")
+    for i, j in binding[:5]:
+        free = x0[i, j] * s0[i] / x0[i].sum()  # naive proportional growth
+        print(f"  {COUNTRIES[i]:>7} -> {COUNTRIES[j]:<7} capped at "
+              f"{upper[i, j]:7.1f} (unconstrained trend ~{free:7.1f})")
+
+    # Part 2: export totals only known as +-8% ranges.
+    interval = IntervalTotalsProblem(
+        x0=x0, gamma=gamma,
+        s_lo=0.92 * s0, s_hi=1.08 * s0,
+        d_lo=0.92 * d0, d_hi=1.08 * d0,
+        name="trade-interval",
+    )
+    r2 = solve_intervals(interval)
+    print(f"\ninterval-totals variant: {r2.summary()}")
+    slack_rows = int(np.sum(
+        (r2.x.sum(axis=1) > interval.s_lo + 1e-6)
+        & (r2.x.sum(axis=1) < interval.s_hi - 1e-6)
+    ))
+    print(f"  {slack_rows}/{n} export totals settle strictly inside their "
+          "interval (their multipliers are zero — the data, not the")
+    print("  constraint, chose them), the rest sit at an endpoint.")
+
+
+if __name__ == "__main__":
+    main()

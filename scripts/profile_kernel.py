@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Profile the library's hot paths.
+
+The optimization-workflow rule is "no optimization without measuring";
+this script produces the measurements: cProfile breakdowns of a dense
+SEA solve, a sparse solve, and a general solve, plus a timing sweep of
+the kernel across sizes (amortized cost per cell — the paper's
+``9n + n ln n`` per row predicts near-linear growth of cost/cell with
+``log n``).
+
+Usage:
+    python scripts/profile_kernel.py [--size 1000] [--top 12]
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+import time
+
+import numpy as np
+
+from repro.core.convergence import StoppingRule
+from repro.core.sea import solve_fixed
+from repro.core.sea_general import solve_general
+from repro.datasets.general import general_table7_instance
+from repro.datasets.synthetic import large_diagonal_fixed
+from repro.equilibration.exact import solve_piecewise_linear
+from repro.sparse.sea import solve_fixed_sparse
+
+
+def profile_call(label: str, fn, top: int) -> None:
+    print(f"\n=== {label} ===")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    fn()
+    profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(top)
+    # Keep only the table body lines.
+    lines = stream.getvalue().splitlines()
+    start = next(i for i, l in enumerate(lines) if "ncalls" in l)
+    print("\n".join(lines[start:start + top + 1]))
+
+
+def kernel_sweep() -> None:
+    print("\n=== kernel cost per cell across sizes ===")
+    print(f"{'n':>6} {'time (ms)':>10} {'ns/cell':>9}")
+    rng = np.random.default_rng(0)
+    for n in (100, 200, 400, 800, 1600):
+        B = rng.uniform(-50, 50, (n, n))
+        SL = rng.uniform(0.1, 10.0, (n, n))
+        target = rng.uniform(10.0, 100.0, n)
+        solve_piecewise_linear(B, SL, target)  # warm
+        reps = max(1, int(2e7 / (n * n)))
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            solve_piecewise_linear(B, SL, target)
+        dt = (time.perf_counter() - t0) / reps
+        print(f"{n:>6} {1e3 * dt:>10.2f} {1e9 * dt / (n * n):>9.1f}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--size", type=int, default=800)
+    parser.add_argument("--top", type=int, default=10)
+    args = parser.parse_args()
+
+    stop = StoppingRule(eps=1e-4, max_iterations=500)
+    dense = large_diagonal_fixed(args.size, seed=1)
+    profile_call(
+        f"dense SEA, {args.size}x{args.size}",
+        lambda: solve_fixed(dense, stop=stop),
+        args.top,
+    )
+    profile_call(
+        f"sparse SEA, {args.size}x{args.size} (same instance via CSR)",
+        lambda: solve_fixed_sparse(dense, stop=stop),
+        args.top,
+    )
+    general = general_table7_instance(40)
+    profile_call(
+        "general SEA, 40x40 X0 (1600^2 G)",
+        lambda: solve_general(general),
+        args.top,
+    )
+    kernel_sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy shim so `pip install -e . --no-use-pep517` works offline
+(the environment lacks the `wheel` package needed by the PEP 517
+editable path).  All metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

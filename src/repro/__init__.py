@@ -1,0 +1,72 @@
+"""repro — the Splitting Equilibration Algorithm for constrained matrix problems.
+
+A complete, production-oriented reproduction of
+
+    Anna Nagurney and Alexander Eydeland,
+    "A Splitting Equilibration Algorithm for the Computation of
+    Large-Scale Constrained Matrix Problems: Theoretical Analysis and
+    Applications", OR 223-90 (1990) / Supercomputing '90.
+
+Quickstart::
+
+    import numpy as np
+    from repro import FixedTotalsProblem, solve_fixed
+
+    x0 = np.array([[10., 20.], [30., 40.]])
+    problem = FixedTotalsProblem(
+        x0=x0, gamma=1.0 / x0, s0=np.array([40., 60.]), d0=np.array([50., 50.])
+    )
+    result = solve_fixed(problem)
+    print(result.x, result.summary())
+
+Subpackages
+-----------
+``repro.core``
+    Problem classes, diagonal and general SEA, dual theory, KKT checks.
+``repro.equilibration``
+    Vectorized exact-equilibration kernels (the computational primitive).
+``repro.baselines``
+    RC, Bachem-Korte and RAS comparison algorithms.
+``repro.spe``
+    Spatial price equilibrium models and their isomorphism with the
+    elastic constrained matrix problem.
+``repro.parallel``
+    Row/column-partitioned execution backends and the multiprocessor
+    cost model behind the speedup experiments.
+``repro.datasets``
+    Generators for every instance family in the paper's evaluation.
+``repro.harness``
+    One experiment spec per paper table/figure, plus the paper's
+    published numbers for side-by-side reporting.
+"""
+
+from repro.core import (
+    ElasticProblem,
+    FixedTotalsProblem,
+    GeneralProblem,
+    SAMProblem,
+    SolveResult,
+    solve_elastic,
+    solve_fixed,
+    solve_general,
+    solve_sam,
+)
+from repro.core.api import solve
+from repro.core.convergence import StoppingRule
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FixedTotalsProblem",
+    "ElasticProblem",
+    "SAMProblem",
+    "GeneralProblem",
+    "SolveResult",
+    "StoppingRule",
+    "solve",
+    "solve_fixed",
+    "solve_elastic",
+    "solve_sam",
+    "solve_general",
+    "__version__",
+]

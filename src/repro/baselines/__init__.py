@@ -1,0 +1,28 @@
+"""Comparison algorithms from the paper's evaluation.
+
+* :mod:`repro.baselines.rc` — the RC equilibration algorithm of
+  Nagurney, Kim & Robinson (1990), SEA's closest relative and the main
+  serial/parallel comparator (Tables 7 and 9).
+* :mod:`repro.baselines.bachem_korte` — the Bachem & Korte (1978)
+  algorithm for quadratic optimization over transportation polytopes
+  (Table 7's much-cited but much slower baseline).
+* :mod:`repro.baselines.ras` — RAS / iterative proportional fitting
+  (Deming & Stephan 1940), practice's incumbent, with the
+  nonconvergence failure modes of Mohr, Crown & Polenske (1987).
+* :mod:`repro.baselines.newton` — exact Newton on the dual
+  (Klincewicz 1989): few heavy serial iterations, the architectural
+  opposite of SEA's many cheap parallel sweeps.
+"""
+
+from repro.baselines.bachem_korte import solve_bachem_korte
+from repro.baselines.newton import solve_newton_dual
+from repro.baselines.ras import RASResult, solve_ras
+from repro.baselines.rc import solve_rc_general
+
+__all__ = [
+    "solve_rc_general",
+    "solve_bachem_korte",
+    "solve_ras",
+    "RASResult",
+    "solve_newton_dual",
+]

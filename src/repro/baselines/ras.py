@@ -1,0 +1,130 @@
+"""RAS / iterative proportional fitting (Deming & Stephan 1940).
+
+The incumbent practice method for matrix balancing: alternately scale
+rows and columns of ``X`` so their sums match the targets,
+
+    x_ij <- x_ij * s0_i / (row sum),   x_ij <- x_ij * d0_j / (col sum).
+
+RAS solves a *different* objective than the quadratic constrained matrix
+problem (it minimizes the Kullback-Leibler divergence from ``X0``), it
+cannot estimate unknown totals, and it fails to converge on problems
+whose zero pattern makes the targets unattainable (Mohr, Crown &
+Polenske 1987) — the limitations the paper cites as motivation for a
+unified method.  It is included as the practice baseline and for the
+nonconvergence demonstrations in the test-suite and examples.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["solve_ras", "RASResult", "ras_feasible_support"]
+
+
+@dataclass
+class RASResult:
+    """Outcome of a RAS run.
+
+    ``r`` and ``c`` are the accumulated row/column scaling factors, so
+    ``x == r[:, None] * x0 * c[None, :]`` (the biproportional form).
+    """
+
+    x: np.ndarray
+    r: np.ndarray
+    c: np.ndarray
+    converged: bool
+    iterations: int
+    residual: float
+    elapsed: float
+    history: list[float] = field(default_factory=list)
+
+
+def ras_feasible_support(
+    x0: np.ndarray, s0: np.ndarray, d0: np.ndarray
+) -> bool:
+    """Necessary total-sum check for RAS convergence.
+
+    RAS preserves the zero pattern of ``x0``; beyond the obvious
+    ``sum(s0) == sum(d0)``, the targets must be attainable on that
+    pattern (a max-flow condition).  This helper checks the cheap
+    necessary conditions used to pre-screen instances: balanced grand
+    totals and no all-zero row/column with a positive target.
+    """
+    x0 = np.asarray(x0)
+    if not np.isclose(s0.sum(), d0.sum(), rtol=1e-9, atol=1e-9):
+        return False
+    row_support = (x0 > 0).any(axis=1)
+    col_support = (x0 > 0).any(axis=0)
+    if np.any(~row_support & (s0 > 0)) or np.any(~col_support & (d0 > 0)):
+        return False
+    return True
+
+
+def solve_ras(
+    x0: np.ndarray,
+    s0: np.ndarray,
+    d0: np.ndarray,
+    eps: float = 1e-6,
+    max_iterations: int = 10_000,
+    record_history: bool = False,
+) -> RASResult:
+    """Run RAS to tolerance ``eps`` on the max relative constraint error.
+
+    Raises
+    ------
+    ValueError
+        If ``x0`` has negative entries (RAS is only defined for
+        nonnegative tables) or shapes disagree.
+    """
+    t0 = time.perf_counter()
+    x0 = np.asarray(x0, dtype=np.float64)
+    s0 = np.asarray(s0, dtype=np.float64)
+    d0 = np.asarray(d0, dtype=np.float64)
+    m, n = x0.shape
+    if s0.shape != (m,) or d0.shape != (n,):
+        raise ValueError("target shapes do not match the matrix")
+    if np.any(x0 < 0.0):
+        raise ValueError("RAS requires a nonnegative base matrix")
+
+    x = x0.copy()
+    r = np.ones(m)
+    c = np.ones(n)
+    history: list[float] = []
+    converged = False
+    residual = np.inf
+    denom_s = np.maximum(np.abs(s0), 1e-300)
+    denom_d = np.maximum(np.abs(d0), 1e-300)
+
+    for it in range(1, max_iterations + 1):
+        rowsum = x.sum(axis=1)
+        scale_r = np.where(rowsum > 0.0, s0 / np.where(rowsum > 0, rowsum, 1.0), 1.0)
+        x *= scale_r[:, None]
+        r *= scale_r
+
+        colsum = x.sum(axis=0)
+        scale_c = np.where(colsum > 0.0, d0 / np.where(colsum > 0, colsum, 1.0), 1.0)
+        x *= scale_c[None, :]
+        c *= scale_c
+
+        row_err = float(np.max(np.abs(x.sum(axis=1) - s0) / denom_s))
+        col_err = float(np.max(np.abs(x.sum(axis=0) - d0) / denom_d))
+        residual = max(row_err, col_err)
+        if record_history:
+            history.append(residual)
+        if residual <= eps:
+            converged = True
+            break
+
+    return RASResult(
+        x=x,
+        r=r,
+        c=c,
+        converged=converged,
+        iterations=it,
+        residual=residual,
+        elapsed=time.perf_counter() - t0,
+        history=history,
+    )

@@ -1,0 +1,177 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``solve``
+    Solve a constrained matrix problem from CSV inputs::
+
+        python -m repro solve --kind fixed --table x0.csv \\
+            --row-totals totals_s.csv --col-totals totals_d.csv \\
+            --weights chi-square --out solution.csv
+
+    Totals files are one-column CSVs (label, value).  ``--kind sam``
+    needs only ``--row-totals`` (prior account totals); ``--kind
+    elastic`` treats both totals files as priors.
+
+``experiment``
+    Regenerate one paper table/figure::
+
+        python -m repro experiment table3 [--full]
+
+``info``
+    Print the library version and the experiment registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Splitting Equilibration Algorithm for constrained "
+                    "matrix problems (Nagurney & Eydeland 1990)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="solve a problem from CSV inputs")
+    solve.add_argument("--kind", choices=("fixed", "elastic", "sam"),
+                       default="fixed")
+    solve.add_argument("--table", required=True,
+                       help="labeled CSV of the base matrix X0")
+    solve.add_argument("--row-totals", required=True,
+                       help="one-column CSV (label,value) of row totals")
+    solve.add_argument("--col-totals",
+                       help="one-column CSV of column totals "
+                            "(not used for --kind sam)")
+    solve.add_argument("--weights", choices=("unit", "chi-square",
+                                             "inverse-sqrt"),
+                       default="unit")
+    solve.add_argument("--eps", type=float, default=None,
+                       help="stopping tolerance (paper defaults per kind)")
+    solve.add_argument("--max-iterations", type=int, default=10_000)
+    solve.add_argument("--out", help="write the estimate to a labeled CSV")
+    solve.add_argument("--report", action="store_true",
+                       help="print the convergence diagnostics report")
+
+    experiment = sub.add_parser("experiment",
+                                help="regenerate a paper table/figure")
+    experiment.add_argument("name", help="table1..table9, figure5, figure7")
+    experiment.add_argument("--full", action="store_true",
+                            help="paper-scale instances")
+
+    sub.add_parser("info", help="version and experiment registry")
+    return parser
+
+
+def _read_totals(path) -> tuple[np.ndarray, list[str]]:
+    import csv as _csv
+    import pathlib
+
+    labels, values = [], []
+    with pathlib.Path(path).open(newline="") as fh:
+        for row in _csv.reader(fh):
+            if not row:
+                continue
+            if len(row) == 1:
+                values.append(float(row[0]))
+                labels.append(f"r{len(values) - 1}")
+            else:
+                labels.append(row[0].strip())
+                values.append(float(row[1]))
+    return np.array(values, dtype=np.float64), labels
+
+
+def _cmd_solve(args) -> int:
+    from repro.core.convergence import StoppingRule
+    from repro.core.problems import ElasticProblem, FixedTotalsProblem, SAMProblem
+    from repro.core.sea import solve_elastic, solve_fixed, solve_sam
+    from repro.core.weights import cell_weights, total_weights
+    from repro.diagnostics import convergence_report
+    from repro.io import read_table_csv, write_table_csv
+
+    x0, row_labels, col_labels = read_table_csv(args.table)
+    mask = x0 > 0.0
+    gamma = cell_weights(x0, args.weights, mask=mask)
+    s0, _ = _read_totals(args.row_totals)
+    if s0.size != x0.shape[0]:
+        raise SystemExit(
+            f"row totals: expected {x0.shape[0]} values, got {s0.size}"
+        )
+
+    if args.kind == "sam":
+        problem = SAMProblem(
+            x0=x0, gamma=gamma, s0=s0,
+            alpha=total_weights(s0, args.weights), mask=mask,
+        )
+        stop = StoppingRule(eps=args.eps or 1e-3, criterion="imbalance",
+                            max_iterations=args.max_iterations)
+        result = solve_sam(problem, stop=stop, record_history=args.report)
+    else:
+        if not args.col_totals:
+            raise SystemExit(f"--kind {args.kind} requires --col-totals")
+        d0, _ = _read_totals(args.col_totals)
+        if d0.size != x0.shape[1]:
+            raise SystemExit(
+                f"column totals: expected {x0.shape[1]} values, got {d0.size}"
+            )
+        stop = StoppingRule(eps=args.eps or 1e-2, criterion="delta-x",
+                            max_iterations=args.max_iterations)
+        if args.kind == "fixed":
+            problem = FixedTotalsProblem(
+                x0=x0, gamma=gamma, s0=s0, d0=d0, mask=mask
+            )
+            result = solve_fixed(problem, stop=stop, record_history=args.report)
+        else:
+            problem = ElasticProblem(
+                x0=x0, gamma=gamma, s0=s0, d0=d0,
+                alpha=total_weights(s0, args.weights),
+                beta=total_weights(d0, args.weights), mask=mask,
+            )
+            result = solve_elastic(problem, stop=stop,
+                                   record_history=args.report)
+
+    if args.report:
+        print(convergence_report(result))
+    else:
+        print(result.summary())
+    if args.out:
+        write_table_csv(args.out, result.x, row_labels, col_labels)
+        print(f"wrote {args.out}")
+    return 0 if result.converged else 2
+
+
+def _cmd_experiment(args) -> int:
+    from repro.harness import run_experiment
+
+    result = run_experiment(args.name, full=args.full or None)
+    print(result.render())
+    return 0 if result.all_shapes_hold else 2
+
+
+def _cmd_info() -> int:
+    import repro
+    from repro.harness import EXPERIMENTS
+
+    print(f"repro {repro.__version__} — splitting equilibration algorithm")
+    print("experiments:", ", ".join(sorted(EXPERIMENTS)))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "solve":
+        return _cmd_solve(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    return _cmd_info()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Core library: constrained matrix problems and the SEA solver family.
+
+Public surface::
+
+    from repro.core import (
+        FixedTotalsProblem, ElasticProblem, SAMProblem, GeneralProblem,
+        solve_fixed, solve_elastic, solve_sam, solve_general,
+        SolveResult,
+    )
+"""
+
+from repro.core.problems import (
+    ElasticProblem,
+    FixedTotalsProblem,
+    GeneralProblem,
+    SAMProblem,
+)
+from repro.core.result import SolveResult
+from repro.core.sea import solve_elastic, solve_fixed, solve_sam
+from repro.core.sea_general import solve_general
+
+__all__ = [
+    "FixedTotalsProblem",
+    "ElasticProblem",
+    "SAMProblem",
+    "GeneralProblem",
+    "SolveResult",
+    "solve_fixed",
+    "solve_elastic",
+    "solve_sam",
+    "solve_general",
+]

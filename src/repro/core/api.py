@@ -1,0 +1,65 @@
+"""Single-entry solver dispatch.
+
+``solve(problem)`` routes any problem object in the library to its
+solver — the four core classes plus the extension classes — so harness
+code, the CLI and downstream users don't need to remember nine function
+names.  Keyword arguments are forwarded to the underlying solver.
+"""
+
+from __future__ import annotations
+
+from repro.core.problems import (
+    ElasticProblem,
+    FixedTotalsProblem,
+    GeneralProblem,
+    SAMProblem,
+)
+from repro.core.result import SolveResult
+from repro.core.sea import solve_elastic, solve_fixed, solve_sam
+from repro.core.sea_general import solve_general
+
+__all__ = ["solve"]
+
+
+def solve(problem, **kwargs) -> SolveResult:
+    """Solve any constrained matrix problem with its SEA variant.
+
+    Dispatch table:
+
+    ==============================  =================================
+    Problem type                    Solver
+    ==============================  =================================
+    FixedTotalsProblem              :func:`repro.core.sea.solve_fixed`
+    ElasticProblem                  :func:`repro.core.sea.solve_elastic`
+    SAMProblem                      :func:`repro.core.sea.solve_sam`
+    GeneralProblem                  :func:`repro.core.sea_general.solve_general`
+    BoundedProblem                  :func:`repro.extensions.bounded.solve_bounded`
+    IntervalTotalsProblem           :func:`repro.extensions.intervals.solve_intervals`
+    EntropyProblem                  :func:`repro.extensions.entropy.solve_entropy`
+    SpatialPriceProblem             :func:`repro.spe.model.solve_spe`
+    ==============================  =================================
+    """
+    # Extension/substrate types are imported lazily to keep core import
+    # costs down and avoid cycles.
+    from repro.extensions.bounded import BoundedProblem, solve_bounded
+    from repro.extensions.entropy import EntropyProblem, solve_entropy
+    from repro.extensions.intervals import IntervalTotalsProblem, solve_intervals
+    from repro.spe.model import SpatialPriceProblem, solve_spe
+
+    dispatch = [
+        (FixedTotalsProblem, solve_fixed),
+        (ElasticProblem, solve_elastic),
+        (SAMProblem, solve_sam),
+        (GeneralProblem, solve_general),
+        (BoundedProblem, solve_bounded),
+        (IntervalTotalsProblem, solve_intervals),
+        (EntropyProblem, solve_entropy),
+        (SpatialPriceProblem, solve_spe),
+    ]
+    for cls, solver in dispatch:
+        if type(problem) is cls:
+            return solver(problem, **kwargs)
+    raise TypeError(
+        f"no solver registered for {type(problem).__name__}; "
+        "see repro.core.api.solve's docstring for supported types"
+    )

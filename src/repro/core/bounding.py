@@ -1,0 +1,89 @@
+"""The Modified Algorithm: multiplier bounding (end of Section 3.1).
+
+For the SAM and fixed duals, ``zeta_l`` is invariant under adding a
+constant to every ``lam_i`` and subtracting it from every ``mu_j``
+*within a connected component* of the positive-support graph: only the
+sums ``lam_i + mu_j`` along support edges enter the dual.  The paper
+exploits this to keep the iterates in a bounded set (needed by the
+rate-of-convergence argument): whenever some ``|lam_i| > R``, translate
+its whole component so that multiplier becomes zero.
+
+This module implements that translation.  It is a no-op on the dual
+value (asserted by the tests) and therefore safe to apply between SEA
+iterations at any frequency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.equilibration.network import support_components
+
+__all__ = ["bound_multipliers", "d_max_bound"]
+
+
+def d_max_bound(problem) -> float:
+    """A data-only bound ``d_max`` with ``|lam_i + mu_j| < d_max`` on
+    support edges (eq. 78).
+
+    From (23a), a cell is positive iff ``lam_i + mu_j > -2 gamma x0``;
+    and the dual cannot exceed its optimum, which bounds
+    ``lam_i + mu_j`` above by the largest value any single cell can
+    carry before its quadratic penalty alone drives ``zeta`` below
+    ``zeta(0, 0)``.  We return a simple valid envelope from the data.
+    """
+    mask = problem.mask
+    gamma = problem.gamma[mask]
+    x0 = problem.x0[mask]
+    totals = [np.abs(problem.s0)]
+    if hasattr(problem, "d0") and problem.d0 is not None:
+        totals.append(np.abs(problem.d0))
+    t_max = max(float(np.max(t)) for t in totals) if totals else 1.0
+    return 2.0 * float(np.max(gamma) * (np.max(np.abs(x0)) + t_max)) + 1.0
+
+
+def bound_multipliers(
+    x: np.ndarray,
+    lam: np.ndarray,
+    mu: np.ndarray,
+    radius: float,
+    tol: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray, bool]:
+    """Translate multipliers componentwise so every ``|lam_i| <= radius``.
+
+    Parameters
+    ----------
+    x:
+        Current flows (defines the support graph ``G^t``).
+    lam, mu:
+        Current multipliers (not modified in place).
+    radius:
+        The paper's ``R``; components containing some ``|lam_i| > R``
+        are shifted by that ``lam_i``.
+    tol:
+        Support threshold for the graph edges.
+
+    Returns
+    -------
+    (lam', mu', changed):
+        Translated multipliers and whether any shift was applied.  For
+        every support edge ``lam'_i + mu'_j == lam_i + mu_j`` exactly,
+        hence the dual value is unchanged.
+    """
+    lam = np.asarray(lam, dtype=np.float64).copy()
+    mu = np.asarray(mu, dtype=np.float64).copy()
+    if not np.any(np.abs(lam) > radius):
+        return lam, mu, False
+
+    row_labels, col_labels = support_components(x, tol=tol)
+    changed = False
+    for comp in np.unique(row_labels):
+        rows = row_labels == comp
+        offenders = rows & (np.abs(lam) > radius)
+        if not np.any(offenders):
+            continue
+        shift = lam[np.flatnonzero(offenders)[0]]
+        lam[rows] -= shift
+        mu[col_labels == comp] += shift
+        changed = True
+    return lam, mu, changed

@@ -1,0 +1,102 @@
+"""KKT / equilibrium-condition verification.
+
+The paper's optimality system (eqs. 20-22 and their SAM/fixed analogs)
+is checked directly: given a candidate solution and multipliers, report
+the worst violation of
+
+* primal feasibility (row constraints, column constraints, ``x >= 0``),
+* stationarity / complementarity of the cells:
+  ``2 gamma (x - x0) - lam_i - mu_j = 0`` where ``x > 0`` and ``>= 0``
+  where ``x = 0``,
+* stationarity of the estimated totals (elastic/SAM variants).
+
+Used by the tests as the ground-truth optimality oracle and exposed so
+users can audit any solve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problems import ElasticProblem, FixedTotalsProblem, SAMProblem
+from repro.core.result import SolveResult
+
+__all__ = ["kkt_violations", "max_kkt_violation"]
+
+
+def _cell_violations(problem, x, lam, mu, scale):
+    mask = problem.mask
+    gamma = np.where(mask, problem.gamma, 1.0)
+    x0 = np.where(mask, problem.x0, 0.0)
+    grad = 2.0 * gamma * (x - x0) - lam[:, None] - mu[None, :]
+    positive = mask & (x > scale * 1e-12)
+    at_zero = mask & ~positive
+    stat = float(np.max(np.abs(grad[positive]))) if positive.any() else 0.0
+    comp = float(np.max(np.maximum(-grad[at_zero], 0.0))) if at_zero.any() else 0.0
+    return stat, comp
+
+
+def kkt_violations(
+    problem,
+    x: np.ndarray,
+    lam: np.ndarray,
+    mu: np.ndarray,
+    s: np.ndarray | None = None,
+    d: np.ndarray | None = None,
+) -> dict[str, float]:
+    """Compute all KKT violation magnitudes for a candidate solution.
+
+    Returns a dict with keys ``row``, ``col`` (constraint residuals,
+    absolute), ``nonneg``, ``stationarity`` (cells with positive flow),
+    ``complementarity`` (cells at the bound must have nonnegative
+    reduced gradient), and — for elastic/SAM — ``s_stationarity`` /
+    ``d_stationarity``.
+    """
+    if not isinstance(problem, (FixedTotalsProblem, ElasticProblem, SAMProblem)):
+        raise TypeError(f"unsupported problem type {type(problem).__name__}")
+    x = np.asarray(x, dtype=np.float64)
+    lam = np.asarray(lam, dtype=np.float64)
+    mu = np.asarray(mu, dtype=np.float64)
+    scale = max(float(np.max(np.abs(problem.x0))), 1.0)
+    out: dict[str, float] = {
+        "nonneg": float(np.max(np.maximum(-x, 0.0))),
+    }
+
+    if isinstance(problem, FixedTotalsProblem):
+        row_t, col_t = problem.s0, problem.d0
+    elif isinstance(problem, ElasticProblem):
+        if s is None or d is None:
+            raise ValueError("elastic problems need the estimated totals s and d")
+        row_t, col_t = np.asarray(s), np.asarray(d)
+        # (21)-(22): 2 alpha (S - s0) + lam = 0, 2 beta (D - d0) + mu = 0.
+        out["s_stationarity"] = float(
+            np.max(np.abs(2.0 * problem.alpha * (row_t - problem.s0) + lam))
+        )
+        out["d_stationarity"] = float(
+            np.max(np.abs(2.0 * problem.beta * (col_t - problem.d0) + mu))
+        )
+    elif isinstance(problem, SAMProblem):
+        if s is None:
+            raise ValueError("SAM problems need the estimated totals s")
+        row_t = col_t = np.asarray(s)
+        # (39): 2 alpha (S - s0) + lam + mu = 0.
+        out["s_stationarity"] = float(
+            np.max(np.abs(2.0 * problem.alpha * (row_t - problem.s0) + lam + mu))
+        )
+    else:
+        raise TypeError(f"unsupported problem type {type(problem).__name__}")
+
+    out["row"] = float(np.max(np.abs(x.sum(axis=1) - row_t)))
+    out["col"] = float(np.max(np.abs(x.sum(axis=0) - col_t)))
+    stat, comp = _cell_violations(problem, x, lam, mu, scale)
+    out["stationarity"] = stat
+    out["complementarity"] = comp
+    return out
+
+
+def max_kkt_violation(problem, result: SolveResult) -> float:
+    """Worst KKT violation of a solver result, normalized by data scale."""
+    s = result.s if not isinstance(problem, FixedTotalsProblem) else None
+    d = result.d if isinstance(problem, ElasticProblem) else None
+    v = kkt_violations(problem, result.x, result.lam, result.mu, s=s, d=d)
+    return max(v.values())

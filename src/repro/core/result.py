@@ -1,0 +1,121 @@
+"""Solve results and per-phase accounting.
+
+``SolveResult`` is returned by every solver in the library (SEA variants
+and baselines alike) so harness code can treat them uniformly.  Besides
+the solution it records the dual multipliers, iteration counts,
+convergence history, wall time, and the per-phase operation counts that
+feed the parallel cost model of :mod:`repro.parallel.costmodel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SolveResult", "PhaseCounts"]
+
+
+@dataclass
+class PhaseCounts:
+    """Abstract operation counts per algorithm phase.
+
+    ``parallel_ops`` accumulates work done inside the embarrassingly
+    parallel row/column equilibration phases (the paper's
+    ``n(9n + n ln n)`` per sweep); ``serial_ops`` accumulates the serial
+    convergence-verification phase (``O(m*n)`` per check).
+    ``parallel_phases`` counts fork/join points — each row sweep and each
+    column sweep is one phase (used for dispatch-overhead modelling).
+    """
+
+    parallel_ops: float = 0.0
+    serial_ops: float = 0.0
+    parallel_phases: int = 0
+    serial_checks: int = 0
+    cells: int = 0  # matrix size m*n, for size-scaled contention modelling
+    matvec_ops: float = 0.0  # subset of parallel_ops from dense-G products
+
+    def add_equilibration(self, rows: int, length: int) -> None:
+        """Charge one exact-equilibration sweep over ``rows`` subproblems
+        of ``length`` markets each: ``rows * (9*length + length*ln(length))``
+        operations (paper Section 3.1.3)."""
+        if length > 0:
+            self.parallel_ops += rows * (9.0 * length + length * np.log(length))
+        self.parallel_phases += 1
+
+    def add_convergence_check(self, m: int, n: int, kappa: float = 1.0) -> None:
+        """Charge one serial convergence verification over an m x n matrix."""
+        self.serial_ops += kappa * m * n
+        self.serial_checks += 1
+
+    def add_matvec(self, size: int) -> None:
+        """Charge one dense weight-matrix/vector product of dimension
+        ``size`` (the projection step's coupling term for general
+        problems) — row-partitionable, hence parallel work."""
+        self.parallel_ops += float(size) * float(size)
+        self.matvec_ops += float(size) * float(size)
+        self.parallel_phases += 1
+
+    def merged_with(self, other: "PhaseCounts") -> "PhaseCounts":
+        return PhaseCounts(
+            parallel_ops=self.parallel_ops + other.parallel_ops,
+            serial_ops=self.serial_ops + other.serial_ops,
+            parallel_phases=self.parallel_phases + other.parallel_phases,
+            serial_checks=self.serial_checks + other.serial_checks,
+            cells=max(self.cells, other.cells),
+            matvec_ops=self.matvec_ops + other.matvec_ops,
+        )
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a constrained-matrix solve.
+
+    Attributes
+    ----------
+    x:
+        The matrix estimate ``X``.
+    s, d:
+        Estimated row/column totals (equal to the problem's fixed totals
+        for the fixed model; ``d is s`` conceptually for SAMs).
+    lam, mu:
+        Final dual multipliers of the row/column constraint families.
+    converged:
+        Whether the stopping rule fired within the iteration budget.
+    iterations:
+        Outer iterations used (for general solvers, projection steps;
+        ``inner_iterations`` then holds the summed diagonal-SEA count).
+    residual:
+        Final value of the monitored stopping quantity.
+    history:
+        Per-iteration residuals (populated when ``record_history``).
+    objective:
+        Objective value at ``x`` (and ``s``/``d`` where applicable).
+    elapsed:
+        Wall-clock seconds spent inside the solver.
+    counts:
+        Abstract per-phase operation counts for the cost model.
+    """
+
+    x: np.ndarray
+    s: np.ndarray
+    d: np.ndarray
+    lam: np.ndarray
+    mu: np.ndarray
+    converged: bool
+    iterations: int
+    residual: float
+    objective: float
+    elapsed: float
+    algorithm: str
+    inner_iterations: int = 0
+    history: list[float] = field(default_factory=list)
+    counts: PhaseCounts = field(default_factory=PhaseCounts)
+
+    def summary(self) -> str:
+        status = "converged" if self.converged else "NOT converged"
+        return (
+            f"{self.algorithm}: {status} in {self.iterations} iterations "
+            f"(residual {self.residual:.3e}, objective {self.objective:.6g}, "
+            f"{self.elapsed:.4f}s)"
+        )

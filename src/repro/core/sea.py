@@ -1,0 +1,292 @@
+"""The Splitting Equilibration Algorithm — diagonal problems (Section 3.1).
+
+All three variants share one skeleton, the dual block-coordinate ascent
+
+    lam^{t+1} -> max_lam  zeta(lam, mu^t)      (row equilibration)
+    mu^{t+1}  -> max_mu   zeta(lam^{t+1}, mu)  (column equilibration)
+
+where each block maximization decomposes into independent single-market
+exact equilibrations (one per row, one per column).  The variants differ
+only in the constants fed to the piecewise-linear kernel:
+
+=========  =====================  ==========================================
+Variant    Kernel elastic terms   Total recovery
+=========  =====================  ==========================================
+fixed      a = 0, c = 0,          s = s0, d = d0 (given)
+           target = s0 / d0
+elastic    a = 1/(2 alpha),       s_i = s0_i - lam_i/(2 alpha_i)      (23b)
+           c = -s0, target = 0    d_j = d0_j - mu_j /(2 beta_j)       (23c)
+sam        a = 1/(2 alpha),       s_i = s0_i - (lam_i+mu_i)/(2 alpha_i)
+           c = mu_i/(2 alpha_i)                                        (40b)
+               - s0_i, target = 0
+=========  =====================  ==========================================
+
+The ``kernel`` argument lets the parallel executor substitute a
+row-partitioned solver for the default whole-matrix vectorized one; the
+algorithm is oblivious to how the independent subproblems are scheduled,
+exactly as in the paper's processor allocation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.core.convergence import StoppingRule, relative_imbalance
+from repro.core.problems import ElasticProblem, FixedTotalsProblem, SAMProblem
+from repro.core.result import PhaseCounts, SolveResult
+from repro.equilibration.exact import recover_flows, solve_piecewise_linear
+
+__all__ = ["solve_fixed", "solve_elastic", "solve_sam"]
+
+Kernel = Callable[..., np.ndarray]
+
+
+def _prepare(x0, gamma, mask):
+    """Precompute the constant parts of the breakpoint matrices.
+
+    Row breakpoints are ``base - mu`` and column breakpoints are
+    ``base.T - lam`` with ``base = -2*gamma*x0`` (inactive cells are
+    inert: slope 0, breakpoint 0).
+    """
+    gamma_safe = np.where(mask, gamma, 1.0)
+    x0_safe = np.where(mask, x0, 0.0)
+    base = np.where(mask, -2.0 * gamma_safe * x0_safe, 0.0)
+    slopes = np.where(mask, 1.0 / (2.0 * gamma_safe), 0.0)
+    return base, slopes
+
+
+def solve_fixed(
+    problem: FixedTotalsProblem,
+    stop: StoppingRule | None = None,
+    mu0: np.ndarray | None = None,
+    kernel: Kernel = solve_piecewise_linear,
+    record_history: bool = False,
+) -> SolveResult:
+    """SEA for the fixed-totals problem (Section 3.1.3, eqs. 45-48).
+
+    Parameters
+    ----------
+    problem:
+        The problem instance.
+    stop:
+        Stopping rule; defaults to the paper's ``|x^t - x^{t-1}| <= .01``.
+    mu0:
+        Initial column multipliers (Step 0 sets ``mu^1 = 0``).
+    kernel:
+        Piecewise-linear solver; override to run subproblems on a worker
+        pool (see :mod:`repro.parallel.executor`).
+    record_history:
+        Keep the per-iteration residual trace in ``result.history``.
+    """
+    stop = stop or StoppingRule(eps=1e-2, criterion="delta-x")
+    t0 = time.perf_counter()
+    m, n = problem.shape
+    base, slopes = _prepare(problem.x0, problem.gamma, problem.mask)
+    base_t, slopes_t = base.T.copy(), slopes.T.copy()
+
+    mu = np.zeros(n) if mu0 is None else np.asarray(mu0, dtype=np.float64).copy()
+    lam = np.zeros(m)
+    x_prev = np.where(problem.mask, np.maximum(problem.x0, 0.0), 0.0)
+    counts = PhaseCounts(cells=m * n)
+    history: list[float] = []
+    converged = False
+    residual = np.inf
+    x = x_prev
+
+    for t in range(1, stop.max_iterations + 1):
+        # Step 1: row equilibration — m independent subproblems.
+        row_b = base - mu[None, :]
+        lam = kernel(row_b, slopes, problem.s0)
+        counts.add_equilibration(m, n)
+
+        # Step 2: column equilibration — n independent subproblems.
+        col_b = base_t - lam[None, :]
+        mu = kernel(col_b, slopes_t, problem.d0)
+        x = recover_flows(mu, col_b, slopes_t).T
+        counts.add_equilibration(n, m)
+
+        # Step 3: convergence verification (the serial phase).
+        if stop.due(t):
+            residual = stop.residual(x, x_prev, problem.s0, problem.d0)
+            counts.add_convergence_check(m, n)
+            if record_history:
+                history.append(residual)
+            if residual <= stop.eps:
+                converged = True
+                break
+        x_prev = x
+
+    return SolveResult(
+        x=x,
+        s=problem.s0.copy(),
+        d=problem.d0.copy(),
+        lam=lam,
+        mu=mu,
+        converged=converged,
+        iterations=t,
+        residual=residual,
+        objective=problem.objective(x),
+        elapsed=time.perf_counter() - t0,
+        algorithm="SEA-fixed",
+        history=history,
+        counts=counts,
+    )
+
+
+def solve_elastic(
+    problem: ElasticProblem,
+    stop: StoppingRule | None = None,
+    mu0: np.ndarray | None = None,
+    kernel: Kernel = solve_piecewise_linear,
+    record_history: bool = False,
+) -> SolveResult:
+    """SEA for unknown row and column totals (Section 3.1.1, eqs. 14-17).
+
+    Row step: minimize ``Theta_1 - sum_j mu_j (sum_i x_ij - d_j)`` over
+    the row constraints; multipliers ``lam_i = 2 alpha_i (s0_i - S_i)``
+    (eq. 29b) come straight out of the kernel.  Column step symmetric
+    with ``mu_j = 2 beta_j (d0_j - D_j)`` (eq. 30b).
+    """
+    stop = stop or StoppingRule(eps=1e-2, criterion="delta-x")
+    t0 = time.perf_counter()
+    m, n = problem.shape
+    base, slopes = _prepare(problem.x0, problem.gamma, problem.mask)
+    base_t, slopes_t = base.T.copy(), slopes.T.copy()
+
+    a_row = 1.0 / (2.0 * problem.alpha)
+    a_col = 1.0 / (2.0 * problem.beta)
+    c_row = -problem.s0
+    c_col = -problem.d0
+    zeros_m = np.zeros(m)
+    zeros_n = np.zeros(n)
+
+    mu = np.zeros(n) if mu0 is None else np.asarray(mu0, dtype=np.float64).copy()
+    lam = np.zeros(m)
+    x_prev = np.where(problem.mask, np.maximum(problem.x0, 0.0), 0.0)
+    counts = PhaseCounts(cells=m * n)
+    history: list[float] = []
+    converged = False
+    residual = np.inf
+    x = x_prev
+    s = problem.s0.copy()
+    d = problem.d0.copy()
+
+    for t in range(1, stop.max_iterations + 1):
+        row_b = base - mu[None, :]
+        lam = kernel(row_b, slopes, zeros_m, a=a_row, c=c_row)
+        s = problem.s0 - lam * a_row  # (23b)
+        counts.add_equilibration(m, n)
+
+        col_b = base_t - lam[None, :]
+        mu = kernel(col_b, slopes_t, zeros_n, a=a_col, c=c_col)
+        d = problem.d0 - mu * a_col  # (23c)
+        x = recover_flows(mu, col_b, slopes_t).T
+        counts.add_equilibration(n, m)
+
+        if stop.due(t):
+            residual = stop.residual(x, x_prev, s, d)
+            counts.add_convergence_check(m, n)
+            if record_history:
+                history.append(residual)
+            if residual <= stop.eps:
+                converged = True
+                break
+        x_prev = x
+
+    return SolveResult(
+        x=x,
+        s=s,
+        d=d,
+        lam=lam,
+        mu=mu,
+        converged=converged,
+        iterations=t,
+        residual=residual,
+        objective=problem.objective(x, s, d),
+        elapsed=time.perf_counter() - t0,
+        algorithm="SEA-elastic",
+        history=history,
+        counts=counts,
+    )
+
+
+def solve_sam(
+    problem: SAMProblem,
+    stop: StoppingRule | None = None,
+    mu0: np.ndarray | None = None,
+    kernel: Kernel = solve_piecewise_linear,
+    record_history: bool = False,
+) -> SolveResult:
+    """SEA for the SAM estimation problem (Section 3.1.2, eqs. 31-35).
+
+    The balanced totals couple the two constraint families: the total of
+    account ``i`` satisfies ``S_i = s0_i - (lam_i + mu_i)/(2 alpha_i)``
+    (eq. 40b), so each row subproblem's elastic offset carries the
+    *current* ``mu_i`` and vice versa.  Default stopping rule is the
+    paper's relative row imbalance at ``eps' = .001``.
+    """
+    stop = stop or StoppingRule(eps=1e-3, criterion="imbalance")
+    t0 = time.perf_counter()
+    n = problem.n
+    base, slopes = _prepare(problem.x0, problem.gamma, problem.mask)
+    base_t, slopes_t = base.T.copy(), slopes.T.copy()
+
+    a_elastic = 1.0 / (2.0 * problem.alpha)
+    zeros_n = np.zeros(n)
+
+    mu = np.zeros(n) if mu0 is None else np.asarray(mu0, dtype=np.float64).copy()
+    lam = np.zeros(n)
+    x_prev = np.where(problem.mask, np.maximum(problem.x0, 0.0), 0.0)
+    counts = PhaseCounts(cells=n * n)
+    history: list[float] = []
+    converged = False
+    residual = np.inf
+    x = x_prev
+    s = problem.s0.copy()
+
+    for t in range(1, stop.max_iterations + 1):
+        # Row equilibration: constraint sum_j x_ij = S_i(lam_i; mu_i).
+        row_b = base - mu[None, :]
+        c_row = mu * a_elastic - problem.s0
+        lam = kernel(row_b, slopes, zeros_n, a=a_elastic, c=c_row)
+        counts.add_equilibration(n, n)
+
+        # Column equilibration: constraint sum_i x_ij = S_j(mu_j; lam_j).
+        col_b = base_t - lam[None, :]
+        c_col = lam * a_elastic - problem.s0
+        mu = kernel(col_b, slopes_t, zeros_n, a=a_elastic, c=c_col)
+        s = problem.s0 - (lam + mu) * a_elastic  # (40b)
+        x = recover_flows(mu, col_b, slopes_t).T
+        counts.add_equilibration(n, n)
+
+        if stop.due(t):
+            if stop.criterion == "imbalance":
+                residual = relative_imbalance(x, s, axis=0)
+            else:
+                residual = stop.residual(x, x_prev, s, s)
+            counts.add_convergence_check(n, n)
+            if record_history:
+                history.append(residual)
+            if residual <= stop.eps:
+                converged = True
+                break
+        x_prev = x
+
+    return SolveResult(
+        x=x,
+        s=s,
+        d=s.copy(),
+        lam=lam,
+        mu=mu,
+        converged=converged,
+        iterations=t,
+        residual=residual,
+        objective=problem.objective(x, s),
+        elapsed=time.perf_counter() - t0,
+        algorithm="SEA-sam",
+        history=history,
+        counts=counts,
+    )

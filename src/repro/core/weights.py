@@ -1,0 +1,70 @@
+"""Weighting schemes for constrained matrix objectives (Section 2).
+
+The paper emphasizes the flexibility of the weight choice: unit weights
+give constrained least squares, ``1/x0`` gives the chi-square objective
+of Deming & Stephan (1940), ``1/sqrt(x0)`` is an intermediate, and fully
+custom (e.g. inverse variance) weights are allowed.  These helpers build
+``gamma``/``alpha``/``beta`` arrays from a scheme name, respecting the
+structural-zero mask (masked cells get weight 1; they never enter the
+objective).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["cell_weights", "total_weights", "SCHEMES"]
+
+SCHEMES = ("unit", "chi-square", "inverse-sqrt")
+
+
+def cell_weights(
+    x0: np.ndarray,
+    scheme: str = "unit",
+    mask: np.ndarray | None = None,
+    floor: float = 1e-12,
+) -> np.ndarray:
+    """Build the diagonal cell-weight matrix ``gamma`` for ``x0``.
+
+    Parameters
+    ----------
+    x0:
+        Base matrix.
+    scheme:
+        ``'unit'`` (least squares), ``'chi-square'`` (``1/x0``), or
+        ``'inverse-sqrt'`` (``1/sqrt(x0)``).
+    mask:
+        Structural-zero mask; masked cells get weight 1.
+    floor:
+        Lower clip applied to ``x0`` before reciprocals, protecting
+        against tiny active entries.
+    """
+    x0 = np.asarray(x0, dtype=np.float64)
+    active = np.ones(x0.shape, bool) if mask is None else np.asarray(mask, bool)
+    if scheme == "unit":
+        return np.ones_like(x0)
+    base = np.where(active, np.maximum(x0, floor), 1.0)
+    if np.any(x0[active] <= 0.0):
+        raise ValueError(f"{scheme!r} weights need strictly positive active x0")
+    if scheme == "chi-square":
+        return np.where(active, 1.0 / base, 1.0)
+    if scheme == "inverse-sqrt":
+        return np.where(active, 1.0 / np.sqrt(base), 1.0)
+    raise ValueError(f"unknown weight scheme {scheme!r}; pick from {SCHEMES}")
+
+
+def total_weights(
+    totals0: np.ndarray, scheme: str = "unit", floor: float = 1e-12
+) -> np.ndarray:
+    """Build ``alpha`` (or ``beta``) weights for the total estimates."""
+    t = np.asarray(totals0, dtype=np.float64)
+    if scheme == "unit":
+        return np.ones_like(t)
+    if np.any(t <= 0.0):
+        raise ValueError(f"{scheme!r} weights need strictly positive totals")
+    base = np.maximum(t, floor)
+    if scheme == "chi-square":
+        return 1.0 / base
+    if scheme == "inverse-sqrt":
+        return 1.0 / np.sqrt(base)
+    raise ValueError(f"unknown weight scheme {scheme!r}; pick from {SCHEMES}")

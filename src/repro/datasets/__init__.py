@@ -1,0 +1,34 @@
+"""Instance generators for every dataset family in the paper's evaluation.
+
+The original economic datasets (Polenske's U.S. input/output tables,
+Tobler's state-to-state migration tables, the USDA/World-Bank SAMs) are
+proprietary; each generator here reproduces the documented *structure* —
+dimensions, density, magnitude ranges, growth-factor recipes and weight
+schemes — as described in Sections 4 and 5 (see DESIGN.md for the
+substitution argument).  All generators are deterministic given a seed.
+"""
+
+from repro.datasets.general import (
+    dense_spd_weights,
+    general_migration_instance,
+    general_table7_instance,
+)
+from repro.datasets.io_tables import IO_INSTANCES, io_instance
+from repro.datasets.migration import MIGRATION_INSTANCES, migration_instance
+from repro.datasets.sam import SAM_INSTANCES, sam_instance
+from repro.datasets.spe_data import spe_instance
+from repro.datasets.synthetic import large_diagonal_fixed
+
+__all__ = [
+    "large_diagonal_fixed",
+    "io_instance",
+    "IO_INSTANCES",
+    "sam_instance",
+    "SAM_INSTANCES",
+    "migration_instance",
+    "MIGRATION_INSTANCES",
+    "spe_instance",
+    "dense_spd_weights",
+    "general_table7_instance",
+    "general_migration_instance",
+]

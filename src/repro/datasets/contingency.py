@@ -1,0 +1,110 @@
+"""Contingency tables, census adjustment and voting-pattern instances.
+
+The paper's introduction lists "the treatment of census data, the
+analysis of political voting patterns, and the estimation of
+contingency tables in statistics" among the constrained matrix
+problem's applications — and the chi-square objective with known
+margins is literally Deming & Stephan's (1940) original census-sample
+problem.  These generators provide those workloads:
+
+* :func:`contingency_instance` — a sampled two-way frequency table to
+  be adjusted to known population margins (Deming-Stephan's setting);
+* :func:`voting_transition_instance` — a party-by-party voter
+  transition table between two elections, with each election's vote
+  totals known and the transitions estimated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problems import FixedTotalsProblem
+
+__all__ = ["contingency_instance", "voting_transition_instance"]
+
+
+def contingency_instance(
+    rows: int = 12,
+    cols: int = 8,
+    sample: int = 5_000,
+    population: int = 1_000_000,
+    seed: int = 1940,
+) -> FixedTotalsProblem:
+    """Deming-Stephan census adjustment.
+
+    A joint distribution over ``rows x cols`` categories is drawn from a
+    log-normal prior; ``sample`` observations give the observed table
+    ``x0`` (with sampling noise), and the *population* margins — known
+    exactly from a full census of the marginal questions — give the
+    totals.  Chi-square weights ``1/x0`` make the objective the classic
+    chi-square adjustment.  Cells unobserved in the sample are
+    structural zeros.
+    """
+    rng = np.random.default_rng(seed)
+    joint = rng.lognormal(0.0, 1.2, (rows, cols))
+    joint /= joint.sum()
+
+    counts = rng.multinomial(sample, joint.ravel()).reshape(rows, cols)
+    mask = counts > 0
+    x0 = counts.astype(np.float64) * (population / sample)
+
+    # Population margins: exact marginals of the true joint, scaled.
+    s0 = joint.sum(axis=1) * population
+    d0 = joint.sum(axis=0) * population
+    # Structural zeros must not make the margins unattainable; the dense
+    # prior makes empty rows/columns vanishingly unlikely at these sizes,
+    # but guard anyway.
+    for i in np.flatnonzero(~mask.any(axis=1)):
+        mask[i, int(np.argmax(joint[i]))] = True
+        x0[i, int(np.argmax(joint[i]))] = 0.5 * population / sample
+    for j in np.flatnonzero(~mask.any(axis=0)):
+        mask[int(np.argmax(joint[:, j])), j] = True
+        x0[int(np.argmax(joint[:, j])), j] = 0.5 * population / sample
+
+    gamma = np.where(mask, 1.0 / np.where(mask, np.maximum(x0, 1e-9), 1.0), 1.0)
+    return FixedTotalsProblem(
+        x0=x0, gamma=gamma, s0=s0, d0=d0, mask=mask,
+        name=f"census-{rows}x{cols}",
+    )
+
+
+def voting_transition_instance(
+    parties: int = 6,
+    turnout: int = 2_000_000,
+    loyalty: float = 0.7,
+    swing: float = 0.15,
+    seed: int = 1988,
+) -> FixedTotalsProblem:
+    """Voter-transition estimation between two elections.
+
+    Rows are parties at the first election, columns at the second; cell
+    (i, j) is the number of voters moving from party ``i`` to ``j``.
+    The prior ``x0`` assumes each party keeps ``loyalty`` of its voters
+    and spreads the rest by ideological proximity; the constraints are
+    the two elections' *observed* vote totals, with the second
+    election's shares shifted by a random swing of up to ``swing``.
+    """
+    rng = np.random.default_rng(seed)
+    shares1 = rng.dirichlet(np.ones(parties) * 3.0)
+    s0 = shares1 * turnout
+
+    # Ideological positions on a line; defection probability decays with
+    # distance (voters rarely jump across the spectrum).
+    position = np.sort(rng.uniform(0.0, 1.0, parties))
+    dist = np.abs(position[:, None] - position[None, :])
+    defect = np.exp(-4.0 * dist)
+    np.fill_diagonal(defect, 0.0)
+    defect /= defect.sum(axis=1, keepdims=True)
+    prior = loyalty * np.eye(parties) + (1.0 - loyalty) * defect
+    x0 = s0[:, None] * prior
+
+    shift = rng.uniform(-swing, swing, parties)
+    shares2 = shares1 * (1.0 + shift)
+    shares2 /= shares2.sum()
+    d0 = shares2 * turnout
+
+    gamma = 1.0 / np.maximum(x0, 1.0)  # chi-square on the prior flows
+    return FixedTotalsProblem(
+        x0=x0, gamma=gamma, s0=s0, d0=d0,
+        name=f"voting-{parties}p",
+    )

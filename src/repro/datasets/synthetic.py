@@ -1,0 +1,55 @@
+"""Table 1 instance family: very large diagonal fixed-totals problems.
+
+Paper recipe (Section 4.1.1): dense ``m x n`` matrices with every
+``x0_ij`` drawn uniformly from ``[.1, 10000]`` "to simulate the wide
+spread of the initial data which are characteristic of both
+input/output and social accounting matrices"; chi-square weights
+``gamma_ij = 1/x0_ij``; row totals ``s0_i = 2 sum_j x0_ij`` and column
+totals ``d0_j = 2 sum_i x0_ij`` (doubling keeps the totals balanced
+exactly while pushing the solution well away from ``x0``).  Paper sizes
+run 750x750 through 3000x3000 (0.56M-9M variables).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problems import FixedTotalsProblem
+
+__all__ = ["large_diagonal_fixed", "TABLE1_SIZES"]
+
+TABLE1_SIZES = (750, 1000, 2000, 3000)
+
+
+def large_diagonal_fixed(
+    m: int,
+    n: int | None = None,
+    seed: int = 0,
+    low: float = 0.1,
+    high: float = 10_000.0,
+    total_factor: float = 2.0,
+) -> FixedTotalsProblem:
+    """Generate one Table 1 instance.
+
+    Parameters
+    ----------
+    m, n:
+        Matrix dimensions (``n`` defaults to ``m``; the paper uses
+        square instances).
+    seed:
+        RNG seed (each paper datapoint is a single example).
+    low, high:
+        Entry range (paper: ``[.1, 10000]``).
+    total_factor:
+        Totals as a multiple of the base sums (paper: 2).
+    """
+    n = m if n is None else n
+    rng = np.random.default_rng(seed)
+    x0 = rng.uniform(low, high, (m, n))
+    return FixedTotalsProblem(
+        x0=x0,
+        gamma=1.0 / x0,
+        s0=total_factor * x0.sum(axis=1),
+        d0=total_factor * x0.sum(axis=0),
+        name=f"T1-{m}x{n}",
+    )

@@ -1,0 +1,120 @@
+"""Convergence diagnostics and instrumentation.
+
+The theory (Section 3.1, eq. 76) says SEA's dual gap contracts
+geometrically with a rate determined by the curvature bounds; these
+helpers measure that empirically from a run's residual history, check
+the iteration-count bounds, and render compact text reports for
+terminals and logs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.result import SolveResult
+
+__all__ = [
+    "estimate_geometric_rate",
+    "sparkline",
+    "convergence_report",
+    "RateEstimate",
+]
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+@dataclass(frozen=True)
+class RateEstimate:
+    """Fitted geometric decay of a residual sequence.
+
+    ``residual_t ~= amplitude * rate**t``; ``r_squared`` is the fit
+    quality in log space (1 = perfectly geometric, as eq. 76 predicts
+    for the dual gap).
+    """
+
+    rate: float
+    amplitude: float
+    r_squared: float
+    samples: int
+
+    def iterations_to(self, eps: float) -> float:
+        """Predicted iterations until the residual falls below ``eps``."""
+        if not 0.0 < self.rate < 1.0 or self.amplitude <= 0.0:
+            return math.inf
+        if eps >= self.amplitude:
+            return 0.0
+        return math.log(eps / self.amplitude) / math.log(self.rate)
+
+
+def estimate_geometric_rate(history: list[float]) -> RateEstimate:
+    """Fit ``log(residual) = log(amplitude) + t*log(rate)`` by least
+    squares over the positive entries of a residual history."""
+    values = np.asarray(history, dtype=np.float64)
+    t = np.arange(values.size)
+    keep = values > 0.0
+    values, t = values[keep], t[keep]
+    if values.size < 2:
+        return RateEstimate(rate=float("nan"), amplitude=float("nan"),
+                            r_squared=float("nan"), samples=int(values.size))
+    logs = np.log(values)
+    slope, intercept = np.polyfit(t, logs, 1)
+    pred = slope * t + intercept
+    ss_res = float(np.sum((logs - pred) ** 2))
+    ss_tot = float(np.sum((logs - logs.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return RateEstimate(
+        rate=float(np.exp(slope)),
+        amplitude=float(np.exp(intercept)),
+        r_squared=r2,
+        samples=int(values.size),
+    )
+
+
+def sparkline(values: list[float], width: int = 40, log: bool = True) -> str:
+    """Render a value sequence as a one-line text chart.
+
+    Residual histories span orders of magnitude, so the default scale is
+    logarithmic; zeros and negatives clamp to the bottom row.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return ""
+    if arr.size > width:
+        # Downsample by taking the max of each bucket (peaks matter).
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        arr = np.array([arr[a:b].max() for a, b in zip(edges, edges[1:]) if b > a])
+    if log:
+        floor = arr[arr > 0].min() if np.any(arr > 0) else 1.0
+        arr = np.log10(np.maximum(arr, floor * 1e-3))
+    lo, hi = float(arr.min()), float(arr.max())
+    span = hi - lo if hi > lo else 1.0
+    scaled = ((arr - lo) / span * (len(_SPARK_CHARS) - 1)).round().astype(int)
+    return "".join(_SPARK_CHARS[k] for k in scaled)
+
+
+def convergence_report(result: SolveResult) -> str:
+    """Multi-line text report of a solve: status, rate fit, sparkline,
+    phase accounting.  Needs ``record_history=True`` on the solve for
+    the rate section."""
+    lines = [result.summary()]
+    if result.history:
+        est = estimate_geometric_rate(result.history)
+        if not math.isnan(est.rate):
+            lines.append(
+                f"residual decay: rate ~{est.rate:.4f}/iter "
+                f"(log-linear fit R^2 = {est.r_squared:.3f}, "
+                f"{est.samples} samples)"
+            )
+            lines.append(f"residual trace: [{sparkline(result.history)}]")
+    c = result.counts
+    if c.parallel_ops or c.serial_ops:
+        frac = c.serial_ops / (c.parallel_ops + c.serial_ops)
+        lines.append(
+            f"work: {c.parallel_ops:.3g} parallel ops over "
+            f"{c.parallel_phases} phases, {c.serial_ops:.3g} serial ops "
+            f"({100 * frac:.2f}% serial fraction)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Exact equilibration kernels.
+
+Every row/column subproblem produced by the splitting equilibration
+algorithm reduces to a one-dimensional piecewise-linear root find::
+
+    g(lam) = sum_j slope_j * max(lam - b_j, 0) + a*lam + c = target
+
+solved *exactly* by sorting the breakpoints ``b_j`` (Eydeland & Nagurney
+1989).  :mod:`repro.equilibration.exact` vectorizes the solve across all
+rows simultaneously; :mod:`repro.equilibration.scalar` is the readable
+single-row reference used as a test oracle and by the per-task parallel
+backend.
+"""
+
+from repro.equilibration.exact import (
+    equilibrate_rows,
+    solve_piecewise_linear,
+)
+from repro.equilibration.scalar import solve_piecewise_linear_scalar
+
+__all__ = [
+    "equilibrate_rows",
+    "solve_piecewise_linear",
+    "solve_piecewise_linear_scalar",
+]

@@ -1,0 +1,56 @@
+"""Extensions the paper's related-work section scopes out.
+
+Section 2 closes by situating the quadratic constrained matrix problem
+among its published variants; this subpackage implements them on top of
+the same kernel/dual machinery:
+
+* :mod:`repro.extensions.bounded` — cell bounds ``l <= x <= u``
+  (Ohuchi & Kaji 1984 studied the Bachem-Korte problem with upper and
+  lower bounds); exact equilibration generalizes to two breakpoints per
+  cell.
+* :mod:`repro.extensions.intervals` — interval constraints on the row
+  and column totals instead of equalities (Harrigan & Buchanan 1984's
+  I/O estimation model); the dual multiplier is simply clipped through
+  complementarity.
+* :mod:`repro.extensions.entropy` — the Kullback-Leibler (entropy)
+  objective whose fixed-totals special case *is* RAS (Bacharach 1970),
+  solved by the same row/column dual splitting with a Newton inner
+  solve, demonstrating that the splitting scheme is not tied to
+  quadratics.
+* :mod:`repro.extensions.ohuchi_kaji` — Lagrangean dual coordinatewise
+  maximization (Ohuchi & Kaji 1984): SEA's closest dual relative, with
+  sequential Gauss-Seidel single-multiplier updates instead of SEA's
+  parallel block updates.
+* :mod:`repro.extensions.three_dim` — three-dimensional constrained
+  cubes (origin x destination x commodity) with totals along all three
+  axes: the triproportional generalization, solved by cycling exact
+  equilibration over the three multiplier families.
+"""
+
+from repro.extensions.bounded import (
+    BoundedProblem,
+    solve_bounded,
+    solve_piecewise_linear_bounded,
+)
+from repro.extensions.entropy import EntropyProblem, solve_entropy
+from repro.extensions.intervals import IntervalTotalsProblem, solve_intervals
+from repro.extensions.ohuchi_kaji import solve_ohuchi_kaji
+from repro.extensions.three_dim import (
+    ThreeWayProblem,
+    solve_three_way,
+    tri_proportional_fit,
+)
+
+__all__ = [
+    "BoundedProblem",
+    "solve_bounded",
+    "solve_piecewise_linear_bounded",
+    "IntervalTotalsProblem",
+    "solve_intervals",
+    "EntropyProblem",
+    "solve_entropy",
+    "solve_ohuchi_kaji",
+    "ThreeWayProblem",
+    "solve_three_way",
+    "tri_proportional_fit",
+]

@@ -1,0 +1,156 @@
+"""Structural feasibility certification for masked problems.
+
+SEA's dual ascent diverges (the dual is unbounded) when the
+transportation polytope is *empty* — which for masked problems is not
+detectable from the totals alone: balance ``sum(s0) == sum(d0)`` is
+necessary but the zero pattern must also route the totals, a max-flow
+condition (the same condition behind RAS nonconvergence in Mohr, Crown
+& Polenske 1987).  This module certifies it exactly with a Dinic
+max-flow over the bipartite network
+
+    source --s0_i--> row i --u_ij--> column j --d0_j--> sink
+
+(active cells only; ``u_ij`` defaults to unbounded, or the cell upper
+bounds for :class:`~repro.extensions.bounded.BoundedProblem`).  The
+polytope is nonempty iff the max flow saturates the source.
+
+Pure-Python Dinic is fine here: the check is run once per problem, and
+these bipartite networks have ``m + n + 2`` nodes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = ["max_flow_bipartite", "certify_feasible", "assert_feasible"]
+
+_INF = float("inf")
+
+
+class _Dinic:
+    """Dinic's max-flow on an adjacency-list residual graph."""
+
+    def __init__(self, n_nodes: int) -> None:
+        self.n = n_nodes
+        self.to: list[int] = []
+        self.cap: list[float] = []
+        self.head: list[list[int]] = [[] for _ in range(n_nodes)]
+
+    def add_edge(self, u: int, v: int, capacity: float) -> None:
+        self.head[u].append(len(self.to))
+        self.to.append(v)
+        self.cap.append(capacity)
+        self.head[v].append(len(self.to))
+        self.to.append(u)
+        self.cap.append(0.0)
+
+    def _bfs(self, s: int, t: int) -> list[int] | None:
+        level = [-1] * self.n
+        level[s] = 0
+        queue = deque([s])
+        while queue:
+            u = queue.popleft()
+            for e in self.head[u]:
+                v = self.to[e]
+                if self.cap[e] > 1e-12 and level[v] < 0:
+                    level[v] = level[u] + 1
+                    queue.append(v)
+        return level if level[t] >= 0 else None
+
+    def _dfs(self, u: int, t: int, pushed: float, level, it) -> float:
+        if u == t:
+            return pushed
+        while it[u] < len(self.head[u]):
+            e = self.head[u][it[u]]
+            v = self.to[e]
+            if self.cap[e] > 1e-12 and level[v] == level[u] + 1:
+                got = self._dfs(v, t, min(pushed, self.cap[e]), level, it)
+                if got > 0.0:
+                    self.cap[e] -= got
+                    self.cap[e ^ 1] += got
+                    return got
+            it[u] += 1
+        return 0.0
+
+    def max_flow(self, s: int, t: int) -> float:
+        flow = 0.0
+        while True:
+            level = self._bfs(s, t)
+            if level is None:
+                return flow
+            it = [0] * self.n
+            while True:
+                pushed = self._dfs(s, t, _INF, level, it)
+                if pushed <= 0.0:
+                    break
+                flow += pushed
+
+
+def max_flow_bipartite(
+    mask: np.ndarray,
+    s0: np.ndarray,
+    d0: np.ndarray,
+    upper: np.ndarray | None = None,
+) -> float:
+    """Max flow of the transportation network defined by the pattern."""
+    mask = np.asarray(mask, dtype=bool)
+    m, n = mask.shape
+    s0 = np.asarray(s0, dtype=np.float64)
+    d0 = np.asarray(d0, dtype=np.float64)
+    source, sink = m + n, m + n + 1
+    net = _Dinic(m + n + 2)
+    for i in range(m):
+        if s0[i] > 0.0:
+            net.add_edge(source, i, float(s0[i]))
+    for j in range(n):
+        if d0[j] > 0.0:
+            net.add_edge(m + j, sink, float(d0[j]))
+    rows, cols = np.nonzero(mask)
+    if upper is None:
+        caps = np.full(rows.size, _INF)
+    else:
+        caps = np.asarray(upper, dtype=np.float64)[rows, cols]
+    for i, j, u in zip(rows.tolist(), cols.tolist(), caps.tolist()):
+        if u > 0.0:
+            net.add_edge(i, m + j, u)
+    return net.max_flow(source, sink)
+
+
+def certify_feasible(
+    mask: np.ndarray,
+    s0: np.ndarray,
+    d0: np.ndarray,
+    upper: np.ndarray | None = None,
+    rtol: float = 1e-9,
+) -> bool:
+    """Whether the masked transportation polytope is nonempty.
+
+    Checks grand-total balance, then saturation of the max flow.
+    """
+    s0 = np.asarray(s0, dtype=np.float64)
+    d0 = np.asarray(d0, dtype=np.float64)
+    total = float(s0.sum())
+    if not np.isclose(total, float(d0.sum()), rtol=rtol, atol=rtol):
+        return False
+    if total == 0.0:
+        return True
+    flow = max_flow_bipartite(mask, s0, d0, upper=upper)
+    return flow >= total * (1.0 - rtol)
+
+
+def assert_feasible(problem) -> None:
+    """Raise ``ValueError`` with a diagnostic if a fixed-totals (or
+    bounded) problem's polytope is empty.  Call before a long solve on
+    data of uncertain provenance."""
+    upper = getattr(problem, "upper", None)
+    mask = getattr(problem, "mask", None)
+    if mask is None:
+        mask = np.ones(problem.shape, dtype=bool)
+    if not certify_feasible(mask, problem.s0, problem.d0, upper=upper):
+        raise ValueError(
+            f"problem {getattr(problem, 'name', '?')!r}: the zero pattern "
+            "(or cell bounds) cannot route the required totals — the "
+            "constraint polytope is empty (max-flow certificate)"
+        )

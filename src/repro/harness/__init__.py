@@ -1,0 +1,23 @@
+"""Experiment harness: one runnable spec per paper table and figure.
+
+Usage::
+
+    from repro.harness import run_experiment, EXPERIMENTS
+    result = run_experiment("table1")   # scaled-down sizes by default
+    print(result.render())              # paper-style rows + paper values
+
+Set ``REPRO_FULL=1`` in the environment (or pass ``full=True``) to run
+at the paper's original scale.
+"""
+
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.reference import PAPER_TABLES
+from repro.harness.report import ExperimentResult, render_table
+
+__all__ = [
+    "run_experiment",
+    "EXPERIMENTS",
+    "PAPER_TABLES",
+    "ExperimentResult",
+    "render_table",
+]

@@ -1,0 +1,113 @@
+"""Text rendering of the paper's data figures.
+
+Figure 5 plots Table 6's speedup curves (diagonal SEA, four examples,
+N = 1..6); Figure 7 plots Table 9's (general SEA vs RC, N = 1..4).
+The environment is terminal-only, so the figures are rendered as ASCII
+line charts — same axes, same series, same crossings as the paper's
+plots.  ``repro.harness.experiments`` produces the series; this module
+is pure presentation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_chart", "figure5_from_result", "figure7_from_result"]
+
+
+def ascii_chart(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 60,
+    height: int = 18,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series as an ASCII scatter/line chart.
+
+    Each series gets a distinct marker; points are connected by linear
+    interpolation along x.  Axes are annotated with min/max ticks.
+    """
+    if not series:
+        return title
+    markers = "o*x+#@%&"
+    xs = np.array([p[0] for pts in series.values() for p in pts])
+    ys = np.array([p[1] for pts in series.values() for p in pts])
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(ys.min()), float(ys.max())
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, ch: str) -> None:
+        col = int(round((x - x_lo) / x_span * (width - 1)))
+        row = height - 1 - int(round((y - y_lo) / y_span * (height - 1)))
+        if grid[row][col] == " " or grid[row][col] == ".":
+            grid[row][col] = ch
+
+    for (name, pts), marker in zip(series.items(), markers):
+        pts = sorted(pts)
+        # Interpolated connecting dots first, markers on top.
+        for (x0, y0), (x1, y1) in zip(pts, pts[1:]):
+            steps = max(int(abs(x1 - x0) / x_span * width), 1)
+            for k in range(1, steps):
+                t = k / steps
+                place(x0 + t * (x1 - x0), y0 + t * (y1 - y0), ".")
+        for x, y in pts:
+            place(x, y, marker)
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_tick = f"{y_hi:.2f}"
+    bottom_tick = f"{y_lo:.2f}"
+    pad = max(len(top_tick), len(bottom_tick), len(y_label))
+    if y_label:
+        lines.append(f"{y_label:>{pad}}")
+    for r, row in enumerate(grid):
+        tick = top_tick if r == 0 else (bottom_tick if r == height - 1 else "")
+        lines.append(f"{tick:>{pad}} |" + "".join(row))
+    lines.append(f"{'':>{pad}} +" + "-" * width)
+    x_axis = f"{x_lo:g}" + " " * (width - len(f"{x_lo:g}") - len(f"{x_hi:g}")) + f"{x_hi:g}"
+    lines.append(f"{'':>{pad}}  " + x_axis + (f"   {x_label}" if x_label else ""))
+    legend = "   ".join(
+        f"{marker} {name}" for (name, _), marker in zip(series.items(), markers)
+    )
+    lines.append(f"{'':>{pad}}  legend: {legend}")
+    return "\n".join(lines)
+
+
+def _speedup_series(result, label_col=0, n_col=None, s_col=None):
+    """Extract {example: [(N, S_N), ...]} from a table 6/9 result."""
+    columns = result.columns
+    n_col = n_col if n_col is not None else columns.index("N")
+    s_col = s_col if s_col is not None else columns.index("S_N")
+    series: dict[str, list[tuple[float, float]]] = {}
+    for row in result.rows:
+        label = str(row[label_col])
+        series.setdefault(label, [(1.0, 1.0)])
+        series[label].append((float(row[n_col]), float(row[s_col])))
+    return series
+
+
+def figure5_from_result(result) -> str:
+    """Figure 5: speedup vs processors, diagonal SEA (four examples)."""
+    series = _speedup_series(result)
+    return ascii_chart(
+        series,
+        title="Figure 5: Speedups of SEA on diagonal problems",
+        x_label="# CPUs",
+        y_label="S_N",
+    )
+
+
+def figure7_from_result(result) -> str:
+    """Figure 7: speedup vs processors, general SEA vs RC."""
+    series = _speedup_series(result)
+    return ascii_chart(
+        series,
+        title="Figure 7: Speedups of SEA and RC, general 10000^2-G problem",
+        x_label="# CPUs",
+        y_label="S_N",
+    )

@@ -1,0 +1,123 @@
+"""The paper's published measurements, embedded for side-by-side reports.
+
+All CPU times are seconds on one IBM 3090-600E processor (VS FORTRAN,
+optimization level 3, VM/XA 5.5); speedups/efficiencies are standalone
+Parallel FORTRAN runs.  Absolute 1990 seconds are *not* a reproduction
+target (different machine, language and decade) — the shape relations
+listed with each table in DESIGN.md are.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PAPER_TABLES"]
+
+PAPER_TABLES: dict[str, dict] = {
+    # Table 1: SEA on large-scale diagonal problems (single example each).
+    "table1": {
+        "caption": "SEA on large-scale diagonal quadratic constrained matrix problems",
+        "rows": {
+            750: 204.7476,
+            1000: 483.2065,
+            2000: 3823.2139,
+            3000: 13561.5703,
+        },
+    },
+    # Table 2: SEA on U.S. input/output datasets.
+    "table2": {
+        "caption": "SEA on United States input/output matrix datasets",
+        "rows": {
+            "IOC72a": 18.6697,
+            "IOC72b": 18.9923,
+            "IOC72c": 25.6035,
+            "IOC77a": 13.6168,
+            "IOC77b": 19.1338,
+            "IOC77c": 30.2037,
+            "IO72a": 333.2691,
+            "IO72b": 438.3519,
+            "IO72c": 335.6124,
+        },
+    },
+    # Table 3: SEA on social accounting matrices: (accounts, transactions, seconds).
+    "table3": {
+        "caption": "SEA on social accounting matrix datasets",
+        "rows": {
+            "STONE": (5, 12, 0.0024),
+            "TURK": (8, 19, 0.0210),
+            "SRI": (6, 20, 0.009),
+            "USDA82E": (133, 17_689, 5.7598),
+            "S500": (500, 250_000, 28.99),
+            "S750": (750, 562_500, 52.60),
+            "S1000": (1000, 1_000_000, 95.08),
+        },
+    },
+    # Table 4: SEA on U.S. migration tables (elastic).
+    "table4": {
+        "caption": "SEA on United States migration tables",
+        "rows": {
+            "MIG5560a": 1.5935,
+            "MIG5560b": 4.1367,
+            "MIG5560c": 0.8932,
+            "MIG6570a": 1.2915,
+            "MIG6570b": 3.9714,
+            "MIG6570c": 0.8203,
+            "MIG7580a": 3.5168,
+            "MIG7580b": 9.1067,
+            "MIG7580c": 0.8041,
+        },
+    },
+    # Table 5: SEA on spatial price equilibrium problems: (variables, seconds).
+    "table5": {
+        "caption": "SEA on spatial price equilibrium problems",
+        "rows": {
+            50: (2_500, 1.3822),
+            100: (10_000, 11.2621),
+            250: (62_500, 129.4597),
+            500: (250_000, 540.7056),
+            750: (562_500, 1589.0613),
+        },
+    },
+    # Table 6: speedups/efficiencies for diagonal SEA: example -> {N: (S_N, E_N)}.
+    "table6": {
+        "caption": "Parallel speedup and efficiency, diagonal SEA",
+        "rows": {
+            "IO72b": {2: (1.93, 0.965), 4: (3.74, 0.935), 6: (5.15, 0.858)},
+            "1000x1000": {2: (1.93, 0.965), 4: (3.57, 0.894), 6: (4.71, 0.785)},
+            "SP500x500": {2: (1.86, 0.9285), 4: (3.52, 0.8810), 6: (4.66, 0.7775)},
+            "SP750x750": {2: (1.87, 0.9379), 4: (3.19, 0.7980), 6: (3.86, 0.6434)},
+        },
+        "iterations": {"IO72b": 2, "1000x1000": 1, "SP500x500": 84, "SP750x750": 104},
+    },
+    # Table 7: SEA vs RC vs B-K on general problems: G-dim -> (runs, SEA, RC, B-K|None).
+    "table7": {
+        "caption": "SEA vs RC vs B-K, general problems with 100% dense G",
+        "rows": {
+            100: (10, 0.0194, 0.1270, 0.7725),
+            400: (10, 0.5694, 1.8373, 78.9557),
+            900: (2, 2.9767, 9.5129, 1458.3820),
+            2500: (1, 21.4607, 71.4807, None),
+            4900: (1, 81.2640, 428.8780, None),
+            10000: (1, 353.6885, 1305.5940, None),
+            14400: (1, 1254.731, 3000.5200, None),
+        },
+    },
+    # Table 8: general SEA on migration tables (dense G, 2304^2).
+    "table8": {
+        "caption": "SEA on general migration problems, dense G 2304x2304",
+        "rows": {
+            "GMIG5560a": 23.16,
+            "GMIG5560b": 22.99,
+            "GMIG6570a": 23.57,
+            "GMIG6570b": 23.28,
+            "GMIG7580a": 28.73,
+            "GMIG7580b": 23.49,
+        },
+    },
+    # Table 9: speedups for SEA vs RC, general 10000^2-G problem.
+    "table9": {
+        "caption": "Parallel speedup and efficiency, general SEA vs RC",
+        "rows": {
+            "SEA": {2: (1.82, 0.9077), 4: (2.62, 0.6549)},
+            "RC": {2: (1.75, 0.877), 4: (2.24, 0.559)},
+        },
+    },
+}

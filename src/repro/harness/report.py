@@ -1,0 +1,67 @@
+"""Plain-text rendering of experiment results.
+
+Every experiment returns an :class:`ExperimentResult`: the regenerated
+table rows side by side with the paper's values, plus the shape checks
+the run is expected to satisfy.  ``render()`` prints the same rows the
+paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentResult", "render_table"]
+
+
+def render_table(columns: list[str], rows: list[list]) -> str:
+    """Render rows as a fixed-width text table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(columns[j]), *(len(r[j]) for r in cells)) if cells else len(columns[j])
+        for j in range(len(columns))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    header = " | ".join(c.ljust(widths[j]) for j, c in enumerate(columns))
+    body = "\n".join(
+        " | ".join(r[j].rjust(widths[j]) for j in range(len(columns))) for r in cells
+    )
+    return f"{header}\n{sep}\n{body}" if cells else header
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 1e-3:
+            return f"{value:.4g}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one table/figure regeneration."""
+
+    experiment: str
+    caption: str
+    columns: list[str]
+    rows: list[list]
+    shape_checks: dict[str, bool] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        parts = [f"== {self.experiment}: {self.caption} ==",
+                 render_table(self.columns, self.rows)]
+        if self.shape_checks:
+            parts.append("shape checks:")
+            for name, ok in self.shape_checks.items():
+                parts.append(f"  [{'ok' if ok else 'FAIL'}] {name}")
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    @property
+    def all_shapes_hold(self) -> bool:
+        return all(self.shape_checks.values())

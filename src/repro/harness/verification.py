@@ -1,0 +1,107 @@
+"""Solution-quality verification across every model class.
+
+The timing tables say SEA is fast; this harness says it is *right*: for
+one representative instance of each model class in the evaluation, solve
+at tight tolerance and audit the result against the class's independent
+optimality conditions — KKT for the optimization models, market
+complementarity for the (A)SPE, account balance for SAMs, RAS agreement
+for the entropy model.  Run by ``benchmarks/bench_verification.py`` and
+summarized in EXPERIMENTS.md's soundness appendix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.convergence import StoppingRule
+from repro.core.kkt import kkt_violations
+from repro.core.sea import solve_elastic, solve_fixed, solve_sam
+from repro.core.sea_general import solve_general
+from repro.datasets.general import general_table7_instance
+from repro.datasets.io_tables import io_instance
+from repro.datasets.migration import migration_instance
+from repro.datasets.sam import sam_instance
+from repro.datasets.spe_data import spe_instance
+from repro.harness.report import ExperimentResult
+from repro.spe.equilibrium import equilibrium_violations
+from repro.spe.model import solve_spe
+
+__all__ = ["run_verification"]
+
+
+def run_verification(full: bool | None = None) -> ExperimentResult:
+    """Audit one instance per model class; returns a pass/fail table.
+
+    The acceptance thresholds are relative to each instance's data
+    scale; they are deliberately strict (1e-5) for the stationarity
+    conditions — these must hold to solver precision, not to the
+    stopping tolerance.
+    """
+    rows = []
+
+    # Fixed totals: I/O table.
+    problem = io_instance("IOC77a")
+    result = solve_fixed(problem, stop=StoppingRule(eps=1e-8,
+                                                    max_iterations=20_000))
+    v = kkt_violations(problem, result.x, result.lam, result.mu)
+    scale = float(problem.s0.max())
+    worst = max(v.values()) / scale
+    rows.append(["fixed (IOC77a)", "KKT", f"{worst:.2e}", worst < 1e-5])
+
+    # Elastic: migration table.
+    problem = migration_instance("MIG6570a")
+    result = solve_elastic(problem, stop=StoppingRule(eps=1e-6,
+                                                      max_iterations=50_000))
+    v = kkt_violations(problem, result.x, result.lam, result.mu,
+                       s=result.s, d=result.d)
+    scale = float(problem.s0.max())
+    worst = max(v.values()) / scale
+    rows.append(["elastic (MIG6570a)", "KKT", f"{worst:.2e}", worst < 1e-5])
+
+    # SAM: balance + KKT.
+    problem = sam_instance("USDA82E")
+    result = solve_sam(problem, stop=StoppingRule(
+        eps=1e-9, criterion="imbalance", max_iterations=50_000))
+    v = kkt_violations(problem, result.x, result.lam, result.mu, s=result.s)
+    scale = float(problem.s0.max())
+    worst = max(v.values()) / scale
+    rows.append(["SAM (USDA82E)", "KKT + balance", f"{worst:.2e}",
+                 worst < 1e-5])
+
+    # SPE: market complementarity.
+    spe = spe_instance(60)
+    result = solve_spe(spe, stop=StoppingRule(eps=1e-8, criterion="delta-x",
+                                              max_iterations=100_000))
+    v = equilibrium_violations(spe, result.x, result.s, result.d)
+    scale = float(np.max(spe.q))
+    worst = max(v.values()) / scale
+    rows.append(["SPE (60 markets)", "complementarity", f"{worst:.2e}",
+                 worst < 1e-4])
+
+    # General: full-gradient stationarity under the dense G.
+    problem = general_table7_instance(20)
+    result = solve_general(
+        problem,
+        stop=StoppingRule(eps=1e-10, max_iterations=2000),
+        inner_stop=StoppingRule(eps=1e-12, max_iterations=5000),
+    )
+    m, n = problem.shape
+    grad = (2.0 * (problem.G @ (result.x - problem.x0).ravel())).reshape(m, n)
+    reduced = grad - result.lam[:, None] - result.mu[None, :]
+    gscale = float(np.abs(grad).max()) + 1.0
+    positive = result.x > 1e-8 * problem.x0.max()
+    worst = max(
+        float(np.max(np.abs(reduced[positive]))) / gscale,
+        float(np.max(np.maximum(-reduced[~positive], 0.0))) / gscale,
+    )
+    rows.append(["general (20x20, dense G)", "full-gradient KKT",
+                 f"{worst:.2e}", worst < 1e-4])
+
+    checks = {f"{r[0]} passes its audit": bool(r[3]) for r in rows}
+    return ExperimentResult(
+        experiment="verification",
+        caption="Optimality audits across the model classes",
+        columns=["model class", "audit", "worst relative violation", "pass"],
+        rows=rows,
+        shape_checks=checks,
+    )

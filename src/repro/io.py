@@ -1,0 +1,154 @@
+"""Problem and table serialization.
+
+Practitioners exchange constrained-matrix inputs as labeled CSV tables
+(the classic I/O-table layout: first row = column labels, first column
+= row labels, optional ``total`` margins) and archive solved problems
+as NPZ bundles.  This module provides both, for every problem class in
+the library.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+
+import numpy as np
+
+from repro.core.problems import (
+    ElasticProblem,
+    FixedTotalsProblem,
+    GeneralProblem,
+    SAMProblem,
+)
+
+__all__ = [
+    "read_table_csv",
+    "write_table_csv",
+    "save_problem",
+    "load_problem",
+]
+
+_KINDS = {
+    "fixed": FixedTotalsProblem,
+    "elastic": ElasticProblem,
+    "sam": SAMProblem,
+    "general": GeneralProblem,
+}
+
+
+def read_table_csv(path) -> tuple[np.ndarray, list[str], list[str]]:
+    """Read a labeled table: header row of column labels, label-leading
+    data rows.  Returns ``(matrix, row_labels, col_labels)``."""
+    path = pathlib.Path(path)
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        rows = [row for row in reader if row]
+    if len(rows) < 2:
+        raise ValueError(f"{path}: need a header row and at least one data row")
+    col_labels = [c.strip() for c in rows[0][1:]]
+    row_labels = []
+    data = []
+    for row in rows[1:]:
+        row_labels.append(row[0].strip())
+        values = row[1:]
+        if len(values) != len(col_labels):
+            raise ValueError(
+                f"{path}: row {row[0]!r} has {len(values)} cells, "
+                f"expected {len(col_labels)}"
+            )
+        data.append([float(v) for v in values])
+    return np.array(data, dtype=np.float64), row_labels, col_labels
+
+
+def write_table_csv(
+    path,
+    matrix: np.ndarray,
+    row_labels: list[str] | None = None,
+    col_labels: list[str] | None = None,
+    fmt: str = "%.6g",
+) -> None:
+    """Write a labeled table in the same layout ``read_table_csv`` reads."""
+    matrix = np.asarray(matrix)
+    m, n = matrix.shape
+    row_labels = row_labels or [f"r{i}" for i in range(m)]
+    col_labels = col_labels or [f"c{j}" for j in range(n)]
+    if len(row_labels) != m or len(col_labels) != n:
+        raise ValueError("label counts must match the matrix shape")
+    path = pathlib.Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([""] + list(col_labels))
+        for label, row in zip(row_labels, matrix):
+            writer.writerow([label] + [fmt % v for v in row])
+
+
+def save_problem(path, problem) -> None:
+    """Archive a problem instance as an NPZ bundle."""
+    kind = next(
+        (k for k, cls in _KINDS.items() if type(problem) is cls), None
+    )
+    if kind is None:
+        raise TypeError(f"cannot serialize {type(problem).__name__}")
+    payload: dict[str, np.ndarray] = {
+        "kind": np.array(kind),
+        "name": np.array(problem.name),
+        "x0": problem.x0,
+        "mask": problem.mask,
+    }
+    if kind == "general":
+        payload["general_kind"] = np.array(problem.kind)
+        payload["G"] = problem.G
+        payload["s0"] = problem.s0
+        if problem.d0 is not None:
+            payload["d0"] = problem.d0
+        if problem.A is not None:
+            payload["A"] = problem.A
+        if problem.B is not None:
+            payload["B"] = problem.B
+    else:
+        payload["gamma"] = problem.gamma
+        payload["s0"] = problem.s0
+        if kind in ("fixed", "elastic"):
+            payload["d0"] = problem.d0
+        if kind in ("elastic", "sam"):
+            payload["alpha"] = problem.alpha
+        if kind == "elastic":
+            payload["beta"] = problem.beta
+    np.savez_compressed(path, **payload)
+
+
+def load_problem(path):
+    """Restore a problem saved by :func:`save_problem`."""
+    with np.load(path, allow_pickle=False) as bundle:
+        kind = str(bundle["kind"])
+        name = str(bundle["name"])
+        if kind == "fixed":
+            return FixedTotalsProblem(
+                x0=bundle["x0"], gamma=bundle["gamma"],
+                s0=bundle["s0"], d0=bundle["d0"],
+                mask=bundle["mask"], name=name,
+            )
+        if kind == "elastic":
+            return ElasticProblem(
+                x0=bundle["x0"], gamma=bundle["gamma"],
+                s0=bundle["s0"], d0=bundle["d0"],
+                alpha=bundle["alpha"], beta=bundle["beta"],
+                mask=bundle["mask"], name=name,
+            )
+        if kind == "sam":
+            return SAMProblem(
+                x0=bundle["x0"], gamma=bundle["gamma"],
+                s0=bundle["s0"], alpha=bundle["alpha"],
+                mask=bundle["mask"], name=name,
+            )
+        if kind == "general":
+            files = set(bundle.files)
+            return GeneralProblem(
+                kind=str(bundle["general_kind"]),
+                x0=bundle["x0"], G=bundle["G"], s0=bundle["s0"],
+                d0=bundle["d0"] if "d0" in files else None,
+                A=bundle["A"] if "A" in files else None,
+                B=bundle["B"] if "B" in files else None,
+                mask=bundle["mask"], name=name,
+            )
+    raise ValueError(f"unknown problem kind {kind!r} in {path}")

@@ -1,0 +1,36 @@
+"""Static block partitioning of subproblem indices.
+
+Exact equilibration costs the same for every row of a dense matrix, so
+the natural schedule is contiguous equal-size blocks (contiguity also
+keeps each worker's slice cache-friendly — the rows it sorts are
+adjacent in memory).
+"""
+
+from __future__ import annotations
+
+__all__ = ["partition_blocks"]
+
+
+def partition_blocks(count: int, workers: int) -> list[tuple[int, int]]:
+    """Split ``range(count)`` into at most ``workers`` contiguous blocks.
+
+    Blocks differ in size by at most one; empty blocks are never
+    returned (fewer blocks than ``workers`` when ``count < workers``).
+
+    >>> partition_blocks(10, 3)
+    [(0, 4), (4, 7), (7, 10)]
+    """
+    if count < 0:
+        raise ValueError("count must be nonnegative")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    blocks: list[tuple[int, int]] = []
+    base, extra = divmod(count, workers)
+    start = 0
+    for w in range(min(workers, count)):
+        size = base + (1 if w < extra else 0)
+        if size == 0:
+            break
+        blocks.append((start, start + size))
+        start += size
+    return blocks

@@ -1,0 +1,122 @@
+"""Shared-memory process backend.
+
+The plain ``process`` backend of :class:`repro.parallel.executor.
+ParallelKernel` pickles each block's arrays on every dispatch — cheap
+for long rows, wasteful for many short sweeps.  ``SharedMemoryKernel``
+instead maps the breakpoint/slope/target buffers into
+``multiprocessing.shared_memory`` blocks once per call, so workers
+attach and slice without copying the payload (only the small metadata
+travels).  This is the Python analog of the paper's shared-memory
+3090 architecture, where every processor addressed the same arrays.
+
+Usable exactly like ``ParallelKernel``::
+
+    with SharedMemoryKernel(workers=4) as kernel:
+        result = solve_fixed(problem, kernel=kernel)
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.equilibration.exact import solve_piecewise_linear
+from repro.parallel.partition import partition_blocks
+
+__all__ = ["SharedMemoryKernel"]
+
+
+def _attach(name: str, shape: tuple[int, ...]):
+    shm = shared_memory.SharedMemory(name=name)
+    return shm, np.ndarray(shape, dtype=np.float64, buffer=shm.buf)
+
+
+def _solve_shared_block(args):
+    (b_name, sl_name, t_name, a_name, c_name, shape, m, lo, hi) = args
+    handles = []
+    try:
+        shm_b, B = _attach(b_name, shape)
+        handles.append(shm_b)
+        shm_s, SL = _attach(sl_name, shape)
+        handles.append(shm_s)
+        shm_t, target = _attach(t_name, (m,))
+        handles.append(shm_t)
+        a = c = None
+        if a_name is not None:
+            shm_a, a = _attach(a_name, (m,))
+            handles.append(shm_a)
+        if c_name is not None:
+            shm_c, c = _attach(c_name, (m,))
+            handles.append(shm_c)
+        return solve_piecewise_linear(
+            B[lo:hi], SL[lo:hi], target[lo:hi],
+            a=None if a is None else a[lo:hi],
+            c=None if c is None else c[lo:hi],
+        )
+    finally:
+        for shm in handles:
+            shm.close()
+
+
+class SharedMemoryKernel:
+    """Zero-copy process-pool kernel over shared-memory buffers."""
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._pool = ProcessPoolExecutor(max_workers=workers) if workers > 1 else None
+        self.dispatches = 0
+
+    def _share(self, arr: np.ndarray) -> tuple[shared_memory.SharedMemory, str]:
+        arr = np.ascontiguousarray(arr, dtype=np.float64)
+        shm = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+        np.ndarray(arr.shape, dtype=np.float64, buffer=shm.buf)[...] = arr
+        return shm, shm.name
+
+    def __call__(self, breakpoints, slopes, target, a=None, c=None) -> np.ndarray:
+        self.dispatches += 1
+        m = breakpoints.shape[0]
+        blocks = partition_blocks(m, self.workers)
+        if self._pool is None or len(blocks) <= 1:
+            return solve_piecewise_linear(breakpoints, slopes, target, a=a, c=c)
+
+        shms: list[shared_memory.SharedMemory] = []
+        try:
+            shm_b, b_name = self._share(breakpoints)
+            shms.append(shm_b)
+            shm_s, sl_name = self._share(slopes)
+            shms.append(shm_s)
+            shm_t, t_name = self._share(target)
+            shms.append(shm_t)
+            a_name = c_name = None
+            if a is not None:
+                shm_a, a_name = self._share(a)
+                shms.append(shm_a)
+            if c is not None:
+                shm_c, c_name = self._share(c)
+                shms.append(shm_c)
+            tasks = [
+                (b_name, sl_name, t_name, a_name, c_name,
+                 breakpoints.shape, m, lo, hi)
+                for lo, hi in blocks
+            ]
+            parts = list(self._pool.map(_solve_shared_block, tasks))
+            return np.concatenate(parts)
+        finally:
+            for shm in shms:
+                shm.close()
+                shm.unlink()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "SharedMemoryKernel":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,145 @@
+"""Segmented exact equilibration over ragged (CSR) rows.
+
+Solves, for every row ``i`` with active cells ``j in J_i``::
+
+    g_i(lam) = sum_{j in J_i} slope_ij (lam - b_ij)_+ + a_i lam + c_i
+             = target_i
+
+without materializing the dense breakpoint matrix.  The dense kernel's
+per-row sort + prefix sums become a single ``lexsort`` by (row,
+breakpoint) and segment-reset cumulative sums over the flat nnz-length
+arrays — the classic segmented-scan formulation, all NumPy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["solve_piecewise_linear_sparse"]
+
+
+def _segment_cumsum(values: np.ndarray, starts_flags: np.ndarray) -> np.ndarray:
+    """Cumulative sum that resets wherever ``starts_flags`` is True.
+
+    Works for signed values: subtract, from the global running total,
+    the total accumulated before the current segment's start.
+    """
+    total = np.cumsum(values)
+    seg_index = np.cumsum(starts_flags) - 1
+    start_offsets = (total - values)[starts_flags]
+    return total - start_offsets[seg_index]
+
+
+def solve_piecewise_linear_sparse(
+    row_ids: np.ndarray,
+    breakpoints: np.ndarray,
+    slopes: np.ndarray,
+    m: int,
+    target: np.ndarray,
+    a: np.ndarray | None = None,
+    c: np.ndarray | None = None,
+) -> np.ndarray:
+    """Solve ``m`` independent subproblems stored as flat active cells.
+
+    Parameters
+    ----------
+    row_ids, breakpoints, slopes:
+        ``(nnz,)`` arrays; ``row_ids`` must be nondecreasing (CSR row-
+        major order).  Slopes must be strictly positive (structural
+        zeros simply are not present).
+    m:
+        Number of rows (some may own zero cells).
+    target, a, c:
+        Per-row equation constants, as in the dense kernel.
+
+    Returns
+    -------
+    ``(m,)`` exact multipliers.
+    """
+    row_ids = np.asarray(row_ids)
+    b = np.asarray(breakpoints, dtype=np.float64)
+    s = np.asarray(slopes, dtype=np.float64)
+    nnz = b.size
+    target = np.asarray(target, dtype=np.float64)
+    a_arr = np.zeros(m) if a is None else np.asarray(a, dtype=np.float64)
+    c_arr = np.zeros(m) if c is None else np.asarray(c, dtype=np.float64)
+    if np.any(s <= 0.0):
+        raise ValueError("sparse cells must carry strictly positive slopes")
+    if np.any(np.diff(row_ids) < 0):
+        raise ValueError("row_ids must be in row-major (nondecreasing) order")
+
+    rhs = target - c_arr
+    fixed = a_arr == 0.0
+    counts = np.bincount(row_ids, minlength=m) if nnz else np.zeros(m, int)
+    if np.any(fixed & (rhs < 0.0)):
+        raise ValueError("fixed-totals subproblem with negative target")
+    if np.any(fixed & (counts == 0) & (rhs > 0.0)):
+        raise ValueError("empty fixed row with positive target")
+
+    lam = np.zeros(m)
+    if nnz == 0:
+        elastic = ~fixed
+        lam[elastic] = rhs[elastic] / a_arr[elastic]
+        return lam
+
+    # Sort by (row, breakpoint); stable so ties keep deterministic order.
+    order = np.lexsort((b, row_ids))
+    bs = b[order]
+    ss = s[order]
+    rid = row_ids[order]
+    seg_start = np.empty(nnz, dtype=bool)
+    seg_start[0] = True
+    seg_start[1:] = rid[1:] != rid[:-1]
+
+    S = _segment_cumsum(ss, seg_start)
+    T = _segment_cumsum(ss * bs, seg_start)
+
+    denom = S + a_arr[rid]
+    cand = (rhs[rid] + T) / denom
+    lo = bs
+    seg_end = np.empty(nnz, dtype=bool)
+    seg_end[:-1] = seg_start[1:]
+    seg_end[-1] = True
+    hi = np.empty(nnz)
+    hi[:-1] = bs[1:]
+    hi[seg_end] = np.inf
+    valid = (cand >= lo) & (cand <= hi)
+
+    # First valid candidate per row: minimum flat position among valid.
+    pos = np.where(valid, np.arange(nnz), nnz)
+    first = np.full(m, nnz, dtype=np.int64)
+    np.minimum.at(first, rid, pos)
+
+    has = first < nnz
+    lam[has] = cand[first[has]]
+
+    # Rows with no valid interior segment: elastic rows may solve below
+    # every breakpoint; fixed rows with target == c sit at their first
+    # breakpoint; anything left falls back to least-violation.
+    missing = ~has
+    if np.any(missing):
+        first_bp = np.full(m, np.inf)
+        np.minimum.at(first_bp, rid, bs)
+        elastic = missing & ~fixed
+        if np.any(elastic):
+            lam0 = rhs[elastic] / a_arr[elastic]
+            ok = lam0 <= first_bp[elastic]
+            idx = np.flatnonzero(elastic)
+            lam[idx[ok]] = lam0[ok]
+            missing[idx[ok]] = False
+        degenerate = missing & fixed & (np.abs(rhs) <= 1e-15 * np.abs(target + 1.0))
+        lam[degenerate] = np.where(
+            np.isfinite(first_bp[degenerate]), first_bp[degenerate], 0.0
+        )
+        missing &= ~degenerate
+    if np.any(missing):
+        viol = np.maximum(np.maximum(lo - cand, cand - hi), 0.0)
+        best_viol = np.full(m, np.inf)
+        np.minimum.at(best_viol, rid, viol)
+        is_best = viol <= best_viol[rid] * (1 + 1e-12)
+        pos2 = np.where(is_best, np.arange(nnz), nnz)
+        pick = np.full(m, nnz, dtype=np.int64)
+        np.minimum.at(pick, rid, pos2)
+        fix_rows = missing & (pick < nnz)
+        lam[fix_rows] = cand[pick[fix_rows]]
+    return lam

@@ -1,0 +1,80 @@
+"""Minimal CSR/CSC pattern container (NumPy-only).
+
+Holds the *pattern* of active cells plus per-cell constants (base
+breakpoints and slopes); the per-iteration values (breakpoints shifted
+by the opposite multipliers) are derived arrays over the same layout.
+Both row-major (CSR) and column-major (CSC) orderings are prepared once
+so the row and column sweeps each work on contiguous segments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SparsePattern"]
+
+
+class SparsePattern:
+    """Active-cell pattern of an ``m x n`` masked matrix.
+
+    Attributes
+    ----------
+    rows, cols:
+        ``(nnz,)`` coordinates in row-major order.
+    indptr:
+        ``(m + 1,)`` CSR row pointers into the row-major arrays.
+    csc_perm:
+        ``(nnz,)`` permutation mapping row-major positions to
+        column-major order.
+    indptr_c:
+        ``(n + 1,)`` CSC column pointers into the column-major arrays.
+    """
+
+    def __init__(self, mask: np.ndarray) -> None:
+        mask = np.asarray(mask, dtype=bool)
+        if mask.ndim != 2:
+            raise ValueError("mask must be 2-D")
+        self.shape = mask.shape
+        m, n = mask.shape
+        self.rows, self.cols = np.nonzero(mask)  # row-major by construction
+        self.nnz = self.rows.size
+        counts = np.bincount(self.rows, minlength=m)
+        self.indptr = np.concatenate([[0], np.cumsum(counts)])
+        # Column-major view: stable sort by column keeps row order inside
+        # each column, giving proper CSC segments.
+        self.csc_perm = np.argsort(self.cols, kind="stable")
+        counts_c = np.bincount(self.cols, minlength=n)
+        self.indptr_c = np.concatenate([[0], np.cumsum(counts_c)])
+        self.rows_c = self.rows[self.csc_perm]
+        self.cols_c = self.cols[self.csc_perm]
+
+    @classmethod
+    def from_dense(cls, x0: np.ndarray, mask: np.ndarray | None = None
+                   ) -> tuple["SparsePattern", np.ndarray]:
+        """Build a pattern and extract the active values of ``x0``."""
+        x0 = np.asarray(x0, dtype=np.float64)
+        if mask is None:
+            mask = x0 != 0.0
+        pattern = cls(mask)
+        return pattern, x0[pattern.rows, pattern.cols]
+
+    def to_dense(self, values: np.ndarray) -> np.ndarray:
+        """Scatter row-major cell values back into a dense matrix."""
+        out = np.zeros(self.shape)
+        out[self.rows, self.cols] = values
+        return out
+
+    def row_sums(self, values: np.ndarray) -> np.ndarray:
+        """Per-row sums of row-major cell values."""
+        return np.add.reduceat(
+            np.concatenate([values, [0.0]]),
+            np.minimum(self.indptr[:-1], self.nnz),
+        ) * (self.indptr[1:] > self.indptr[:-1])
+
+    def col_sums(self, values: np.ndarray) -> np.ndarray:
+        """Per-column sums of row-major cell values."""
+        vc = values[self.csc_perm]
+        return np.add.reduceat(
+            np.concatenate([vc, [0.0]]),
+            np.minimum(self.indptr_c[:-1], self.nnz),
+        ) * (self.indptr_c[1:] > self.indptr_c[:-1])

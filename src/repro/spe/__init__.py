@@ -1,0 +1,30 @@
+"""Spatial price equilibrium (SPE) substrate.
+
+Section 2 of the paper identifies the elastic constrained matrix problem
+with classical spatial price equilibrium problems (Enke 1951, Samuelson
+1952, Takayama & Judge 1971); Table 5 solves SPE instances with SEA via
+that isomorphism.  This subpackage provides the SPE model with linear
+separable functions, the exact bidirectional mapping onto
+:class:`~repro.core.problems.ElasticProblem`, and verification of the
+equilibrium conditions.
+"""
+
+from repro.spe.asymmetric import (
+    AsymmetricSPE,
+    asymmetric_equilibrium_violations,
+    solve_asymmetric_spe,
+)
+from repro.spe.equilibrium import equilibrium_violations
+from repro.spe.isomorphism import spe_from_elastic, spe_to_elastic
+from repro.spe.model import SpatialPriceProblem, solve_spe
+
+__all__ = [
+    "SpatialPriceProblem",
+    "solve_spe",
+    "spe_to_elastic",
+    "spe_from_elastic",
+    "equilibrium_violations",
+    "AsymmetricSPE",
+    "solve_asymmetric_spe",
+    "asymmetric_equilibrium_violations",
+]

@@ -1,0 +1,69 @@
+"""Verification of spatial price equilibrium conditions.
+
+The defining complementarity system (Samuelson 1952; Takayama & Judge
+1971): at equilibrium ``(x*, s*, d*)``, for every supply market ``i``
+and demand market ``j``::
+
+    pi_i(s*) + c_ij(x*)  =  rho_j(d*)    if x*_ij > 0
+    pi_i(s*) + c_ij(x*) >=  rho_j(d*)    if x*_ij = 0
+
+i.e. used routes earn zero margin and unused routes would lose money.
+These checks are independent of how the equilibrium was computed and
+serve as the SPE-side optimality oracle for the isomorphism tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spe.model import SpatialPriceProblem
+
+__all__ = ["equilibrium_violations", "max_equilibrium_violation"]
+
+
+def equilibrium_violations(
+    problem: SpatialPriceProblem,
+    x: np.ndarray,
+    s: np.ndarray,
+    d: np.ndarray,
+    flow_tol: float = 1e-9,
+) -> dict[str, float]:
+    """Measure all equilibrium-condition violations.
+
+    Returns
+    -------
+    dict with keys:
+        ``margin_used`` — max ``|pi + c - rho|`` over routes with
+        positive flow (should be 0);
+        ``margin_unused`` — max ``rho - (pi + c)`` over zero-flow routes
+        (should be <= 0, reported clipped at 0);
+        ``supply_balance`` / ``demand_balance`` — feasibility residuals;
+        ``nonneg`` — most negative shipment, clipped at 0.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    s = np.asarray(s, dtype=np.float64)
+    d = np.asarray(d, dtype=np.float64)
+    pi = problem.supply_price(s)[:, None]
+    rho = problem.demand_price(d)[None, :]
+    cost = problem.transaction_cost(x)
+    margin = pi + cost - rho  # >= 0, == 0 on used routes
+
+    scale = max(float(np.max(np.abs(rho))), 1.0)
+    used = x > flow_tol * scale
+    out = {
+        "margin_used": float(np.max(np.abs(margin[used]))) if used.any() else 0.0,
+        "margin_unused": float(np.max(np.maximum(-margin[~used], 0.0)))
+        if (~used).any()
+        else 0.0,
+        "supply_balance": float(np.max(np.abs(x.sum(axis=1) - s))),
+        "demand_balance": float(np.max(np.abs(x.sum(axis=0) - d))),
+        "nonneg": float(np.max(np.maximum(-x, 0.0))),
+    }
+    return out
+
+
+def max_equilibrium_violation(
+    problem: SpatialPriceProblem, x: np.ndarray, s: np.ndarray, d: np.ndarray
+) -> float:
+    """Worst violation across all equilibrium conditions."""
+    return max(equilibrium_violations(problem, x, s, d).values())

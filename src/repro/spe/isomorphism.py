@@ -1,0 +1,67 @@
+"""The SPE <-> elastic constrained matrix problem isomorphism.
+
+Completing the square in the SPE convex program (see
+:mod:`repro.spe.model`) term by term:
+
+    p_i s_i + r_i s_i^2/2      = (r_i/2) (s_i - (-p_i/r_i))^2 + const
+    h_ij x_ij + g_ij x_ij^2/2  = (g_ij/2)(x_ij - (-h_ij/g_ij))^2 + const
+    -(q_j d_j - w_j d_j^2/2)   = (w_j/2) (d_j - ( q_j/w_j))^2 + const
+
+so the SPE is *exactly* the elastic constrained matrix problem with
+
+    alpha = r/2,  s0 = -p/r,   gamma = g/2,  x0 = -h/g,   beta = w/2,
+    d0 = q/w.
+
+Note the "base matrix" ``x0 = -h/g`` is typically negative (positive
+transaction-cost intercepts) — the elastic model and the exact
+equilibration kernel accept that without modification, which is why one
+code path serves both economics (Tables 2-4) and markets (Table 5),
+Stone's 1951 observation that the paper finally operationalizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problems import ElasticProblem
+from repro.spe.model import SpatialPriceProblem
+
+__all__ = ["spe_to_elastic", "spe_from_elastic"]
+
+
+def spe_to_elastic(problem: SpatialPriceProblem) -> ElasticProblem:
+    """Rewrite an SPE instance as an elastic constrained matrix problem."""
+    return ElasticProblem(
+        x0=-problem.h / problem.g,
+        gamma=problem.g / 2.0,
+        s0=-problem.p / problem.r,
+        d0=problem.q / problem.w,
+        alpha=problem.r / 2.0,
+        beta=problem.w / 2.0,
+        name=f"{problem.name}-as-elastic",
+    )
+
+
+def spe_from_elastic(problem: ElasticProblem) -> SpatialPriceProblem:
+    """Inverse map: read an elastic problem as a spatial market.
+
+    Every elastic constrained matrix problem *is* an SPE with
+
+        r = 2 alpha, p = -2 alpha s0, w = 2 beta, q = 2 beta d0,
+        g = 2 gamma, h = -2 gamma x0,
+
+    which is how the paper interprets migration and estimation problems
+    as market equilibria.  Requires a full mask (the SPE has a link for
+    every market pair).
+    """
+    if not np.all(problem.mask):
+        raise ValueError("SPE interpretation requires all cells active")
+    return SpatialPriceProblem(
+        p=-2.0 * problem.alpha * problem.s0,
+        r=2.0 * problem.alpha,
+        q=2.0 * problem.beta * problem.d0,
+        w=2.0 * problem.beta,
+        h=-2.0 * problem.gamma * problem.x0,
+        g=2.0 * problem.gamma,
+        name=f"{problem.name}-as-spe",
+    )

@@ -1,0 +1,128 @@
+"""Spatial price equilibrium with linear, separable functions.
+
+``m`` supply markets and ``n`` demand markets trade a single commodity:
+
+* supply price at market ``i``:      ``pi_i(s_i) = p_i + r_i * s_i``
+* demand price at market ``j``:      ``rho_j(d_j) = q_j - w_j * d_j``
+* unit transaction cost on (i, j):   ``c_ij(x_ij) = h_ij + g_ij * x_ij``
+
+with ``r_i, w_j, g_ij > 0`` (the linear-transaction-cost setting of
+Eydeland & Nagurney 1989).  The equilibrium conditions (Samuelson 1952,
+Takayama & Judge 1971) are, for all pairs::
+
+    pi_i(s) + c_ij(x)  =  rho_j(d)   if x_ij > 0
+    pi_i(s) + c_ij(x) >=  rho_j(d)   if x_ij = 0
+
+with feasibility ``sum_j x_ij = s_i``, ``sum_i x_ij = d_j``, ``x >= 0``.
+Since the functions are integrable and separable, the equilibrium is the
+minimizer of the net-social-payoff-style convex program
+
+    min  sum_i [p_i s_i + r_i s_i^2 / 2]
+       + sum_ij [h_ij x_ij + g_ij x_ij^2 / 2]
+       - sum_j [q_j d_j - w_j d_j^2 / 2]
+
+which :mod:`repro.spe.isomorphism` rewrites exactly as an elastic
+constrained matrix problem and hands to SEA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.convergence import StoppingRule
+from repro.core.result import SolveResult
+from repro.core.sea import solve_elastic
+
+__all__ = ["SpatialPriceProblem", "solve_spe"]
+
+
+@dataclass(frozen=True)
+class SpatialPriceProblem:
+    """A spatial price equilibrium instance with linear functions.
+
+    Attributes
+    ----------
+    p, r:
+        Supply price intercepts/slopes, ``(m,)`` each, ``r > 0``.
+    q, w:
+        Demand price intercepts/slopes, ``(n,)`` each, ``w > 0``.
+    h, g:
+        Unit transaction cost intercepts/slopes, ``(m, n)`` each,
+        ``g > 0``.
+    """
+
+    p: np.ndarray
+    r: np.ndarray
+    q: np.ndarray
+    w: np.ndarray
+    h: np.ndarray
+    g: np.ndarray
+    name: str = "spe"
+
+    def __post_init__(self) -> None:
+        p = np.asarray(self.p, dtype=np.float64)
+        r = np.asarray(self.r, dtype=np.float64)
+        q = np.asarray(self.q, dtype=np.float64)
+        w = np.asarray(self.w, dtype=np.float64)
+        h = np.asarray(self.h, dtype=np.float64)
+        g = np.asarray(self.g, dtype=np.float64)
+        m, n = h.shape
+        if p.shape != (m,) or r.shape != (m,):
+            raise ValueError("p and r must be (m,) vectors")
+        if q.shape != (n,) or w.shape != (n,):
+            raise ValueError("q and w must be (n,) vectors")
+        if g.shape != (m, n):
+            raise ValueError("g must match h")
+        if np.any(r <= 0) or np.any(w <= 0) or np.any(g <= 0):
+            raise ValueError("r, w and g slopes must be strictly positive")
+        for field_name, arr in (("p", p), ("r", r), ("q", q), ("w", w), ("h", h), ("g", g)):
+            object.__setattr__(self, field_name, arr)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.h.shape
+
+    def supply_price(self, s: np.ndarray) -> np.ndarray:
+        return self.p + self.r * np.asarray(s)
+
+    def demand_price(self, d: np.ndarray) -> np.ndarray:
+        return self.q - self.w * np.asarray(d)
+
+    def transaction_cost(self, x: np.ndarray) -> np.ndarray:
+        return self.h + self.g * np.asarray(x)
+
+    def net_social_payoff_objective(
+        self, x: np.ndarray, s: np.ndarray, d: np.ndarray
+    ) -> float:
+        """The convex program's objective (to be minimized)."""
+        return float(
+            np.sum(self.p * s + 0.5 * self.r * s**2)
+            + np.sum(self.h * x + 0.5 * self.g * x**2)
+            - np.sum(self.q * d - 0.5 * self.w * d**2)
+        )
+
+
+def solve_spe(
+    problem: SpatialPriceProblem,
+    stop: StoppingRule | None = None,
+    kernel=None,
+    record_history: bool = False,
+) -> SolveResult:
+    """Compute the spatial price equilibrium via SEA.
+
+    Maps the SPE onto its isomorphic elastic constrained matrix problem
+    (Section 2 of the paper) and runs
+    :func:`repro.core.sea.solve_elastic`; the result's ``x``/``s``/``d``
+    are the equilibrium shipments and market quantities.
+    """
+    from repro.spe.isomorphism import spe_to_elastic
+
+    elastic = spe_to_elastic(problem)
+    kwargs = {"stop": stop, "record_history": record_history}
+    if kernel is not None:
+        kwargs["kernel"] = kernel
+    result = solve_elastic(elastic, **kwargs)
+    result.algorithm = "SEA-spe"
+    return result

@@ -1,0 +1,107 @@
+"""B-K baseline: exactness of the active-set solver, agreement with SEA."""
+
+import numpy as np
+import pytest
+
+from conftest import random_fixed_problem
+from repro.baselines.bachem_korte import (
+    active_set_transportation,
+    dykstra_transportation,
+    solve_bachem_korte,
+)
+from repro.core.convergence import StoppingRule
+from repro.core.kkt import kkt_violations
+from repro.core.problems import GeneralProblem
+from repro.core.sea import solve_fixed
+from repro.core.sea_general import solve_general
+from repro.datasets.general import general_table7_instance
+
+TIGHT = StoppingRule(eps=1e-9, max_iterations=5000)
+
+
+class TestActiveSet:
+    def test_matches_sea_on_diagonal_problem(self, rng):
+        problem = random_fixed_problem(rng, 6, 7, total_factor_low=0.3)
+        sea = solve_fixed(problem, stop=TIGHT)
+        x, lam, mu, _ = active_set_transportation(
+            problem.x0, problem.gamma, problem.s0, problem.d0, problem.mask
+        )
+        assert problem.objective(x) == pytest.approx(sea.objective, rel=1e-6)
+
+    def test_kkt_of_active_set_solution(self, rng):
+        problem = random_fixed_problem(rng, 5, 8, total_factor_low=0.3)
+        x, lam, mu, _ = active_set_transportation(
+            problem.x0, problem.gamma, problem.s0, problem.d0, problem.mask
+        )
+        v = kkt_violations(problem, x, lam, mu)
+        assert max(v.values()) < 1e-5 * float(problem.s0.max())
+
+    def test_interior_solution_single_pivot(self, rng):
+        """With generous totals nothing hits the bound: one KKT solve."""
+        x0 = rng.uniform(10.0, 20.0, (4, 4))
+        problem = random_fixed_problem(rng, 4, 4, total_factor_low=1.0,
+                                       total_factor_high=1.05)
+        x, _, _, pivots = active_set_transportation(
+            problem.x0, problem.gamma, problem.s0, problem.d0, problem.mask
+        )
+        assert pivots <= 3
+
+    def test_masked_cells_stay_zero(self, rng):
+        problem = random_fixed_problem(rng, 6, 6, density=0.5)
+        x, _, _, _ = active_set_transportation(
+            problem.x0, problem.gamma, problem.s0, problem.d0, problem.mask
+        )
+        assert np.all(x[~problem.mask] == 0.0)
+
+
+class TestDykstra:
+    def test_converges_to_projection(self, rng):
+        problem = random_fixed_problem(rng, 6, 6, total_factor_low=0.4)
+        sea = solve_fixed(problem, stop=TIGHT)
+        x, sweeps, residual = dykstra_transportation(
+            problem.x0, problem.gamma, problem.s0, problem.d0, problem.mask,
+            eps=1e-8 * float(problem.s0.max()), max_sweeps=100_000,
+        )
+        assert residual <= 1e-8 * float(problem.s0.max())
+        assert problem.objective(x) == pytest.approx(sea.objective, rel=1e-5)
+
+    def test_needs_many_more_sweeps_than_sea_iterations(self, rng):
+        problem = random_fixed_problem(rng, 8, 8, total_factor_low=0.3)
+        sea = solve_fixed(problem, stop=TIGHT)
+        _, sweeps, _ = dykstra_transportation(
+            problem.x0, problem.gamma, problem.s0, problem.d0, problem.mask,
+            eps=1e-6 * float(problem.s0.max()), max_sweeps=100_000,
+        )
+        assert sweeps > sea.iterations
+
+
+class TestSolveBachemKorte:
+    def test_diagonal_entrypoint(self, rng):
+        problem = random_fixed_problem(rng, 5, 5, total_factor_low=0.4)
+        result = solve_bachem_korte(problem)
+        sea = solve_fixed(problem, stop=TIGHT)
+        assert result.converged
+        assert result.objective == pytest.approx(sea.objective, rel=1e-6)
+
+    def test_general_agrees_with_sea(self):
+        problem = general_table7_instance(8, seed=23)
+        stop = StoppingRule(eps=1e-4, criterion="delta-x")
+        bk = solve_bachem_korte(problem, stop=stop)
+        sea = solve_general(problem, stop=stop)
+        assert bk.converged
+        assert bk.objective == pytest.approx(sea.objective, rel=1e-4)
+
+    def test_general_rejects_non_fixed(self):
+        problem = GeneralProblem(
+            kind="sam", x0=np.ones((2, 2)), G=np.eye(4),
+            s0=np.array([2.0, 2.0]), A=np.eye(2),
+        )
+        with pytest.raises(ValueError, match="fixed"):
+            solve_bachem_korte(problem)
+
+    def test_serial_cost_dominates_counts(self, rng):
+        """B-K's dense pivots are inherently serial — the cost model sees
+        them as such (why B-K has no Table 9 entry)."""
+        problem = random_fixed_problem(rng, 6, 6, total_factor_low=0.3)
+        result = solve_bachem_korte(problem)
+        assert result.counts.serial_ops > result.counts.parallel_ops

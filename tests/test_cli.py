@@ -1,0 +1,104 @@
+"""Command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.io import read_table_csv, write_table_csv
+
+
+@pytest.fixture
+def csv_problem(tmp_path, rng):
+    x0 = rng.uniform(1.0, 20.0, (4, 4))
+    s0 = x0.sum(axis=1) * 1.2
+    d0 = x0.sum(axis=0)
+    d0 *= s0.sum() / d0.sum()
+    table = tmp_path / "x0.csv"
+    write_table_csv(table, x0)
+    rows = tmp_path / "s.csv"
+    rows.write_text("\n".join(f"r{i},{v}" for i, v in enumerate(s0)) + "\n")
+    cols = tmp_path / "d.csv"
+    cols.write_text("\n".join(f"c{j},{v}" for j, v in enumerate(d0)) + "\n")
+    return table, rows, cols, s0, d0
+
+
+class TestSolve:
+    def test_fixed_solve_writes_output(self, tmp_path, csv_problem, capsys):
+        table, rows, cols, s0, d0 = csv_problem
+        out = tmp_path / "solution.csv"
+        code = main([
+            "solve", "--kind", "fixed", "--table", str(table),
+            "--row-totals", str(rows), "--col-totals", str(cols),
+            "--weights", "chi-square", "--eps", "1e-6", "--out", str(out),
+        ])
+        assert code == 0
+        x, _, _ = read_table_csv(out)
+        np.testing.assert_allclose(x.sum(axis=0), d0, rtol=1e-4)
+        assert "converged" in capsys.readouterr().out
+
+    def test_elastic_solve(self, csv_problem, capsys):
+        table, rows, cols, *_ = csv_problem
+        code = main([
+            "solve", "--kind", "elastic", "--table", str(table),
+            "--row-totals", str(rows), "--col-totals", str(cols),
+        ])
+        assert code == 0
+
+    def test_sam_solve_with_report(self, tmp_path, rng, capsys):
+        x0 = rng.uniform(1.0, 20.0, (4, 4))
+        table = tmp_path / "x0.csv"
+        write_table_csv(table, x0)
+        totals = tmp_path / "s.csv"
+        s0 = 0.5 * (x0.sum(axis=1) + x0.sum(axis=0))
+        totals.write_text("\n".join(f"a{i},{v}" for i, v in enumerate(s0)) + "\n")
+        code = main([
+            "solve", "--kind", "sam", "--table", str(table),
+            "--row-totals", str(totals), "--report",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SEA-sam" in out
+        assert "work:" in out
+
+    def test_missing_col_totals_fails(self, csv_problem):
+        table, rows, *_ = csv_problem
+        with pytest.raises(SystemExit):
+            main(["solve", "--kind", "fixed", "--table", str(table),
+                  "--row-totals", str(rows)])
+
+    def test_wrong_total_count_fails(self, tmp_path, csv_problem):
+        table, rows, cols, *_ = csv_problem
+        bad = tmp_path / "bad.csv"
+        bad.write_text("r0,1.0\n")
+        with pytest.raises(SystemExit, match="row totals"):
+            main(["solve", "--kind", "fixed", "--table", str(table),
+                  "--row-totals", str(bad), "--col-totals", str(cols)])
+
+
+class TestOtherCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+        assert "table9" in out
+
+    def test_experiment(self, capsys):
+        assert main(["experiment", "table4"]) == 0
+        assert "MIG5560a" in capsys.readouterr().out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["experiment", "table42"])
+
+    def test_totals_file_without_labels(self, tmp_path, rng, capsys):
+        """One-column totals files (no labels) are accepted too."""
+        x0 = rng.uniform(1.0, 20.0, (3, 3))
+        table = tmp_path / "x0.csv"
+        write_table_csv(table, x0)
+        rows = tmp_path / "s.csv"
+        rows.write_text("\n".join(str(v) for v in x0.sum(axis=1)) + "\n")
+        cols = tmp_path / "d.csv"
+        cols.write_text("\n".join(str(v) for v in x0.sum(axis=0)) + "\n")
+        assert main(["solve", "--table", str(table),
+                     "--row-totals", str(rows),
+                     "--col-totals", str(cols)]) == 0

@@ -1,0 +1,71 @@
+"""Tests for stopping rules and residual measures."""
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import (
+    StoppingRule,
+    delta_x_residual,
+    relative_imbalance,
+)
+
+
+class TestResiduals:
+    def test_delta_x(self):
+        a = np.array([[1.0, 2.0]])
+        b = np.array([[1.5, 2.0]])
+        assert delta_x_residual(b, a) == pytest.approx(0.5)
+
+    def test_relative_imbalance_rows(self):
+        x = np.array([[1.0, 2.0], [3.0, 4.0]])
+        totals = np.array([3.0, 8.0])
+        # Row 0 exact; row 1 off by 1/8.
+        assert relative_imbalance(x, totals, axis=0) == pytest.approx(0.125)
+
+    def test_relative_imbalance_cols(self):
+        x = np.array([[1.0, 2.0], [3.0, 4.0]])
+        totals = np.array([4.0, 12.0])
+        assert relative_imbalance(x, totals, axis=1) == pytest.approx(0.5)
+
+    def test_zero_total_guarded(self):
+        x = np.array([[0.0]])
+        assert np.isfinite(relative_imbalance(x, np.array([0.0]), axis=0))
+
+
+class TestStoppingRule:
+    def test_defaults_validate(self):
+        rule = StoppingRule()
+        assert rule.eps == pytest.approx(1e-2)
+
+    @pytest.mark.parametrize("bad", [
+        dict(eps=0.0), dict(check_every=0), dict(max_iterations=0),
+        dict(criterion="nope"),
+    ])
+    def test_invalid_configs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            StoppingRule(**bad)
+
+    def test_due_every_other(self):
+        rule = StoppingRule(check_every=2, max_iterations=100)
+        assert not rule.due(1)
+        assert rule.due(2)
+        assert not rule.due(3)
+
+    def test_due_at_budget_regardless(self):
+        rule = StoppingRule(check_every=10, max_iterations=15)
+        assert rule.due(15)
+
+    def test_residual_dispatch(self):
+        x_new = np.array([[2.0, 2.0]])
+        x_old = np.array([[1.0, 1.0]])
+        s = np.array([5.0])
+        d = np.array([2.0, 2.0])
+        assert StoppingRule(criterion="delta-x").residual(
+            x_new, x_old, s, d
+        ) == pytest.approx(1.0)
+        assert StoppingRule(criterion="imbalance").residual(
+            x_new, x_old, s, d
+        ) == pytest.approx(0.2)
+        assert StoppingRule(criterion="dual-gradient").residual(
+            x_new, x_old, s, d
+        ) == pytest.approx(1.0)

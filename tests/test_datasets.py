@@ -1,0 +1,167 @@
+"""Dataset generators: documented structure and determinism."""
+
+import numpy as np
+import pytest
+
+from repro.core.problems import ElasticProblem, GeneralProblem
+from repro.datasets.general import dense_spd_weights, general_table7_instance
+from repro.datasets.io_tables import IO_INSTANCES, base_io_table, io_instance
+from repro.datasets.migration import (
+    MIGRATION_INSTANCES,
+    base_migration_table,
+    general_migration_names,
+    migration_instance,
+)
+from repro.datasets.sam import SAM_INSTANCES, sam_instance
+from repro.datasets.spe_data import spe_instance
+from repro.datasets.synthetic import large_diagonal_fixed
+
+
+class TestSynthetic:
+    def test_table1_recipe(self):
+        p = large_diagonal_fixed(50, seed=1)
+        assert p.shape == (50, 50)
+        assert np.all((p.x0 >= 0.1) & (p.x0 <= 10_000.0))
+        np.testing.assert_allclose(p.gamma, 1.0 / p.x0)
+        np.testing.assert_allclose(p.s0, 2.0 * p.x0.sum(axis=1))
+        np.testing.assert_allclose(p.d0, 2.0 * p.x0.sum(axis=0))
+
+    def test_deterministic(self):
+        a = large_diagonal_fixed(20, seed=7)
+        b = large_diagonal_fixed(20, seed=7)
+        np.testing.assert_array_equal(a.x0, b.x0)
+
+    def test_rectangular(self):
+        p = large_diagonal_fixed(10, 20, seed=2)
+        assert p.shape == (10, 20)
+
+
+class TestIOTables:
+    def test_documented_densities(self):
+        for name, spec in IO_INSTANCES.items():
+            x0, mask = base_io_table(spec.size, spec.density, spec.seed)
+            assert mask.mean() == pytest.approx(spec.density, abs=0.02)
+            assert x0.shape == (spec.size, spec.size)
+
+    def test_every_row_and_column_connected(self):
+        x0, mask = base_io_table(100, 0.05, seed=3)
+        assert mask.any(axis=1).all()
+        assert mask.any(axis=0).all()
+
+    def test_growth_variant_totals_balanced(self):
+        p = io_instance("IOC72a")
+        assert p.s0.sum() == pytest.approx(p.d0.sum())
+        # a-variant: totals grew by 0-10%.
+        base_rows = np.where(p.mask, p.x0, 0.0).sum(axis=1)
+        ratio = p.s0 / base_rows
+        assert np.all(ratio >= 1.0 - 1e-9)
+        assert np.all(ratio <= 1.101)
+
+    def test_c_variant_perturbs_entries(self):
+        p0 = io_instance("IOC72c", replicate=0)
+        p1 = io_instance("IOC72c", replicate=1)
+        assert not np.array_equal(p0.x0, p1.x0)
+        # Totals come from the *unperturbed* base: identical across replicates.
+        np.testing.assert_array_equal(p0.s0, p1.s0)
+
+    def test_same_base_across_variants(self):
+        a = io_instance("IO72a")
+        b = io_instance("IO72b")
+        np.testing.assert_array_equal(a.mask, b.mask)
+        np.testing.assert_array_equal(a.x0, b.x0)
+
+
+class TestSAM:
+    @pytest.mark.parametrize("name,accounts,transactions", [
+        ("STONE", 5, 12), ("TURK", 8, 19), ("SRI", 6, 20),
+    ])
+    def test_documented_small_dimensions(self, name, accounts, transactions):
+        p = sam_instance(name)
+        assert p.n == accounts
+        assert int(np.count_nonzero(p.x0 > 0)) == transactions
+
+    def test_usda_dense(self):
+        p = sam_instance("USDA82E")
+        assert p.n == 133
+        assert np.all(p.mask)
+
+    def test_every_instance_listed(self):
+        assert set(SAM_INSTANCES) == {
+            "STONE", "TURK", "SRI", "USDA82E", "S500", "S750", "S1000"
+        }
+
+    def test_perturbation_unbalances(self):
+        p = sam_instance("STONE")
+        imbalance = np.abs(p.x0.sum(axis=1) - p.x0.sum(axis=0))
+        assert imbalance.max() > 0  # estimation has something to do
+
+
+class TestMigration:
+    def test_diagonal_is_structural_zero(self):
+        p = migration_instance("MIG5560a")
+        assert isinstance(p, ElasticProblem)
+        assert not p.mask.diagonal().any()
+        assert np.all(p.x0.diagonal() == 0.0)
+
+    def test_unit_weights(self):
+        p = migration_instance("MIG6570b")
+        assert np.all(p.gamma == 1.0)
+        assert np.all(p.alpha == 1.0)
+
+    def test_vintage_volumes_increase(self):
+        totals = [base_migration_table(v).sum() for v in (5560, 6570, 7580)]
+        assert totals[0] < totals[1] < totals[2]
+
+    def test_all_nine_elastic_instances(self):
+        assert len(MIGRATION_INSTANCES) == 9
+        for name in MIGRATION_INSTANCES:
+            p = migration_instance(name)
+            assert p.shape == (48, 48)
+
+    def test_general_variants(self):
+        names = general_migration_names()
+        assert len(names) == 6
+        p = migration_instance(names[0])
+        assert isinstance(p, GeneralProblem)
+        assert p.G.shape == (2304, 2304)
+        assert p.kind == "fixed"
+
+
+class TestGeneralWeights:
+    def test_strict_diagonal_dominance(self):
+        G = dense_spd_weights(50, seed=5)
+        diag = np.abs(np.diag(G))
+        off = np.abs(G).sum(axis=1) - diag
+        assert np.all(off < diag)
+
+    def test_symmetric_with_negative_offdiagonals(self):
+        G = dense_spd_weights(30, seed=6)
+        np.testing.assert_allclose(G, G.T)
+        off = G[~np.eye(30, dtype=bool)]
+        assert (off < 0).any()
+
+    def test_diagonal_range(self):
+        G = dense_spd_weights(40, seed=7)
+        d = np.diag(G)
+        assert np.all((d >= 500.0) & (d <= 800.0))
+
+    def test_positive_definite(self):
+        G = dense_spd_weights(25, seed=8)
+        assert np.linalg.eigvalsh(G).min() > 0
+
+    def test_table7_instance_valid(self):
+        p = general_table7_instance(10)
+        assert p.G.shape == (100, 100)
+        assert p.s0.sum() == pytest.approx(p.d0.sum())
+
+
+class TestSPEData:
+    def test_deterministic(self):
+        a = spe_instance(20)
+        b = spe_instance(20)
+        np.testing.assert_array_equal(a.h, b.h)
+
+    def test_profitable_trade_exists(self):
+        spe = spe_instance(30)
+        # Best demand price exceeds some supply price + intercept cost.
+        assert spe.q.max() > (spe.p[:, None] + spe.h).min()

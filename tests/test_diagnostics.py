@@ -1,0 +1,95 @@
+"""Convergence diagnostics: rate fitting, sparklines, reports."""
+
+import math
+
+import numpy as np
+import pytest
+
+from conftest import random_fixed_problem
+from repro.core.convergence import StoppingRule
+from repro.core.sea import solve_fixed
+from repro.diagnostics import (
+    RateEstimate,
+    convergence_report,
+    estimate_geometric_rate,
+    sparkline,
+)
+from repro.datasets.spe_data import spe_instance
+from repro.spe.model import solve_spe
+
+
+class TestRateEstimate:
+    def test_exact_geometric_sequence(self):
+        history = [0.5 * 0.8**t for t in range(30)]
+        est = estimate_geometric_rate(history)
+        assert est.rate == pytest.approx(0.8, rel=1e-6)
+        assert est.amplitude == pytest.approx(0.5, rel=1e-6)
+        assert est.r_squared == pytest.approx(1.0, abs=1e-9)
+
+    def test_iterations_to_target(self):
+        est = RateEstimate(rate=0.5, amplitude=1.0, r_squared=1.0, samples=10)
+        assert est.iterations_to(2.0) == 0.0
+        assert est.iterations_to(0.25) == pytest.approx(2.0)
+        bad = RateEstimate(rate=1.5, amplitude=1.0, r_squared=1.0, samples=10)
+        assert math.isinf(bad.iterations_to(0.1))
+
+    def test_too_few_samples(self):
+        est = estimate_geometric_rate([1.0])
+        assert math.isnan(est.rate)
+
+    def test_zeros_filtered(self):
+        history = [1.0, 0.0, 0.5, 0.0, 0.25]
+        est = estimate_geometric_rate(history)
+        assert not math.isnan(est.rate)
+
+    def test_spe_history_is_near_geometric(self):
+        """Eq. (76) in practice: elastic SEA residuals decay at a good
+        log-linear fit."""
+        spe = spe_instance(40)
+        result = solve_spe(
+            spe,
+            stop=StoppingRule(eps=1e-8, criterion="delta-x",
+                              max_iterations=50_000),
+            record_history=True,
+        )
+        est = estimate_geometric_rate(result.history[2:])
+        assert 0.0 < est.rate < 1.0
+        assert est.r_squared > 0.9
+
+
+class TestSparkline:
+    def test_monotone_residuals_render_descending(self):
+        line = sparkline([10.0**-t for t in range(10)], width=10)
+        assert len(line) == 10
+        assert line[0] != line[-1]
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_downsampling(self):
+        line = sparkline(list(np.linspace(1, 100, 500)), width=20)
+        assert len(line) == 20
+
+    def test_constant_sequence(self):
+        line = sparkline([5.0, 5.0, 5.0])
+        assert len(line) == 3
+
+
+class TestReport:
+    def test_contains_all_sections(self, rng):
+        problem = random_fixed_problem(rng, 8, 8, total_factor_low=0.4)
+        result = solve_fixed(
+            problem,
+            stop=StoppingRule(eps=1e-9, max_iterations=5000),
+            record_history=True,
+        )
+        report = convergence_report(result)
+        assert "SEA-fixed" in report
+        assert "work:" in report
+        assert "serial fraction" in report
+
+    def test_report_without_history(self, rng):
+        problem = random_fixed_problem(rng, 5, 5)
+        result = solve_fixed(problem)
+        report = convergence_report(result)
+        assert "SEA-fixed" in report  # no crash without history

@@ -1,0 +1,162 @@
+"""Dual theory: gradients vs finite differences, bounds, iteration counts."""
+
+import numpy as np
+import pytest
+
+from conftest import (
+    random_elastic_problem,
+    random_fixed_problem,
+    random_sam_problem,
+)
+from repro.core.convergence import StoppingRule
+from repro.core.dual import (
+    curvature_bounds,
+    geometric_iteration_bound,
+    grad_zeta_elastic,
+    grad_zeta_fixed,
+    grad_zeta_sam,
+    iteration_bound_T,
+    zeta_elastic,
+    zeta_fixed,
+    zeta_sam,
+)
+from repro.core.sea import solve_fixed
+
+
+def _finite_diff(fn, lam, mu, h=1e-6):
+    g_lam = np.zeros_like(lam)
+    g_mu = np.zeros_like(mu)
+    for i in range(lam.size):
+        e = np.zeros_like(lam); e[i] = h
+        g_lam[i] = (fn(lam + e, mu) - fn(lam - e, mu)) / (2 * h)
+    for j in range(mu.size):
+        e = np.zeros_like(mu); e[j] = h
+        g_mu[j] = (fn(lam, mu + e) - fn(lam, mu - e)) / (2 * h)
+    return g_lam, g_mu
+
+
+class TestGradients:
+    def test_fixed_gradient_matches_finite_difference(self, rng):
+        problem = random_fixed_problem(rng, 4, 5)
+        lam = rng.normal(0, 10, 4)
+        mu = rng.normal(0, 10, 5)
+        g_lam, g_mu = grad_zeta_fixed(problem, lam, mu)
+        f_lam, f_mu = _finite_diff(lambda l, m: zeta_fixed(problem, l, m), lam, mu)
+        np.testing.assert_allclose(g_lam, f_lam, rtol=1e-4, atol=1e-3)
+        np.testing.assert_allclose(g_mu, f_mu, rtol=1e-4, atol=1e-3)
+
+    def test_elastic_gradient_matches_finite_difference(self, rng):
+        problem = random_elastic_problem(rng, 4, 3)
+        lam = rng.normal(0, 10, 4)
+        mu = rng.normal(0, 10, 3)
+        g_lam, g_mu = grad_zeta_elastic(problem, lam, mu)
+        f_lam, f_mu = _finite_diff(lambda l, m: zeta_elastic(problem, l, m), lam, mu)
+        np.testing.assert_allclose(g_lam, f_lam, rtol=1e-4, atol=1e-3)
+        np.testing.assert_allclose(g_mu, f_mu, rtol=1e-4, atol=1e-3)
+
+    def test_sam_gradient_matches_finite_difference(self, rng):
+        problem = random_sam_problem(rng, 4)
+        lam = rng.normal(0, 10, 4)
+        mu = rng.normal(0, 10, 4)
+        g_lam, g_mu = grad_zeta_sam(problem, lam, mu)
+        f_lam, f_mu = _finite_diff(lambda l, m: zeta_sam(problem, l, m), lam, mu)
+        np.testing.assert_allclose(g_lam, f_lam, rtol=1e-4, atol=1e-3)
+        np.testing.assert_allclose(g_mu, f_mu, rtol=1e-4, atol=1e-3)
+
+    def test_gradient_is_constraint_residual(self, rng):
+        """Equation (27): ||grad zeta|| <= eps iff ||constraints|| <= eps."""
+        problem = random_fixed_problem(rng, 5, 5)
+        lam = rng.normal(0, 5, 5)
+        mu = rng.normal(0, 5, 5)
+        g_lam, g_mu = grad_zeta_fixed(problem, lam, mu)
+        # Reconstruct x from (23a) and compare residuals directly.
+        gamma = problem.gamma
+        x = np.maximum(
+            2 * gamma * problem.x0 + lam[:, None] + mu[None, :], 0.0
+        ) / (2 * gamma)
+        np.testing.assert_allclose(g_lam, problem.s0 - x.sum(axis=1), rtol=1e-12)
+        np.testing.assert_allclose(g_mu, problem.d0 - x.sum(axis=0), rtol=1e-12)
+
+
+class TestConcavity:
+    @pytest.mark.parametrize("which", ["fixed", "elastic", "sam"])
+    def test_zeta_concave_along_random_segments(self, rng, which):
+        if which == "fixed":
+            problem = random_fixed_problem(rng, 4, 4)
+            fn = lambda l, m: zeta_fixed(problem, l, m)
+            m_, n_ = 4, 4
+        elif which == "elastic":
+            problem = random_elastic_problem(rng, 4, 4)
+            fn = lambda l, m: zeta_elastic(problem, l, m)
+            m_, n_ = 4, 4
+        else:
+            problem = random_sam_problem(rng, 4)
+            fn = lambda l, m: zeta_sam(problem, l, m)
+            m_, n_ = 4, 4
+        for _ in range(20):
+            l1, m1 = rng.normal(0, 20, m_), rng.normal(0, 20, n_)
+            l2, m2 = rng.normal(0, 20, m_), rng.normal(0, 20, n_)
+            mid = fn((l1 + l2) / 2, (m1 + m2) / 2)
+            assert mid >= 0.5 * (fn(l1, m1) + fn(l2, m2)) - 1e-8
+
+
+class TestBounds:
+    def test_curvature_bounds_ordering(self, rng):
+        for problem in (
+            random_fixed_problem(rng, 4, 4),
+            random_elastic_problem(rng, 4, 4),
+            random_sam_problem(rng, 4),
+        ):
+            m_l, M_l = curvature_bounds(problem)
+            assert 0 < m_l <= M_l
+
+    def test_iteration_bound_T_respected(self, rng):
+        """The eq. (64) worst case bounds the measured iteration count
+        when stopping on the dual-gradient norm."""
+        problem = random_fixed_problem(rng, 6, 6, total_factor_low=0.4)
+        eps = 1e-2 * float(problem.s0.max())
+        stop = StoppingRule(eps=eps, criterion="dual-gradient", max_iterations=5000)
+        result = solve_fixed(problem, stop=stop)
+        assert result.converged
+        zeta0 = zeta_fixed(problem, np.zeros(6), np.zeros(6))
+        zeta_star = zeta_fixed(problem, result.lam, result.mu)
+        T = iteration_bound_T(problem, zeta_star - zeta0, eps)
+        assert result.iterations <= max(T, 1.0)
+
+    def test_iteration_bound_zero_gap(self, rng):
+        problem = random_fixed_problem(rng, 3, 3)
+        assert iteration_bound_T(problem, 0.0, 1e-3) == 0.0
+
+    def test_geometric_bound_additive_in_log_eps(self):
+        """Paper's remark after (77): tightening eps_bar 10x adds a
+        constant number of iterations."""
+        t1 = geometric_iteration_bound(1.0, 1e-3, rate=0.9)
+        t2 = geometric_iteration_bound(1.0, 1e-4, rate=0.9)
+        t3 = geometric_iteration_bound(1.0, 1e-5, rate=0.9)
+        assert t2 - t1 == pytest.approx(t3 - t2, rel=1e-9)
+
+    def test_geometric_bound_validation(self):
+        with pytest.raises(ValueError):
+            geometric_iteration_bound(1.0, 0.1, rate=1.5)
+
+    def test_measured_rate_is_geometric(self, rng):
+        """The dual gap contracts geometrically (eq. 76 shape)."""
+        problem = random_fixed_problem(rng, 8, 8, total_factor_low=0.3)
+        from repro.equilibration.exact import solve_piecewise_linear
+        mask = problem.mask
+        gamma_safe = np.where(mask, problem.gamma, 1.0)
+        base = np.where(mask, -2.0 * gamma_safe * problem.x0, 0.0)
+        slopes = np.where(mask, 1.0 / (2.0 * gamma_safe), 0.0)
+        mu = np.zeros(8)
+        values = []
+        for _ in range(60):
+            lam = solve_piecewise_linear(base - mu[None, :], slopes, problem.s0)
+            mu = solve_piecewise_linear(
+                base.T - lam[None, :], slopes.T.copy(), problem.d0
+            )
+            values.append(zeta_fixed(problem, lam, mu))
+        gaps = np.array(values[-1]) - np.array(values[:-1])
+        gaps = gaps[gaps > 1e-9 * abs(values[-1])]
+        if gaps.size >= 3:
+            ratios = gaps[1:] / gaps[:-1]
+            assert np.all(ratios < 1.0 + 1e-9)

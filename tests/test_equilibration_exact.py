@@ -1,0 +1,178 @@
+"""Tests for the vectorized exact-equilibration kernel.
+
+The key property: the vectorized solver agrees with the scalar
+reference on every row, for fixed and elastic subproblems, with and
+without inert (masked) cells.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.equilibration.exact import (
+    equilibrate_rows,
+    recover_flows,
+    solve_piecewise_linear,
+)
+from repro.equilibration.scalar import (
+    evaluate_piecewise_linear,
+    solve_piecewise_linear_scalar,
+)
+
+
+def _random_instance(rng, m, n, elastic, density=1.0):
+    B = rng.uniform(-50.0, 50.0, (m, n))
+    SL = rng.uniform(0.01, 20.0, (m, n))
+    inert = rng.random((m, n)) >= density
+    SL[inert] = 0.0
+    # Keep at least one active cell per row in the fixed case.
+    for i in np.flatnonzero((SL > 0).sum(axis=1) == 0):
+        SL[i, rng.integers(n)] = 1.0
+    if elastic:
+        a = rng.uniform(0.01, 10.0, m)
+        c = rng.uniform(-50.0, 50.0, m)
+        target = rng.uniform(-100.0, 100.0, m)
+    else:
+        a = np.zeros(m)
+        c = np.zeros(m)
+        target = rng.uniform(0.0, 200.0, m)
+    return B, SL, target, a, c
+
+
+class TestAgainstScalar:
+    @pytest.mark.parametrize("elastic", [False, True])
+    @pytest.mark.parametrize("density", [1.0, 0.6])
+    def test_matches_scalar_reference(self, rng, elastic, density):
+        B, SL, target, a, c = _random_instance(rng, 40, 17, elastic, density)
+        lam = solve_piecewise_linear(B, SL, target, a=a, c=c)
+        for i in range(40):
+            ref = solve_piecewise_linear_scalar(
+                B[i], SL[i], target[i], a=a[i], c=c[i]
+            )
+            g_vec = evaluate_piecewise_linear(lam[i], B[i], SL[i], a[i], c[i])
+            g_ref = evaluate_piecewise_linear(ref, B[i], SL[i], a[i], c[i])
+            # lam itself may differ on flat segments; the g-values must agree.
+            assert g_vec == pytest.approx(g_ref, abs=1e-7 * max(abs(target[i]), 1.0))
+
+    def test_single_row_single_cell(self):
+        lam = solve_piecewise_linear(
+            np.array([[2.0]]), np.array([[4.0]]), np.array([8.0])
+        )
+        # g = 4 (lam - 2) = 8 -> lam = 4.
+        assert lam[0] == pytest.approx(4.0)
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="equal-shape"):
+            solve_piecewise_linear(np.zeros((2, 3)), np.zeros((3, 2)), np.zeros(2))
+
+    def test_negative_slopes(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            solve_piecewise_linear(
+                np.zeros((1, 2)), np.array([[1.0, -1.0]]), np.zeros(1)
+            )
+
+    def test_negative_elastic_slope(self):
+        with pytest.raises(ValueError, match="elastic"):
+            solve_piecewise_linear(
+                np.zeros((1, 2)), np.ones((1, 2)), np.zeros(1), a=np.array([-1.0])
+            )
+
+    def test_fixed_negative_target_infeasible(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            solve_piecewise_linear(
+                np.zeros((1, 2)), np.ones((1, 2)), np.array([-5.0])
+            )
+
+    def test_fixed_empty_row_positive_target(self):
+        with pytest.raises(ValueError, match="no active cell"):
+            solve_piecewise_linear(
+                np.zeros((1, 2)), np.zeros((1, 2)), np.array([5.0])
+            )
+
+    def test_fixed_empty_row_zero_target_ok(self):
+        lam = solve_piecewise_linear(
+            np.zeros((1, 2)), np.zeros((1, 2)), np.array([0.0])
+        )
+        assert np.isfinite(lam[0])
+
+
+class TestRecoverFlows:
+    def test_flows_nonnegative_and_match_formula(self, rng):
+        B, SL, target, a, c = _random_instance(rng, 10, 8, elastic=False)
+        lam = solve_piecewise_linear(B, SL, target)
+        x = recover_flows(lam, B, SL)
+        assert np.all(x >= 0.0)
+        np.testing.assert_allclose(
+            x, SL * np.maximum(lam[:, None] - B, 0.0)
+        )
+
+    def test_fixed_rows_meet_targets(self, rng):
+        B, SL, target, a, c = _random_instance(rng, 25, 12, elastic=False)
+        lam = solve_piecewise_linear(B, SL, target)
+        x = recover_flows(lam, B, SL)
+        np.testing.assert_allclose(x.sum(axis=1), target, rtol=1e-10, atol=1e-8)
+
+
+class TestEquilibrateRows:
+    def test_row_constraints_hold(self, rng):
+        m, n = 12, 9
+        x0 = rng.uniform(0.1, 50.0, (m, n))
+        gamma = rng.uniform(0.5, 4.0, (m, n))
+        mu = rng.uniform(-5.0, 5.0, n)
+        s0 = x0.sum(axis=1) * rng.uniform(0.5, 1.5, m)
+        lam, X = equilibrate_rows(x0, gamma, mu, target=s0)
+        np.testing.assert_allclose(X.sum(axis=1), s0, rtol=1e-10, atol=1e-8)
+        assert np.all(X >= 0.0)
+
+    def test_masked_cells_stay_zero(self, rng):
+        m, n = 8, 8
+        x0 = rng.uniform(0.1, 50.0, (m, n))
+        gamma = rng.uniform(0.5, 4.0, (m, n))
+        mask = rng.random((m, n)) < 0.7
+        mask[:, 0] = True  # keep every row feasible
+        s0 = np.where(mask, x0, 0.0).sum(axis=1)
+        lam, X = equilibrate_rows(
+            x0, gamma, np.zeros(n), target=s0, mask=mask
+        )
+        assert np.all(X[~mask] == 0.0)
+
+    def test_kkt_of_single_row_subproblem(self, rng):
+        """The kernel's lam is the Lagrange multiplier: on the solution,
+        2 gamma (x - x0) - mu_j - lam  is 0 where x > 0, >= 0 at x = 0."""
+        m, n = 6, 10
+        x0 = rng.uniform(0.1, 50.0, (m, n))
+        gamma = rng.uniform(0.5, 4.0, (m, n))
+        mu = rng.uniform(-20.0, 20.0, n)
+        s0 = x0.sum(axis=1) * 0.5  # force some cells to the bound
+        lam, X = equilibrate_rows(x0, gamma, mu, target=s0)
+        grad = 2.0 * gamma * (X - x0) - mu[None, :] - lam[:, None]
+        positive = X > 1e-10
+        assert np.max(np.abs(grad[positive])) < 1e-7
+        assert np.min(grad[~positive]) > -1e-7
+
+    def test_nonpositive_gamma_rejected(self, rng):
+        x0 = np.ones((2, 2))
+        gamma = np.array([[1.0, 0.0], [1.0, 1.0]])
+        with pytest.raises(ValueError, match="strictly positive"):
+            equilibrate_rows(x0, gamma, np.zeros(2), target=np.ones(2))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    m=st.integers(1, 15),
+    n=st.integers(1, 15),
+    elastic=st.booleans(),
+)
+def test_vectorized_roots_property(seed, m, n, elastic):
+    """Every row's lam is an exact root of its piecewise-linear equation."""
+    rng = np.random.default_rng(seed)
+    B, SL, target, a, c = _random_instance(rng, m, n, elastic, density=0.8)
+    lam = solve_piecewise_linear(B, SL, target, a=a, c=c)
+    for i in range(m):
+        g = evaluate_piecewise_linear(lam[i], B[i], SL[i], a[i], c[i])
+        scale = max(abs(target[i]), float(np.sum(SL[i]) * 50.0), 1.0)
+        assert abs(g - target[i]) < 1e-7 * scale

@@ -1,0 +1,112 @@
+"""Unit tests for the scalar exact-equilibration reference solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.equilibration.scalar import (
+    evaluate_piecewise_linear,
+    solve_piecewise_linear_scalar,
+)
+
+
+class TestEvaluate:
+    def test_below_all_breakpoints_only_elastic_term(self):
+        g = evaluate_piecewise_linear(-10.0, np.array([0.0, 1.0]), np.array([1.0, 2.0]), a=0.5, c=3.0)
+        assert g == pytest.approx(0.5 * -10.0 + 3.0)
+
+    def test_above_all_breakpoints_sums_slopes(self):
+        g = evaluate_piecewise_linear(5.0, np.array([0.0, 1.0]), np.array([1.0, 2.0]))
+        assert g == pytest.approx(1.0 * 5.0 + 2.0 * 4.0)
+
+
+class TestFixedCase:
+    def test_simple_two_piece(self):
+        b = np.array([0.0, 2.0])
+        s = np.array([1.0, 1.0])
+        lam = solve_piecewise_linear_scalar(b, s, target=3.0)
+        # For lam in [2, inf): g = (lam-0) + (lam-2) = 2 lam - 2 = 3.
+        assert lam == pytest.approx(2.5)
+
+    def test_target_zero_returns_first_breakpoint(self):
+        lam = solve_piecewise_linear_scalar(
+            np.array([1.5, 3.0]), np.array([1.0, 1.0]), target=0.0
+        )
+        assert lam == pytest.approx(1.5)
+
+    def test_negative_target_infeasible(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            solve_piecewise_linear_scalar(
+                np.array([0.0]), np.array([1.0]), target=-1.0
+            )
+
+    def test_zero_slope_entries_ignored(self):
+        lam_with = solve_piecewise_linear_scalar(
+            np.array([0.0, -100.0, 2.0]), np.array([1.0, 0.0, 1.0]), target=3.0
+        )
+        lam_without = solve_piecewise_linear_scalar(
+            np.array([0.0, 2.0]), np.array([1.0, 1.0]), target=3.0
+        )
+        assert lam_with == pytest.approx(lam_without)
+
+    def test_empty_active_set_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            solve_piecewise_linear_scalar(
+                np.array([1.0]), np.array([0.0]), target=1.0
+            )
+
+
+class TestElasticCase:
+    def test_solution_below_breakpoints(self):
+        # a*lam + c = target solvable below b_min: lam = (1 - 3)/0.5 = -4.
+        lam = solve_piecewise_linear_scalar(
+            np.array([0.0]), np.array([1.0]), target=1.0, a=0.5, c=3.0
+        )
+        assert lam == pytest.approx(-4.0)
+
+    def test_no_cells_pure_elastic(self):
+        lam = solve_piecewise_linear_scalar(
+            np.array([]), np.array([]), target=2.0, a=2.0, c=0.0
+        )
+        assert lam == pytest.approx(1.0)
+
+    def test_negative_slope_rejected(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            solve_piecewise_linear_scalar(
+                np.array([0.0]), np.array([-1.0]), target=1.0
+            )
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    data=st.data(),
+    n=st.integers(min_value=1, max_value=12),
+    elastic=st.booleans(),
+)
+def test_root_property(data, n, elastic):
+    """The returned lam is an exact root of g(lam) = target."""
+    b = np.array(
+        data.draw(
+            st.lists(
+                st.floats(-50.0, 50.0, allow_nan=False),
+                min_size=n, max_size=n,
+            )
+        )
+    )
+    s = np.array(
+        data.draw(
+            st.lists(st.floats(0.01, 20.0), min_size=n, max_size=n)
+        )
+    )
+    if elastic:
+        a = data.draw(st.floats(0.01, 10.0))
+        c = data.draw(st.floats(-50.0, 50.0))
+        target = data.draw(st.floats(-100.0, 100.0))
+    else:
+        a, c = 0.0, 0.0
+        target = data.draw(st.floats(0.0, 200.0))
+    lam = solve_piecewise_linear_scalar(b, s, target, a=a, c=c)
+    g = evaluate_piecewise_linear(lam, b, s, a=a, c=c)
+    scale = max(abs(target), float(np.sum(s) * 50.0), abs(c), 1.0)
+    assert g == pytest.approx(target, abs=1e-8 * scale)

@@ -1,0 +1,111 @@
+"""Cross-module integration: algorithm agreement, end-to-end dataset solves.
+
+Every solver in the library computes (a projection of) the same class of
+optimum; these tests assert they agree with each other on shared problem
+classes and that the dataset generators produce instances the solvers
+actually handle.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import random_fixed_problem
+from repro.baselines.bachem_korte import solve_bachem_korte
+from repro.baselines.ras import solve_ras
+from repro.baselines.rc import solve_rc_general
+from repro.core.convergence import StoppingRule
+from repro.core.kkt import max_kkt_violation
+from repro.core.sea import solve_elastic, solve_fixed, solve_sam
+from repro.core.sea_general import solve_general
+from repro.datasets.general import general_table7_instance
+from repro.datasets.io_tables import io_instance
+from repro.datasets.migration import migration_instance
+from repro.datasets.sam import sam_instance
+from repro.datasets.spe_data import spe_instance
+from repro.spe.equilibrium import max_equilibrium_violation
+from repro.spe.model import solve_spe
+
+TIGHT = StoppingRule(eps=1e-8, max_iterations=10_000)
+
+
+class TestAlgorithmAgreement:
+    def test_sea_bk_agree_on_diagonal_problems(self, rng):
+        for _ in range(3):
+            problem = random_fixed_problem(rng, 7, 9, total_factor_low=0.3)
+            sea = solve_fixed(problem, stop=TIGHT)
+            bk = solve_bachem_korte(problem)
+            assert bk.objective == pytest.approx(sea.objective, rel=1e-6)
+
+    def test_three_general_solvers_agree(self):
+        problem = general_table7_instance(9, seed=42)
+        stop = StoppingRule(eps=1e-5, criterion="delta-x")
+        sea = solve_general(problem, stop=stop)
+        rc = solve_rc_general(problem, stop=stop)
+        bk = solve_bachem_korte(problem, stop=stop)
+        assert rc.objective == pytest.approx(sea.objective, rel=1e-4)
+        assert bk.objective == pytest.approx(sea.objective, rel=1e-4)
+
+
+class TestDatasetSolves:
+    def test_io_instance_solves_with_kkt(self):
+        problem = io_instance("IOC77a")
+        result = solve_fixed(problem, stop=StoppingRule(eps=1e-4,
+                                                        max_iterations=2000))
+        assert result.converged
+        assert max_kkt_violation(problem, result) < 1e-2 * problem.s0.max()
+
+    def test_sam_instances_balance(self):
+        for name in ("STONE", "TURK", "SRI"):
+            problem = sam_instance(name)
+            result = solve_sam(problem)
+            assert result.converged
+            rel = np.abs(result.x.sum(axis=1) - result.x.sum(axis=0))
+            assert rel.max() < 1e-2 * result.s.max()
+
+    def test_migration_elastic_solves(self):
+        problem = migration_instance("MIG6570c")
+        result = solve_elastic(problem)
+        assert result.converged
+        assert np.all(result.x >= 0)
+        assert np.all(result.x[~problem.mask] == 0.0)  # no self-migration
+
+    def test_spe_instance_reaches_equilibrium(self):
+        spe = spe_instance(15)
+        result = solve_spe(spe, stop=StoppingRule(eps=1e-7, criterion="delta-x",
+                                                  max_iterations=50_000))
+        assert max_equilibrium_violation(spe, result.x, result.s, result.d) < 1e-3
+
+    def test_ras_agrees_with_sea_on_feasibility(self):
+        problem = io_instance("IOC72a")
+        ras = solve_ras(
+            np.where(problem.mask, problem.x0, 0.0), problem.s0, problem.d0
+        )
+        sea = solve_fixed(problem, stop=StoppingRule(eps=1e-4, max_iterations=2000))
+        assert ras.converged
+        scale = problem.s0.max()
+        np.testing.assert_allclose(ras.x.sum(axis=0), problem.d0,
+                                   atol=1e-4 * scale)
+        np.testing.assert_allclose(sea.x.sum(axis=0), problem.d0,
+                                   atol=1e-6 * scale)
+
+
+class TestPublicAPI:
+    def test_top_level_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name)
+
+    def test_quickstart_from_docstring(self):
+        import repro
+
+        x0 = np.array([[10.0, 20.0], [30.0, 40.0]])
+        problem = repro.FixedTotalsProblem(
+            x0=x0, gamma=1.0 / x0,
+            s0=np.array([40.0, 60.0]), d0=np.array([50.0, 50.0]),
+        )
+        result = repro.solve_fixed(problem)
+        assert result.converged
+        # Default tolerance is the paper's eps = .01 on the iterate change.
+        np.testing.assert_allclose(result.x.sum(axis=1), [40.0, 60.0],
+                                   atol=1e-2)

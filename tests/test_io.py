@@ -1,0 +1,96 @@
+"""CSV/NPZ serialization round-trips."""
+
+import numpy as np
+import pytest
+
+from conftest import random_elastic_problem, random_fixed_problem, random_sam_problem
+from repro.core.problems import GeneralProblem
+from repro.datasets.general import dense_spd_weights
+from repro.io import load_problem, read_table_csv, save_problem, write_table_csv
+
+
+class TestCSV:
+    def test_round_trip(self, tmp_path, rng):
+        x = rng.uniform(0, 10, (4, 3))
+        path = tmp_path / "table.csv"
+        write_table_csv(path, x, ["a", "b", "c", "d"], ["x", "y", "z"])
+        back, rows, cols = read_table_csv(path)
+        np.testing.assert_allclose(back, x, rtol=1e-5)
+        assert rows == ["a", "b", "c", "d"]
+        assert cols == ["x", "y", "z"]
+
+    def test_default_labels(self, tmp_path):
+        path = tmp_path / "t.csv"
+        write_table_csv(path, np.ones((2, 2)))
+        _, rows, cols = read_table_csv(path)
+        assert rows == ["r0", "r1"]
+        assert cols == ["c0", "c1"]
+
+    def test_label_count_mismatch(self, tmp_path):
+        with pytest.raises(ValueError, match="label counts"):
+            write_table_csv(tmp_path / "t.csv", np.ones((2, 2)), ["only-one"], None)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(",c0,c1\nr0,1.0\n")
+        with pytest.raises(ValueError, match="cells"):
+            read_table_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("\n")
+        with pytest.raises(ValueError, match="header"):
+            read_table_csv(path)
+
+
+class TestNPZ:
+    def test_fixed_round_trip(self, tmp_path, rng):
+        problem = random_fixed_problem(rng, 5, 4, density=0.7)
+        path = tmp_path / "p.npz"
+        save_problem(path, problem)
+        back = load_problem(path)
+        np.testing.assert_array_equal(back.x0, problem.x0)
+        np.testing.assert_array_equal(back.mask, problem.mask)
+        np.testing.assert_array_equal(back.s0, problem.s0)
+
+    def test_elastic_round_trip(self, tmp_path, rng):
+        problem = random_elastic_problem(rng, 3, 5)
+        path = tmp_path / "p.npz"
+        save_problem(path, problem)
+        back = load_problem(path)
+        np.testing.assert_array_equal(back.alpha, problem.alpha)
+        np.testing.assert_array_equal(back.beta, problem.beta)
+
+    def test_sam_round_trip(self, tmp_path, rng):
+        problem = random_sam_problem(rng, 4)
+        path = tmp_path / "p.npz"
+        save_problem(path, problem)
+        back = load_problem(path)
+        np.testing.assert_array_equal(back.gamma, problem.gamma)
+
+    def test_general_round_trip(self, tmp_path, rng):
+        x0 = rng.uniform(1, 5, (3, 3))
+        problem = GeneralProblem(
+            kind="fixed", x0=x0, G=dense_spd_weights(9, seed=1),
+            s0=x0.sum(axis=1), d0=x0.sum(axis=0),
+        )
+        path = tmp_path / "p.npz"
+        save_problem(path, problem)
+        back = load_problem(path)
+        assert back.kind == "fixed"
+        np.testing.assert_array_equal(back.G, problem.G)
+
+    def test_solutions_identical_after_reload(self, tmp_path, rng):
+        from repro.core.sea import solve_fixed
+
+        problem = random_fixed_problem(rng, 5, 5)
+        path = tmp_path / "p.npz"
+        save_problem(path, problem)
+        back = load_problem(path)
+        r1 = solve_fixed(problem)
+        r2 = solve_fixed(back)
+        np.testing.assert_array_equal(r1.x, r2.x)
+
+    def test_unknown_type_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_problem(tmp_path / "p.npz", object())

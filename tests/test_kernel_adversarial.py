@@ -1,0 +1,127 @@
+"""Adversarial numerical cases for the exact-equilibration kernels.
+
+Floating-point equilibration fails, when it fails, at ties: repeated
+breakpoints, candidates landing exactly on segment boundaries, extreme
+slope spreads, denormal-adjacent magnitudes.  These cases are
+constructed, not sampled.
+"""
+
+import numpy as np
+import pytest
+
+from repro.equilibration.exact import recover_flows, solve_piecewise_linear
+from repro.equilibration.scalar import (
+    evaluate_piecewise_linear,
+    solve_piecewise_linear_scalar,
+)
+from repro.extensions.bounded import solve_piecewise_linear_bounded
+from repro.sparse.kernel import solve_piecewise_linear_sparse
+
+
+def _check_root(lam, b, s, target, a=0.0, c=0.0, rtol=1e-9):
+    g = evaluate_piecewise_linear(lam, b, s, a, c)
+    scale = max(abs(target), float(np.sum(s) * (np.abs(b).max() + 1.0)), 1.0)
+    assert abs(g - target) < rtol * scale
+
+
+class TestTies:
+    def test_all_breakpoints_identical(self):
+        b = np.zeros((1, 5))
+        s = np.ones((1, 5))
+        lam = solve_piecewise_linear(b, s, np.array([10.0]))
+        _check_root(lam[0], b[0], s[0], 10.0)
+
+    def test_candidate_exactly_on_boundary(self):
+        # Two cells; solution lands exactly at the second breakpoint.
+        b = np.array([[0.0, 2.0]])
+        s = np.array([[1.0, 1.0]])
+        lam = solve_piecewise_linear(b, s, np.array([2.0]))  # g(2) = 2
+        _check_root(lam[0], b[0], s[0], 2.0)
+
+    def test_many_duplicate_groups(self):
+        b = np.array([[1.0] * 4 + [3.0] * 4 + [5.0] * 4])
+        s = np.full((1, 12), 0.5)
+        for target in (0.5, 2.0, 4.0, 7.0, 20.0):
+            lam = solve_piecewise_linear(b, s, np.array([target]))
+            _check_root(lam[0], b[0], s[0], target)
+
+    def test_scalar_agrees_on_ties(self):
+        b = np.array([2.0, 2.0, 2.0, 7.0, 7.0])
+        s = np.array([1.0, 2.0, 3.0, 1.0, 1.0])
+        for target in (0.0, 1.0, 6.0, 30.0):
+            lam = solve_piecewise_linear_scalar(b, s, target)
+            _check_root(lam, b, s, target)
+
+
+class TestExtremes:
+    def test_huge_slope_spread(self):
+        b = np.array([[0.0, 1.0, 2.0]])
+        s = np.array([[1e-10, 1.0, 1e10]])
+        for target in (1e-11, 0.5, 1e9):
+            lam = solve_piecewise_linear(b, s, np.array([target]))
+            _check_root(lam[0], b[0], s[0], target, rtol=1e-6)
+
+    def test_tiny_and_huge_breakpoints(self):
+        b = np.array([[-1e12, 0.0, 1e12]])
+        s = np.ones((1, 3))
+        lam = solve_piecewise_linear(b, s, np.array([5.0]))
+        _check_root(lam[0], b[0], s[0], 5.0, rtol=1e-6)
+
+    def test_single_dominant_cell(self):
+        # One cell carries virtually the whole total.
+        b = np.array([[0.0, 0.0]])
+        s = np.array([[1e-12, 1.0]])
+        lam = solve_piecewise_linear(b, s, np.array([7.0]))
+        x = recover_flows(lam, b, s)
+        assert x.sum() == pytest.approx(7.0, rel=1e-9)
+
+    def test_elastic_huge_a(self):
+        b = np.array([[0.0]])
+        s = np.array([[1.0]])
+        lam = solve_piecewise_linear(
+            b, s, np.array([0.0]), a=np.array([1e12]), c=np.array([-5.0])
+        )
+        # a dominates: lam ~= 5/1e12.
+        assert lam[0] == pytest.approx(5e-12, rel=1e-6)
+
+
+class TestCrossKernelConsistency:
+    """Dense, sparse and bounded kernels agree on shared inputs."""
+
+    def test_three_kernels_same_equation(self, rng):
+        m, n = 7, 9
+        B = rng.uniform(-10, 10, (m, n))
+        # Force ties in every row.
+        B[:, 1] = B[:, 0]
+        B[:, 3] = B[:, 2]
+        SL = rng.uniform(0.1, 3.0, (m, n))
+        target = rng.uniform(1.0, 40.0, m)
+
+        lam_dense = solve_piecewise_linear(B, SL, target)
+
+        rows = np.repeat(np.arange(m), n)
+        lam_sparse = solve_piecewise_linear_sparse(
+            rows, B.ravel(), SL.ravel(), m, target
+        )
+        lam_bounded = solve_piecewise_linear_bounded(
+            B, np.full((m, n), np.inf), SL, np.zeros(m), target
+        )
+        for i in range(m):
+            g_d = evaluate_piecewise_linear(lam_dense[i], B[i], SL[i])
+            g_s = evaluate_piecewise_linear(lam_sparse[i], B[i], SL[i])
+            g_b = evaluate_piecewise_linear(lam_bounded[i], B[i], SL[i])
+            assert g_d == pytest.approx(target[i], rel=1e-9)
+            assert g_s == pytest.approx(target[i], rel=1e-9)
+            assert g_b == pytest.approx(target[i], rel=1e-9)
+
+    def test_negative_base_matrix(self, rng):
+        """SPE isomorphism produces negative x0 -> breakpoints beyond
+        the usual range; all kernels must handle it."""
+        from repro.equilibration.exact import equilibrate_rows
+
+        x0 = rng.uniform(-50.0, -1.0, (5, 6))  # all-negative bases
+        gamma = rng.uniform(0.5, 2.0, (5, 6))
+        s0 = rng.uniform(5.0, 20.0, 5)
+        lam, X = equilibrate_rows(x0, gamma, np.zeros(6), target=s0)
+        np.testing.assert_allclose(X.sum(axis=1), s0, rtol=1e-9)
+        assert np.all(X >= 0.0)

@@ -1,0 +1,75 @@
+"""KKT verification module: correct detection of optimal and non-optimal points."""
+
+import numpy as np
+import pytest
+
+from conftest import random_fixed_problem
+from repro.core.convergence import StoppingRule
+from repro.core.kkt import kkt_violations, max_kkt_violation
+from repro.core.problems import ElasticProblem, SAMProblem
+from repro.core.sea import solve_elastic, solve_fixed, solve_sam
+
+TIGHT = StoppingRule(eps=1e-9, max_iterations=10_000)
+
+
+class TestDetection:
+    def test_optimal_point_passes(self, rng):
+        problem = random_fixed_problem(rng, 5, 5)
+        result = solve_fixed(problem, stop=TIGHT)
+        assert max_kkt_violation(problem, result) < 1e-5 * problem.s0.max()
+
+    def test_perturbed_point_fails(self, rng):
+        problem = random_fixed_problem(rng, 5, 5)
+        result = solve_fixed(problem, stop=TIGHT)
+        x_bad = result.x.copy()
+        x_bad[0, 0] += 1.0
+        x_bad[0, 1] -= 1.0  # keep the row sum, break stationarity
+        v = kkt_violations(problem, x_bad, result.lam, result.mu)
+        assert v["stationarity"] > 0.1 or v["col"] > 0.1
+
+    def test_infeasible_point_flagged(self, rng):
+        problem = random_fixed_problem(rng, 4, 4)
+        x = np.zeros((4, 4))
+        v = kkt_violations(problem, x, np.zeros(4), np.zeros(4))
+        assert v["row"] > 0
+
+    def test_negative_flows_flagged(self, rng):
+        problem = random_fixed_problem(rng, 3, 3)
+        x = np.full((3, 3), -1.0)
+        v = kkt_violations(problem, x, np.zeros(3), np.zeros(3))
+        assert v["nonneg"] == pytest.approx(1.0)
+
+
+class TestModelSpecific:
+    def test_elastic_requires_totals(self, rng):
+        problem = ElasticProblem(
+            x0=np.ones((2, 2)), gamma=np.ones((2, 2)),
+            s0=np.ones(2), d0=np.ones(2),
+            alpha=np.ones(2), beta=np.ones(2),
+        )
+        with pytest.raises(ValueError, match="elastic"):
+            kkt_violations(problem, np.ones((2, 2)), np.zeros(2), np.zeros(2))
+
+    def test_sam_requires_totals(self):
+        problem = SAMProblem(
+            x0=np.ones((2, 2)), gamma=np.ones((2, 2)),
+            s0=np.ones(2), alpha=np.ones(2),
+        )
+        with pytest.raises(ValueError, match="SAM"):
+            kkt_violations(problem, np.ones((2, 2)), np.zeros(2), np.zeros(2))
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            kkt_violations(object(), np.ones((1, 1)), np.zeros(1), np.zeros(1))
+
+    def test_max_violation_elastic_and_sam(self, rng):
+        from conftest import random_elastic_problem, random_sam_problem
+
+        e = random_elastic_problem(rng, 4, 4)
+        re_ = solve_elastic(e, stop=TIGHT)
+        assert max_kkt_violation(e, re_) < 1e-5 * e.s0.max()
+
+        s = random_sam_problem(rng, 4)
+        rs = solve_sam(s, stop=StoppingRule(eps=1e-10, criterion="imbalance",
+                                            max_iterations=10_000))
+        assert max_kkt_violation(s, rs) < 1e-5 * s.s0.max()

@@ -1,0 +1,45 @@
+"""Tests for the bipartite support-graph utilities."""
+
+import numpy as np
+
+from repro.equilibration.network import component_count, support_components
+
+
+class TestSupportComponents:
+    def test_fully_dense_single_component(self):
+        X = np.ones((3, 4))
+        rows, cols = support_components(X)
+        assert np.unique(np.concatenate([rows, cols])).size == 1
+
+    def test_block_diagonal_two_components(self):
+        X = np.zeros((4, 4))
+        X[:2, :2] = 1.0
+        X[2:, 2:] = 1.0
+        rows, cols = support_components(X)
+        assert rows[0] == rows[1] == cols[0] == cols[1]
+        assert rows[2] == rows[3] == cols[2] == cols[3]
+        assert rows[0] != rows[2]
+        assert component_count(X) == 2
+
+    def test_empty_matrix_all_singletons(self):
+        X = np.zeros((2, 3))
+        assert component_count(X) == 5
+
+    def test_tolerance_filters_small_entries(self):
+        X = np.array([[1e-12, 0.0], [0.0, 1.0]])
+        assert component_count(X, tol=1e-9) == 3
+
+    def test_chain_connectivity(self):
+        # r0-c0, r1-c0, r1-c1, r2-c1: one chained component.
+        X = np.array([
+            [1.0, 0.0],
+            [1.0, 1.0],
+            [0.0, 1.0],
+        ])
+        assert component_count(X) == 1
+
+    def test_labels_shapes(self):
+        X = np.ones((3, 5))
+        rows, cols = support_components(X)
+        assert rows.shape == (3,)
+        assert cols.shape == (5,)

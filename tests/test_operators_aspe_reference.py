@@ -1,0 +1,170 @@
+"""Operator algebra, asymmetric SPE (VI), and the naive reference oracle."""
+
+import numpy as np
+import pytest
+
+from conftest import random_fixed_problem
+from repro.core.convergence import StoppingRule
+from repro.core.operators import (
+    ColumnEquilibration,
+    DualState,
+    RowEquilibration,
+    Schedule,
+    sea_schedule,
+)
+from repro.core.sea import solve_fixed
+from repro.reference import reference_solve_fixed
+from repro.spe.asymmetric import (
+    AsymmetricSPE,
+    asymmetric_equilibrium_violations,
+    solve_asymmetric_spe,
+)
+from repro.spe.model import solve_spe
+
+TIGHT = StoppingRule(eps=1e-9, max_iterations=10_000)
+
+
+class TestOperators:
+    def test_sea_schedule_matches_solver(self, rng):
+        problem = random_fixed_problem(rng, 6, 7, total_factor_low=0.4)
+        state, sweeps, _ = sea_schedule(problem).run(problem, eps=1e-10)
+        result = solve_fixed(problem, stop=TIGHT)
+        np.testing.assert_allclose(
+            state.flows(problem), result.x, atol=1e-7 * problem.s0.max()
+        )
+
+    def test_any_word_is_dual_monotone(self, rng):
+        problem = random_fixed_problem(rng, 5, 5, total_factor_low=0.4)
+        R = RowEquilibration(problem)
+        C = ColumnEquilibration(problem)
+        schedule = Schedule([R, R, C, R, C, C])
+        _, _, trace = schedule.run(problem, eps=1e-10, max_sweeps=20,
+                                   record_dual=True)
+        diffs = np.diff(trace)
+        assert np.all(diffs > -1e-6 * max(abs(trace[0]), 1.0))
+
+    def test_row_operator_restores_row_feasibility(self, rng):
+        problem = random_fixed_problem(rng, 5, 5, total_factor_low=0.4)
+        R = RowEquilibration(problem)
+        state = R(DualState(lam=np.zeros(5), mu=rng.normal(0, 10, 5)))
+        x = state.flows(problem)
+        np.testing.assert_allclose(x.sum(axis=1), problem.s0, rtol=1e-9)
+
+    def test_row_biased_word_also_converges(self, rng):
+        problem = random_fixed_problem(rng, 6, 6, total_factor_low=0.4)
+        R = RowEquilibration(problem)
+        C = ColumnEquilibration(problem)
+        state, sweeps, _ = Schedule([R, R, C]).run(problem, eps=1e-9)
+        assert state.residual(problem) <= 1e-9 * problem.s0.max()
+
+    def test_repeated_operator_is_idempotent(self, rng):
+        """R after R changes nothing: the block max is exact."""
+        problem = random_fixed_problem(rng, 5, 5)
+        R = RowEquilibration(problem)
+        s1 = R(DualState(lam=np.zeros(5), mu=np.zeros(5)))
+        s2 = R(s1)
+        np.testing.assert_allclose(s1.lam, s2.lam, rtol=1e-12)
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            Schedule([])
+
+
+def _aspe(rng, m=4, n=5, coupling=0.2):
+    """Diagonally dominant random asymmetric instance."""
+    R = rng.uniform(-coupling, coupling, (m, m))
+    np.fill_diagonal(R, rng.uniform(1.0, 2.0, m))
+    W = rng.uniform(-coupling, coupling, (n, n))
+    np.fill_diagonal(W, rng.uniform(1.0, 2.0, n))
+    return AsymmetricSPE(
+        p=rng.uniform(5.0, 10.0, m), R=R,
+        q=rng.uniform(60.0, 90.0, n), W=W,
+        h=rng.uniform(1.0, 10.0, (m, n)),
+        g=rng.uniform(0.2, 1.0, (m, n)),
+    )
+
+
+class TestAsymmetricSPE:
+    def test_equilibrium_conditions_hold(self, rng):
+        problem = _aspe(rng)
+        result = solve_asymmetric_spe(problem)
+        assert result.converged
+        v = asymmetric_equilibrium_violations(
+            problem, result.x, result.s, result.d
+        )
+        price_scale = float(np.max(problem.q))
+        assert v["margin_used"] < 1e-3 * price_scale
+        assert v["margin_unused"] < 1e-3 * price_scale
+        assert v["supply_balance"] < 1e-2 * price_scale
+
+    def test_symmetric_diagonal_case_matches_separable_solver(self, rng):
+        """With diagonal R, W the VI collapses to the optimization SPE."""
+        m, n = 4, 4
+        r = rng.uniform(0.5, 2.0, m)
+        w = rng.uniform(0.5, 2.0, n)
+        sym = AsymmetricSPE(
+            p=rng.uniform(5.0, 10.0, m), R=np.diag(r),
+            q=rng.uniform(60.0, 90.0, n), W=np.diag(w),
+            h=rng.uniform(1.0, 10.0, (m, n)),
+            g=rng.uniform(0.2, 1.0, (m, n)),
+        )
+        result = solve_asymmetric_spe(sym)
+        separable = sym.diagonal_at(np.zeros(m), np.zeros(n))
+        baseline = solve_spe(separable, stop=StoppingRule(
+            eps=1e-8, criterion="delta-x", max_iterations=50_000))
+        np.testing.assert_allclose(result.s, baseline.s, atol=1e-3)
+        np.testing.assert_allclose(result.x, baseline.x, atol=1e-3)
+        assert result.iterations <= 2  # first projection is already exact
+
+    def test_cross_market_substitution_effect(self, rng):
+        """Positive cross supply effects (R_ik > 0) raise rivals' costs:
+        total trade falls versus the independent-markets case."""
+        m = n = 4
+        base = _aspe(rng, m, n, coupling=0.0)
+        coupled = AsymmetricSPE(
+            p=base.p, R=base.R + 0.3 * (1 - np.eye(m)),
+            q=base.q, W=base.W, h=base.h, g=base.g,
+        )
+        r_base = solve_asymmetric_spe(base)
+        r_coupled = solve_asymmetric_spe(coupled)
+        assert r_coupled.x.sum() < r_base.x.sum()
+
+    def test_objective_is_nan_by_design(self, rng):
+        """No optimization formulation exists: the result carries no
+        objective value."""
+        result = solve_asymmetric_spe(_aspe(rng))
+        assert np.isnan(result.objective)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="own-price"):
+            AsymmetricSPE(
+                p=np.ones(2), R=np.zeros((2, 2)),
+                q=np.ones(2), W=np.eye(2),
+                h=np.ones((2, 2)), g=np.ones((2, 2)),
+            )
+
+
+class TestReferenceOracle:
+    def test_vectorized_matches_naive_loops(self, rng):
+        problem = random_fixed_problem(rng, 5, 6, total_factor_low=0.4)
+        x_ref, lam_ref, mu_ref, _ = reference_solve_fixed(
+            problem.x0, problem.gamma, problem.s0, problem.d0,
+            mask=problem.mask,
+        )
+        result = solve_fixed(problem, stop=TIGHT)
+        np.testing.assert_allclose(
+            result.x, x_ref, atol=1e-6 * problem.s0.max()
+        )
+
+    def test_masked(self, rng):
+        problem = random_fixed_problem(rng, 6, 6, density=0.5,
+                                       total_factor_low=0.4)
+        x_ref, *_ = reference_solve_fixed(
+            problem.x0, problem.gamma, problem.s0, problem.d0,
+            mask=problem.mask,
+        )
+        result = solve_fixed(problem, stop=TIGHT)
+        np.testing.assert_allclose(
+            result.x, x_ref, atol=1e-6 * problem.s0.max()
+        )
+        assert np.all(x_ref[~problem.mask] == 0.0)

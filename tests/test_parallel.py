@@ -1,0 +1,92 @@
+"""Parallel engine: partitioning, executor equivalence, dispatch counts."""
+
+import numpy as np
+import pytest
+
+from conftest import random_fixed_problem
+from repro.core.convergence import StoppingRule
+from repro.core.sea import solve_elastic, solve_fixed
+from repro.datasets.spe_data import spe_instance
+from repro.parallel.executor import ParallelKernel
+from repro.parallel.partition import partition_blocks
+from repro.spe.model import solve_spe
+
+
+class TestPartition:
+    def test_docstring_example(self):
+        assert partition_blocks(10, 3) == [(0, 4), (4, 7), (7, 10)]
+
+    def test_covers_range_exactly(self):
+        for count in (1, 5, 16, 97):
+            for workers in (1, 2, 3, 8, 100):
+                blocks = partition_blocks(count, workers)
+                covered = [i for lo, hi in blocks for i in range(lo, hi)]
+                assert covered == list(range(count))
+
+    def test_balanced_within_one(self):
+        blocks = partition_blocks(100, 7)
+        sizes = [hi - lo for lo, hi in blocks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_fewer_items_than_workers(self):
+        blocks = partition_blocks(2, 5)
+        assert len(blocks) == 2
+
+    def test_zero_items(self):
+        assert partition_blocks(0, 4) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_blocks(-1, 2)
+        with pytest.raises(ValueError):
+            partition_blocks(5, 0)
+
+
+class TestParallelKernel:
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_identical_to_vectorized_fixed(self, rng, backend, workers):
+        problem = random_fixed_problem(rng, 16, 11, total_factor_low=0.4)
+        baseline = solve_fixed(problem, stop=StoppingRule(eps=1e-8, max_iterations=2000))
+        with ParallelKernel(workers=workers, backend=backend) as kernel:
+            result = solve_fixed(
+                problem, stop=StoppingRule(eps=1e-8, max_iterations=2000),
+                kernel=kernel,
+            )
+        np.testing.assert_array_equal(result.x, baseline.x)
+        np.testing.assert_array_equal(result.lam, baseline.lam)
+        assert result.iterations == baseline.iterations
+
+    def test_identical_to_vectorized_elastic(self, rng):
+        spe = spe_instance(12)
+        stop = StoppingRule(eps=1e-6, criterion="delta-x", max_iterations=20_000)
+        baseline = solve_spe(spe, stop=stop)
+        with ParallelKernel(workers=3, backend="serial") as kernel:
+            result = solve_spe(spe, stop=stop, kernel=kernel)
+        np.testing.assert_array_equal(result.x, baseline.x)
+
+    def test_dispatch_counter(self, rng):
+        problem = random_fixed_problem(rng, 8, 8)
+        with ParallelKernel(workers=2, backend="serial") as kernel:
+            result = solve_fixed(problem, kernel=kernel)
+            assert kernel.dispatches == 2 * result.iterations
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            ParallelKernel(workers=0)
+        with pytest.raises(ValueError, match="backend"):
+            ParallelKernel(workers=1, backend="gpu")
+
+    def test_single_worker_no_pool(self):
+        kernel = ParallelKernel(workers=1, backend="serial")
+        assert kernel._pool is None
+        kernel.close()
+
+    def test_process_backend_smoke(self, rng):
+        """Process pool gives bit-identical results (slow start-up: one
+        small instance only)."""
+        problem = random_fixed_problem(rng, 6, 5)
+        baseline = solve_fixed(problem)
+        with ParallelKernel(workers=2, backend="process") as kernel:
+            result = solve_fixed(problem, kernel=kernel)
+        np.testing.assert_array_equal(result.x, baseline.x)

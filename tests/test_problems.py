@@ -1,0 +1,178 @@
+"""Validation and objective tests for the problem dataclasses."""
+
+import numpy as np
+import pytest
+
+from repro.core.problems import (
+    ElasticProblem,
+    FixedTotalsProblem,
+    GeneralProblem,
+    SAMProblem,
+)
+
+
+@pytest.fixture
+def small_fixed():
+    x0 = np.array([[10.0, 20.0], [30.0, 40.0]])
+    return FixedTotalsProblem(
+        x0=x0, gamma=np.ones((2, 2)), s0=np.array([30.0, 70.0]),
+        d0=np.array([40.0, 60.0]),
+    )
+
+
+class TestFixedTotalsProblem:
+    def test_objective_zero_at_base(self, small_fixed):
+        assert small_fixed.objective(small_fixed.x0) == 0.0
+
+    def test_objective_weighted(self):
+        x0 = np.array([[1.0, 2.0]])
+        p = FixedTotalsProblem(
+            x0=x0, gamma=np.array([[2.0, 3.0]]),
+            s0=np.array([3.0]), d0=np.array([1.0, 2.0]),
+        )
+        x = np.array([[2.0, 1.0]])
+        assert p.objective(x) == pytest.approx(2.0 * 1.0 + 3.0 * 1.0)
+
+    def test_unbalanced_totals_rejected(self):
+        with pytest.raises(ValueError, match="balance"):
+            FixedTotalsProblem(
+                x0=np.ones((2, 2)), gamma=np.ones((2, 2)),
+                s0=np.array([1.0, 1.0]), d0=np.array([5.0, 5.0]),
+            )
+
+    def test_negative_totals_rejected(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            FixedTotalsProblem(
+                x0=np.ones((2, 2)), gamma=np.ones((2, 2)),
+                s0=np.array([-1.0, 3.0]), d0=np.array([1.0, 1.0]),
+            )
+
+    def test_bad_gamma_on_active_cell(self):
+        with pytest.raises(ValueError, match="gamma"):
+            FixedTotalsProblem(
+                x0=np.ones((2, 2)), gamma=np.array([[1.0, 0.0], [1.0, 1.0]]),
+                s0=np.array([2.0, 2.0]), d0=np.array([2.0, 2.0]),
+            )
+
+    def test_bad_gamma_on_masked_cell_allowed(self):
+        mask = np.array([[True, False], [True, True]])
+        p = FixedTotalsProblem(
+            x0=np.ones((2, 2)), gamma=np.array([[1.0, -5.0], [1.0, 1.0]]),
+            s0=np.array([1.0, 2.0]), d0=np.array([2.0, 1.0]), mask=mask,
+        )
+        assert p.mask is not None
+
+    def test_masked_cells_excluded_from_objective(self):
+        mask = np.array([[True, False]])
+        p = FixedTotalsProblem(
+            x0=np.array([[1.0, 99.0]]), gamma=np.ones((1, 2)),
+            s0=np.array([1.0]), d0=np.array([1.0, 0.0]), mask=mask,
+        )
+        assert p.objective(np.array([[1.0, 0.0]])) == 0.0
+
+    def test_gamma_shape_mismatch(self):
+        with pytest.raises(ValueError, match="gamma"):
+            FixedTotalsProblem(
+                x0=np.ones((2, 2)), gamma=np.ones((2, 3)),
+                s0=np.array([2.0, 2.0]), d0=np.array([2.0, 2.0]),
+            )
+
+
+class TestElasticProblem:
+    def test_objective_includes_total_terms(self):
+        p = ElasticProblem(
+            x0=np.array([[1.0]]), gamma=np.array([[1.0]]),
+            s0=np.array([2.0]), d0=np.array([3.0]),
+            alpha=np.array([2.0]), beta=np.array([0.5]),
+        )
+        val = p.objective(np.array([[1.0]]), np.array([3.0]), np.array([1.0]))
+        assert val == pytest.approx(2.0 * 1.0 + 0.0 + 0.5 * 4.0)
+
+    def test_nonpositive_alpha_rejected(self):
+        with pytest.raises(ValueError, match="alpha and beta"):
+            ElasticProblem(
+                x0=np.ones((1, 1)), gamma=np.ones((1, 1)),
+                s0=np.ones(1), d0=np.ones(1),
+                alpha=np.array([0.0]), beta=np.ones(1),
+            )
+
+
+class TestSAMProblem:
+    def test_must_be_square(self):
+        with pytest.raises(ValueError, match="square"):
+            SAMProblem(
+                x0=np.ones((2, 3)), gamma=np.ones((2, 3)),
+                s0=np.ones(2), alpha=np.ones(2),
+            )
+
+    def test_objective(self):
+        p = SAMProblem(
+            x0=np.ones((2, 2)), gamma=2.0 * np.ones((2, 2)),
+            s0=np.array([2.0, 2.0]), alpha=np.array([1.0, 1.0]),
+        )
+        x = np.full((2, 2), 1.5)
+        s = np.array([3.0, 3.0])
+        assert p.objective(x, s) == pytest.approx(2.0 * 1.0 + 2.0 * 4 * 0.25)
+
+
+class TestGeneralProblem:
+    def test_fixed_kind_valid(self):
+        x0 = np.ones((2, 2))
+        G = np.eye(4)
+        p = GeneralProblem(
+            kind="fixed", x0=x0, G=G,
+            s0=np.array([2.0, 2.0]), d0=np.array([2.0, 2.0]),
+        )
+        assert p.A is None and p.B is None
+
+    def test_asymmetric_G_rejected(self):
+        G = np.eye(4)
+        G[0, 1] = 1.0
+        with pytest.raises(ValueError, match="symmetric"):
+            GeneralProblem(
+                kind="fixed", x0=np.ones((2, 2)), G=G,
+                s0=np.array([2.0, 2.0]), d0=np.array([2.0, 2.0]),
+            )
+
+    def test_wrong_G_dimension(self):
+        with pytest.raises(ValueError, match="G must be"):
+            GeneralProblem(
+                kind="fixed", x0=np.ones((2, 2)), G=np.eye(5),
+                s0=np.array([2.0, 2.0]), d0=np.array([2.0, 2.0]),
+            )
+
+    def test_elastic_kind_requires_A_and_B(self):
+        with pytest.raises(ValueError):
+            GeneralProblem(
+                kind="elastic", x0=np.ones((2, 2)), G=np.eye(4),
+                s0=np.array([2.0, 2.0]), d0=np.array([2.0, 2.0]),
+            )
+
+    def test_objective_reduces_to_diagonal_case(self):
+        rng = np.random.default_rng(3)
+        x0 = rng.uniform(1.0, 5.0, (2, 3))
+        gamma = rng.uniform(0.5, 2.0, (2, 3))
+        G = np.diag(gamma.ravel())
+        p = GeneralProblem(
+            kind="fixed", x0=x0, G=G,
+            s0=x0.sum(axis=1), d0=x0.sum(axis=0),
+        )
+        diag_p = FixedTotalsProblem(
+            x0=x0, gamma=gamma, s0=x0.sum(axis=1), d0=x0.sum(axis=0)
+        )
+        x = x0 + rng.normal(0, 1, (2, 3))
+        assert p.objective(x) == pytest.approx(diag_p.objective(x))
+
+    def test_sam_kind_square_check(self):
+        with pytest.raises(ValueError, match="square"):
+            GeneralProblem(
+                kind="sam", x0=np.ones((2, 3)), G=np.eye(6),
+                s0=np.ones(2), A=np.eye(2),
+            )
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            GeneralProblem(
+                kind="bogus", x0=np.ones((2, 2)), G=np.eye(4),
+                s0=np.array([2.0, 2.0]), d0=np.array([2.0, 2.0]),
+            )

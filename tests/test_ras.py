@@ -1,0 +1,109 @@
+"""RAS / iterative proportional fitting baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ras import ras_feasible_support, solve_ras
+
+
+class TestConvergence:
+    def test_balances_simple_table(self, rng):
+        x0 = rng.uniform(1.0, 10.0, (5, 5))
+        s0 = x0.sum(axis=1) * 1.3
+        d0 = x0.sum(axis=0)
+        d0 *= s0.sum() / d0.sum()
+        result = solve_ras(x0, s0, d0)
+        assert result.converged
+        np.testing.assert_allclose(result.x.sum(axis=1), s0, rtol=1e-5)
+        np.testing.assert_allclose(result.x.sum(axis=0), d0, rtol=1e-5)
+
+    def test_biproportional_form(self, rng):
+        """The RAS solution is r_i * x0_ij * c_j exactly."""
+        x0 = rng.uniform(1.0, 10.0, (4, 6))
+        s0 = x0.sum(axis=1) * rng.uniform(0.8, 1.2, 4)
+        d0 = x0.sum(axis=0)
+        d0 *= s0.sum() / d0.sum()
+        result = solve_ras(x0, s0, d0)
+        np.testing.assert_allclose(
+            result.x, result.r[:, None] * x0 * result.c[None, :], rtol=1e-10
+        )
+
+    def test_preserves_zero_pattern(self, rng):
+        x0 = rng.uniform(1.0, 10.0, (5, 5))
+        x0[x0 < 5.0] = 0.0
+        x0[:, 0] = 1.0  # keep support
+        x0[0, :] = 1.0
+        s0 = x0.sum(axis=1)
+        d0 = x0.sum(axis=0)
+        result = solve_ras(x0, s0, d0)
+        assert np.all(result.x[x0 == 0.0] == 0.0)
+
+    def test_already_balanced_is_fixed_point(self, rng):
+        x0 = rng.uniform(1.0, 10.0, (3, 3))
+        result = solve_ras(x0, x0.sum(axis=1), x0.sum(axis=0))
+        assert result.iterations == 1
+        np.testing.assert_allclose(result.x, x0, rtol=1e-12)
+
+
+class TestNonconvergence:
+    """The Mohr, Crown & Polenske (1987) failure modes the paper cites."""
+
+    def test_structurally_infeasible_targets(self):
+        # Cell (0,1) and (1,0) empty: x00 must satisfy both row 0 and
+        # column 0 totals, which conflict.
+        x0 = np.array([[1.0, 0.0], [0.0, 1.0]])
+        s0 = np.array([3.0, 1.0])
+        d0 = np.array([1.0, 3.0])
+        result = solve_ras(x0, s0, d0, max_iterations=500)
+        assert not result.converged
+
+    def test_feasibility_prescreen(self):
+        x0 = np.array([[1.0, 1.0], [0.0, 0.0]])  # empty row 1
+        assert not ras_feasible_support(x0, np.array([1.0, 1.0]), np.array([1.0, 1.0]))
+        assert not ras_feasible_support(
+            np.ones((2, 2)), np.array([1.0, 1.0]), np.array([3.0, 1.0])
+        )  # grand totals differ
+        assert ras_feasible_support(
+            np.ones((2, 2)), np.array([1.0, 1.0]), np.array([1.0, 1.0])
+        )
+
+
+class TestValidation:
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            solve_ras(np.array([[-1.0]]), np.array([1.0]), np.array([1.0]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shapes"):
+            solve_ras(np.ones((2, 2)), np.ones(3), np.ones(2))
+
+    def test_history_recording(self, rng):
+        x0 = rng.uniform(1.0, 10.0, (3, 3))
+        s0 = x0.sum(axis=1) * 1.1
+        d0 = x0.sum(axis=0)
+        d0 *= s0.sum() / d0.sum()
+        result = solve_ras(x0, s0, d0, record_history=True)
+        assert len(result.history) == result.iterations
+
+
+class TestRASvsSEA:
+    def test_ras_and_sea_solve_different_objectives(self, rng):
+        """RAS minimizes KL divergence, SEA the weighted quadratic — on an
+        unbalanced update they generally disagree, which is the point of
+        having a unified quadratic framework."""
+        from repro.core.problems import FixedTotalsProblem
+        from repro.core.sea import solve_fixed
+        from repro.core.convergence import StoppingRule
+
+        x0 = rng.uniform(1.0, 10.0, (4, 4))
+        s0 = x0.sum(axis=1) * rng.uniform(0.5, 1.5, 4)
+        d0 = x0.sum(axis=0)
+        d0 *= s0.sum() / d0.sum()
+        ras = solve_ras(x0, s0, d0)
+        problem = FixedTotalsProblem(x0=x0, gamma=1.0 / x0, s0=s0, d0=d0)
+        sea = solve_fixed(problem, stop=StoppingRule(eps=1e-9, max_iterations=5000))
+        # Both feasible...
+        np.testing.assert_allclose(ras.x.sum(axis=0), d0, rtol=1e-5)
+        np.testing.assert_allclose(sea.x.sum(axis=0), d0, rtol=1e-8)
+        # ...but the SEA solution has the (weakly) better quadratic objective.
+        assert problem.objective(sea.x) <= problem.objective(ras.x) + 1e-9

@@ -1,0 +1,66 @@
+"""SolveResult / PhaseCounts accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import PhaseCounts, SolveResult
+
+
+class TestPhaseCounts:
+    def test_equilibration_matches_paper_formula(self):
+        c = PhaseCounts()
+        c.add_equilibration(rows=10, length=100)
+        assert c.parallel_ops == pytest.approx(
+            10 * (9 * 100 + 100 * np.log(100))
+        )
+        assert c.parallel_phases == 1
+
+    def test_zero_length_charges_nothing(self):
+        c = PhaseCounts()
+        c.add_equilibration(rows=5, length=0)
+        assert c.parallel_ops == 0.0
+        assert c.parallel_phases == 1
+
+    def test_convergence_check(self):
+        c = PhaseCounts()
+        c.add_convergence_check(10, 20, kappa=2.0)
+        assert c.serial_ops == 400.0
+        assert c.serial_checks == 1
+
+    def test_matvec_counted_in_both(self):
+        c = PhaseCounts()
+        c.add_matvec(100)
+        assert c.matvec_ops == 10_000.0
+        assert c.parallel_ops == 10_000.0
+
+    def test_merged(self):
+        a = PhaseCounts(parallel_ops=1.0, serial_ops=2.0, parallel_phases=3,
+                        serial_checks=4, cells=10, matvec_ops=0.5)
+        b = PhaseCounts(parallel_ops=10.0, serial_ops=20.0, parallel_phases=30,
+                        serial_checks=40, cells=5, matvec_ops=5.0)
+        m = a.merged_with(b)
+        assert m.parallel_ops == 11.0
+        assert m.serial_ops == 22.0
+        assert m.parallel_phases == 33
+        assert m.serial_checks == 44
+        assert m.cells == 10  # max, not sum
+        assert m.matvec_ops == 5.5
+
+
+class TestSolveResult:
+    def _result(self, converged=True):
+        return SolveResult(
+            x=np.ones((2, 2)), s=np.ones(2), d=np.ones(2),
+            lam=np.zeros(2), mu=np.zeros(2),
+            converged=converged, iterations=7, residual=1e-5,
+            objective=3.25, elapsed=0.125, algorithm="SEA-test",
+        )
+
+    def test_summary_contains_key_facts(self):
+        s = self._result().summary()
+        assert "SEA-test" in s
+        assert "7 iterations" in s
+        assert "converged" in s
+
+    def test_summary_flags_nonconvergence(self):
+        assert "NOT converged" in self._result(converged=False).summary()

@@ -1,0 +1,161 @@
+"""Failure injection and edge-of-domain behaviour.
+
+A production library fails loudly and early on bad input; these tests
+pin down the error surface: non-finite data, degenerate shapes, zero
+totals, empty masks, and stopping-rule edge cases.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import random_fixed_problem
+from repro.core.convergence import StoppingRule
+from repro.core.problems import ElasticProblem, FixedTotalsProblem, SAMProblem
+from repro.core.sea import solve_elastic, solve_fixed, solve_sam
+
+
+class TestNonFiniteInputs:
+    def test_nan_gamma_rejected(self):
+        gamma = np.ones((2, 2))
+        gamma[0, 0] = np.nan
+        with pytest.raises(ValueError, match="gamma"):
+            FixedTotalsProblem(
+                x0=np.ones((2, 2)), gamma=gamma,
+                s0=np.array([2.0, 2.0]), d0=np.array([2.0, 2.0]),
+            )
+
+    def test_inf_gamma_rejected(self):
+        gamma = np.ones((2, 2))
+        gamma[1, 1] = np.inf
+        with pytest.raises(ValueError, match="gamma"):
+            FixedTotalsProblem(
+                x0=np.ones((2, 2)), gamma=gamma,
+                s0=np.array([2.0, 2.0]), d0=np.array([2.0, 2.0]),
+            )
+
+    def test_nan_totals_rejected(self):
+        with pytest.raises(ValueError):
+            FixedTotalsProblem(
+                x0=np.ones((2, 2)), gamma=np.ones((2, 2)),
+                s0=np.array([np.nan, 2.0]), d0=np.array([1.0, 1.0]),
+            )
+
+
+class TestDegenerateShapes:
+    def test_single_cell_problem(self):
+        problem = FixedTotalsProblem(
+            x0=np.array([[5.0]]), gamma=np.array([[2.0]]),
+            s0=np.array([3.0]), d0=np.array([3.0]),
+        )
+        result = solve_fixed(problem, stop=StoppingRule(eps=1e-10,
+                                                        max_iterations=100))
+        assert result.x[0, 0] == pytest.approx(3.0)
+
+    def test_single_row(self, rng):
+        x0 = rng.uniform(1.0, 5.0, (1, 6))
+        problem = FixedTotalsProblem(
+            x0=x0, gamma=np.ones((1, 6)),
+            s0=np.array([x0.sum() * 1.5]), d0=x0[0] * 1.5,
+        )
+        result = solve_fixed(problem, stop=StoppingRule(eps=1e-10,
+                                                        max_iterations=500))
+        np.testing.assert_allclose(result.x[0], x0[0] * 1.5, rtol=1e-6)
+
+    def test_single_column(self, rng):
+        x0 = rng.uniform(1.0, 5.0, (4, 1))
+        problem = FixedTotalsProblem(
+            x0=x0, gamma=np.ones((4, 1)),
+            s0=x0[:, 0] * 0.5, d0=np.array([x0.sum() * 0.5]),
+        )
+        result = solve_fixed(problem)
+        np.testing.assert_allclose(result.x[:, 0], x0[:, 0] * 0.5, rtol=1e-6)
+
+
+class TestZeroTotals:
+    def test_zero_row_total_forces_zero_row(self, rng):
+        x0 = rng.uniform(1.0, 5.0, (3, 3))
+        s0 = x0.sum(axis=1)
+        s0[1] = 0.0
+        d0 = x0.sum(axis=0) * (s0.sum() / x0.sum())
+        problem = FixedTotalsProblem(
+            x0=x0, gamma=np.ones((3, 3)), s0=s0, d0=d0
+        )
+        result = solve_fixed(problem, stop=StoppingRule(eps=1e-8,
+                                                        max_iterations=2000))
+        np.testing.assert_allclose(result.x[1], 0.0, atol=1e-9)
+
+    def test_all_zero_totals(self):
+        problem = FixedTotalsProblem(
+            x0=np.ones((2, 2)), gamma=np.ones((2, 2)),
+            s0=np.zeros(2), d0=np.zeros(2),
+        )
+        result = solve_fixed(problem, stop=StoppingRule(eps=1e-8,
+                                                        max_iterations=100))
+        np.testing.assert_allclose(result.x, 0.0, atol=1e-12)
+
+
+class TestElasticEdgeCases:
+    def test_tiny_alpha_lets_totals_run(self, rng):
+        """Nearly free totals: the solution collapses to x ~= x0."""
+        x0 = rng.uniform(1.0, 10.0, (4, 4))
+        problem = ElasticProblem(
+            x0=x0, gamma=np.ones((4, 4)),
+            s0=3.0 * x0.sum(axis=1), d0=0.3 * x0.sum(axis=0),
+            alpha=np.full(4, 1e-8), beta=np.full(4, 1e-8),
+        )
+        result = solve_elastic(problem, stop=StoppingRule(eps=1e-8,
+                                                          max_iterations=20_000))
+        np.testing.assert_allclose(result.x, x0, atol=1e-3 * x0.max())
+
+    def test_extreme_weight_spread(self, rng):
+        problem = ElasticProblem(
+            x0=rng.uniform(1.0, 10.0, (4, 4)),
+            gamma=10.0 ** rng.uniform(-4, 4, (4, 4)),
+            s0=rng.uniform(10.0, 40.0, 4), d0=rng.uniform(10.0, 40.0, 4),
+            alpha=10.0 ** rng.uniform(-2, 2, 4),
+            beta=10.0 ** rng.uniform(-2, 2, 4),
+        )
+        result = solve_elastic(problem, stop=StoppingRule(eps=1e-6,
+                                                          max_iterations=100_000))
+        assert result.converged
+        assert np.all(np.isfinite(result.x))
+
+
+class TestSAMEdgeCases:
+    def test_one_account(self):
+        problem = SAMProblem(
+            x0=np.array([[4.0]]), gamma=np.array([[1.0]]),
+            s0=np.array([5.0]), alpha=np.array([1.0]),
+        )
+        result = solve_sam(problem, stop=StoppingRule(
+            eps=1e-9, criterion="imbalance", max_iterations=1000))
+        # Trivially balanced: row total == column total for one cell.
+        assert result.x[0, 0] >= 0.0
+
+    def test_sam_with_tiny_prior_totals(self, rng):
+        x0 = rng.uniform(0.01, 0.1, (4, 4))
+        problem = SAMProblem(
+            x0=x0, gamma=np.ones((4, 4)),
+            s0=np.full(4, 1e-6), alpha=np.ones(4),
+        )
+        result = solve_sam(problem, stop=StoppingRule(
+            eps=1e-6, criterion="imbalance", max_iterations=50_000))
+        assert np.all(np.isfinite(result.x))
+
+
+class TestBudgetAndHistory:
+    def test_max_iterations_one(self, rng):
+        problem = random_fixed_problem(rng, 4, 4)
+        result = solve_fixed(problem, stop=StoppingRule(eps=1e-15,
+                                                        max_iterations=1))
+        assert result.iterations == 1
+        assert np.all(np.isfinite(result.x))
+
+    def test_result_usable_after_nonconvergence(self, rng):
+        problem = random_fixed_problem(rng, 6, 6, total_factor_low=0.3)
+        result = solve_fixed(problem, stop=StoppingRule(eps=1e-15,
+                                                        max_iterations=2))
+        # Column constraints hold even at early exit (column phase last).
+        np.testing.assert_allclose(
+            result.x.sum(axis=0), problem.d0, rtol=1e-8
+        )

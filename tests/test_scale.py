@@ -1,0 +1,61 @@
+"""Scale tests (slow): paper-size instances end to end.
+
+Deselect with ``-m 'not slow'``; the benchmark suite covers the same
+ground with timing, these assert correctness holds at scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import StoppingRule
+from repro.core.sea import solve_fixed
+from repro.datasets.synthetic import large_diagonal_fixed
+from repro.sparse.sea import solve_fixed_sparse
+
+pytestmark = pytest.mark.slow
+
+
+class TestPaperScale:
+    def test_million_variable_instance(self):
+        """The paper's 1000x1000 datapoint: solve and verify feasibility
+        at a million variables."""
+        problem = large_diagonal_fixed(1000, seed=1000)
+        result = solve_fixed(problem)
+        assert result.converged
+        assert result.iterations <= 5
+        scale = float(problem.s0.max())
+        assert np.max(np.abs(result.x.sum(axis=0) - problem.d0)) < 1e-8 * scale
+        assert np.max(np.abs(result.x.sum(axis=1) - problem.s0)) < 1e-4 * scale
+
+    def test_sparse_large_low_density(self):
+        """A 1500x1500 pattern at 10% density through the CSR path."""
+        rng = np.random.default_rng(9)
+        n = 1500
+        mask = rng.random((n, n)) < 0.10
+        mask[np.arange(n), rng.integers(0, n, n)] = True
+        mask[rng.integers(0, n, n), np.arange(n)] = True
+        x0 = np.where(mask, rng.uniform(1.0, 100.0, (n, n)), 0.0)
+        witness = x0 * rng.uniform(0.5, 1.5, (n, n))
+        from repro.core.problems import FixedTotalsProblem
+
+        problem = FixedTotalsProblem(
+            x0=x0, gamma=np.where(mask, 1.0 / np.where(mask, x0, 1.0), 1.0),
+            s0=witness.sum(axis=1), d0=witness.sum(axis=0), mask=mask,
+        )
+        result = solve_fixed_sparse(problem, stop=StoppingRule(
+            eps=1e-4, max_iterations=2000))
+        assert result.converged
+        assert np.all(result.x[~mask] == 0.0)
+        scale = float(problem.s0.max()) + 1.0
+        assert np.max(np.abs(result.x.sum(axis=0) - problem.d0)) < 1e-6 * scale
+
+    def test_tight_tolerance_additive_iterations(self):
+        """Eq. 77 at scale: 1e-2 -> 1e-6 tolerance costs only additive
+        extra iterations on a 500^2 instance."""
+        problem = large_diagonal_fixed(500, seed=77)
+        loose = solve_fixed(problem, stop=StoppingRule(eps=1e-2,
+                                                       max_iterations=10_000))
+        tight = solve_fixed(problem, stop=StoppingRule(eps=1e-6,
+                                                       max_iterations=10_000))
+        assert tight.converged
+        assert tight.iterations - loose.iterations < 50

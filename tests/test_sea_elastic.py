@@ -1,0 +1,143 @@
+"""SEA elastic solver (unknown row and column totals)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import random_elastic_problem
+from repro.core.convergence import StoppingRule
+from repro.core.dual import grad_zeta_elastic, zeta_elastic
+from repro.core.kkt import kkt_violations
+from repro.core.problems import ElasticProblem, FixedTotalsProblem
+from repro.core.sea import solve_elastic, solve_fixed
+
+TIGHT = StoppingRule(eps=1e-9, criterion="delta-x", max_iterations=20_000)
+
+
+class TestOptimality:
+    def test_kkt_conditions_hold(self, rng):
+        problem = random_elastic_problem(rng, 7, 9)
+        result = solve_elastic(problem, stop=TIGHT)
+        assert result.converged
+        v = kkt_violations(
+            problem, result.x, result.lam, result.mu, s=result.s, d=result.d
+        )
+        scale = float(problem.s0.max())
+        assert max(v.values()) < 1e-5 * scale
+
+    def test_totals_recovered_from_multipliers(self, rng):
+        """(23b)-(23c): s = s0 - lam/(2 alpha), d = d0 - mu/(2 beta)."""
+        problem = random_elastic_problem(rng, 5, 6)
+        result = solve_elastic(problem, stop=TIGHT)
+        np.testing.assert_allclose(
+            result.s, problem.s0 - result.lam / (2 * problem.alpha), rtol=1e-10
+        )
+        np.testing.assert_allclose(
+            result.d, problem.d0 - result.mu / (2 * problem.beta), rtol=1e-10
+        )
+
+    def test_grand_total_consistency(self, rng):
+        """sum(s) == sum(d) == total flow at the solution."""
+        problem = random_elastic_problem(rng, 6, 4)
+        result = solve_elastic(problem, stop=TIGHT)
+        total = result.x.sum()
+        assert result.s.sum() == pytest.approx(total, rel=1e-6)
+        assert result.d.sum() == pytest.approx(total, rel=1e-6)
+
+    def test_objective_not_worse_than_feasible_candidates(self, rng):
+        """The optimum beats scaling-based feasible alternatives."""
+        problem = random_elastic_problem(rng, 5, 5)
+        result = solve_elastic(problem, stop=TIGHT)
+        for factor in (0.8, 1.0, 1.25):
+            x = np.maximum(problem.x0, 0.0) * factor
+            cand = problem.objective(x, x.sum(axis=1), x.sum(axis=0))
+            assert result.objective <= cand + 1e-6 * max(cand, 1.0)
+
+
+class TestLimitBehaviour:
+    def test_large_alpha_beta_approaches_fixed_solution(self, rng):
+        """As alpha, beta -> inf the elastic model pins the totals, so its
+        solution approaches the fixed-totals solution."""
+        x0 = rng.uniform(1.0, 20.0, (5, 5))
+        gamma = rng.uniform(0.5, 2.0, (5, 5))
+        s0 = x0.sum(axis=1) * rng.uniform(0.8, 1.2, 5)
+        d0 = x0.sum(axis=0) * rng.uniform(0.8, 1.2, 5)
+        d0 *= s0.sum() / d0.sum()
+        fixed = FixedTotalsProblem(x0=x0, gamma=gamma, s0=s0, d0=d0)
+        fixed_result = solve_fixed(fixed, stop=TIGHT)
+        big = 1e7
+        elastic = ElasticProblem(
+            x0=x0, gamma=gamma, s0=s0, d0=d0,
+            alpha=np.full(5, big), beta=np.full(5, big),
+        )
+        elastic_result = solve_elastic(elastic, stop=TIGHT)
+        np.testing.assert_allclose(elastic_result.s, s0, rtol=1e-4)
+        np.testing.assert_allclose(
+            elastic_result.x, fixed_result.x, atol=1e-3 * x0.max()
+        )
+
+    def test_balanced_base_is_fixed_point(self):
+        """If x0 is feasible with s = s0, d = d0 exactly, nothing moves."""
+        x0 = np.array([[3.0, 1.0], [2.0, 4.0]])
+        problem = ElasticProblem(
+            x0=x0, gamma=np.ones((2, 2)),
+            s0=x0.sum(axis=1), d0=x0.sum(axis=0),
+            alpha=np.ones(2), beta=np.ones(2),
+        )
+        result = solve_elastic(problem, stop=TIGHT)
+        np.testing.assert_allclose(result.x, x0, atol=1e-8)
+        np.testing.assert_allclose(result.s, problem.s0, atol=1e-8)
+
+
+class TestDualAscent:
+    def test_zeta1_monotone(self, rng):
+        problem = random_elastic_problem(rng, 6, 7)
+        from repro.equilibration.exact import solve_piecewise_linear
+
+        mask = problem.mask
+        gamma_safe = np.where(mask, problem.gamma, 1.0)
+        base = np.where(mask, -2.0 * gamma_safe * problem.x0, 0.0)
+        slopes = np.where(mask, 1.0 / (2.0 * gamma_safe), 0.0)
+        a_row = 1.0 / (2.0 * problem.alpha)
+        a_col = 1.0 / (2.0 * problem.beta)
+        mu = np.zeros(problem.shape[1])
+        values = []
+        for _ in range(15):
+            lam = solve_piecewise_linear(
+                base - mu[None, :], slopes, np.zeros(problem.shape[0]),
+                a=a_row, c=-problem.s0,
+            )
+            values.append(zeta_elastic(problem, lam, mu))
+            mu = solve_piecewise_linear(
+                base.T - lam[None, :], slopes.T.copy(), np.zeros(problem.shape[1]),
+                a=a_col, c=-problem.d0,
+            )
+            values.append(zeta_elastic(problem, lam, mu))
+        diffs = np.diff(values)
+        assert np.all(diffs > -1e-6 * max(abs(values[0]), 1.0))
+
+    def test_gradient_vanishes_at_convergence(self, rng):
+        problem = random_elastic_problem(rng, 6, 6)
+        result = solve_elastic(problem, stop=TIGHT)
+        g_lam, g_mu = grad_zeta_elastic(problem, result.lam, result.mu)
+        scale = float(problem.s0.max())
+        assert np.max(np.abs(g_lam)) < 1e-5 * scale
+        assert np.max(np.abs(g_mu)) < 1e-5 * scale
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), m=st.integers(2, 8), n=st.integers(2, 8))
+def test_elastic_solution_properties(seed, m, n):
+    rng = np.random.default_rng(seed)
+    problem = random_elastic_problem(rng, m, n)
+    result = solve_elastic(problem, stop=TIGHT)
+    assert result.converged
+    assert np.all(result.x >= 0)
+    scale = float(problem.s0.max()) + 1.0
+    # Column constraints exact (column phase ran last); row near-exact.
+    assert np.max(np.abs(result.x.sum(axis=0) - result.d)) < 1e-8 * scale
+    v = kkt_violations(
+        problem, result.x, result.lam, result.mu, s=result.s, d=result.d
+    )
+    assert max(v.values()) < 2e-5 * scale

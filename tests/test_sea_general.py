@@ -1,0 +1,141 @@
+"""General SEA (projection + diagonal SEA) on dense-weight problems."""
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import StoppingRule
+from repro.core.problems import GeneralProblem
+from repro.core.sea_general import diagonalized_bases, solve_general
+from repro.datasets.general import dense_spd_weights
+
+TIGHT = StoppingRule(eps=1e-8, criterion="delta-x", max_iterations=500)
+
+
+def _general_fixed(rng, m, n, seed=0):
+    x0 = rng.uniform(1.0, 50.0, (m, n))
+    s0 = x0.sum(axis=1) * rng.uniform(0.5, 1.5, m)
+    d0 = x0.sum(axis=0) * rng.uniform(0.5, 1.5, n)
+    d0 *= s0.sum() / d0.sum()
+    G = dense_spd_weights(m * n, seed=seed)
+    return GeneralProblem(kind="fixed", x0=x0, G=G, s0=s0, d0=d0)
+
+
+class TestDiagonalizedBases:
+    def test_fixed_point_at_base(self, rng):
+        M = dense_spd_weights(5, seed=1)
+        z0 = rng.normal(0, 1, 5)
+        np.testing.assert_allclose(diagonalized_bases(M, z0, z0), z0)
+
+    def test_diagonal_matrix_recovers_base(self, rng):
+        M = np.diag(rng.uniform(1.0, 5.0, 4))
+        z0 = rng.normal(0, 1, 4)
+        z_prev = rng.normal(0, 1, 4)
+        np.testing.assert_allclose(diagonalized_bases(M, z_prev, z0), z0)
+
+    def test_matches_paper_eq79_form(self, rng):
+        """c = z_prev - D^{-1} M (z_prev - z0), the unconstrained minimizer
+        of the paper's projection-step objective."""
+        M = dense_spd_weights(6, seed=2)
+        z0 = rng.normal(0, 1, 6)
+        z_prev = rng.normal(0, 1, 6)
+        expected = z_prev - (M @ (z_prev - z0)) / np.diag(M)
+        np.testing.assert_allclose(
+            diagonalized_bases(M, z_prev, z0), expected, rtol=1e-12
+        )
+
+
+class TestGeneralFixed:
+    def test_feasibility(self, rng):
+        problem = _general_fixed(rng, 5, 6)
+        result = solve_general(problem, stop=TIGHT)
+        assert result.converged
+        scale = float(problem.s0.max())
+        assert np.max(np.abs(result.x.sum(axis=0) - problem.d0)) < 1e-6 * scale
+        assert np.max(np.abs(result.x.sum(axis=1) - problem.s0)) < 1e-4 * scale
+        assert np.all(result.x >= 0)
+
+    def test_full_kkt_of_general_problem(self, rng):
+        """Stationarity of the *general* objective: on positive cells,
+        grad = 2 [G (x - x0)]_ij - lam_i - mu_j must vanish."""
+        problem = _general_fixed(rng, 4, 5)
+        result = solve_general(
+            problem,
+            stop=StoppingRule(eps=1e-10, criterion="delta-x", max_iterations=2000),
+            inner_stop=StoppingRule(eps=1e-12, max_iterations=2000),
+        )
+        m, n = problem.shape
+        dx = (result.x - problem.x0).ravel()
+        grad = (2.0 * (problem.G @ dx)).reshape(m, n)
+        reduced = grad - result.lam[:, None] - result.mu[None, :]
+        scale = float(np.abs(grad).max()) + 1.0
+        positive = result.x > 1e-8 * problem.x0.max()
+        assert np.max(np.abs(reduced[positive])) < 1e-4 * scale
+        assert np.min(reduced[~positive]) > -1e-4 * scale
+
+    def test_diagonal_G_matches_diagonal_solver(self, rng):
+        from repro.core.problems import FixedTotalsProblem
+        from repro.core.sea import solve_fixed
+
+        m, n = 5, 4
+        x0 = rng.uniform(1.0, 20.0, (m, n))
+        gamma = rng.uniform(0.5, 3.0, (m, n))
+        s0 = x0.sum(axis=1)
+        d0 = x0.sum(axis=0) * rng.uniform(0.5, 1.5, n)
+        d0 *= s0.sum() / d0.sum()
+        general = GeneralProblem(
+            kind="fixed", x0=x0, G=np.diag(gamma.ravel()), s0=s0, d0=d0
+        )
+        diagonal = FixedTotalsProblem(x0=x0, gamma=gamma, s0=s0, d0=d0)
+        rg = solve_general(general, stop=TIGHT,
+                           inner_stop=StoppingRule(eps=1e-10, max_iterations=2000))
+        rd = solve_fixed(diagonal, stop=StoppingRule(eps=1e-10, max_iterations=2000))
+        assert rg.objective == pytest.approx(rd.objective, rel=1e-6)
+        np.testing.assert_allclose(rg.x, rd.x, atol=1e-4 * x0.max())
+
+    def test_objective_decreases_vs_naive_feasible(self, rng):
+        problem = _general_fixed(rng, 4, 4)
+        result = solve_general(problem, stop=TIGHT)
+        naive = np.outer(problem.s0, problem.d0) / problem.s0.sum()
+        assert result.objective <= problem.objective(naive) * (1 + 1e-9)
+
+
+class TestGeneralElasticAndSAM:
+    def test_elastic_kind(self, rng):
+        m = n = 4
+        x0 = rng.uniform(1.0, 20.0, (m, n))
+        problem = GeneralProblem(
+            kind="elastic", x0=x0,
+            G=dense_spd_weights(m * n, seed=3),
+            s0=x0.sum(axis=1) * 1.2, d0=x0.sum(axis=0) * 0.9,
+            A=dense_spd_weights(m, seed=4, diag_low=5, diag_high=10),
+            B=dense_spd_weights(n, seed=5, diag_low=5, diag_high=10),
+        )
+        result = solve_general(problem, stop=TIGHT)
+        assert result.converged
+        scale = float(problem.s0.max())
+        assert np.max(np.abs(result.x.sum(axis=1) - result.s)) < 1e-4 * scale
+        assert np.max(np.abs(result.x.sum(axis=0) - result.d)) < 1e-6 * scale
+
+    def test_sam_kind(self, rng):
+        n = 5
+        x0 = rng.uniform(1.0, 20.0, (n, n))
+        problem = GeneralProblem(
+            kind="sam", x0=x0,
+            G=dense_spd_weights(n * n, seed=6),
+            s0=0.5 * (x0.sum(axis=1) + x0.sum(axis=0)),
+            A=dense_spd_weights(n, seed=7, diag_low=5, diag_high=10),
+        )
+        result = solve_general(problem, stop=TIGHT)
+        assert result.converged
+        scale = float(problem.s0.max())
+        # Balance: row totals == column totals.
+        np.testing.assert_allclose(
+            result.x.sum(axis=1), result.x.sum(axis=0), atol=1e-4 * scale
+        )
+
+    def test_counts_track_matvecs(self, rng):
+        problem = _general_fixed(rng, 4, 4)
+        result = solve_general(problem, stop=TIGHT)
+        assert result.counts.matvec_ops == pytest.approx(
+            result.iterations * (16.0) ** 2
+        )

@@ -1,0 +1,137 @@
+"""Spatial price equilibrium model, isomorphism, equilibrium conditions."""
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import StoppingRule
+from repro.datasets.spe_data import spe_instance
+from repro.spe.equilibrium import (
+    equilibrium_violations,
+    max_equilibrium_violation,
+)
+from repro.spe.isomorphism import spe_from_elastic, spe_to_elastic
+from repro.spe.model import SpatialPriceProblem, solve_spe
+
+TIGHT = StoppingRule(eps=1e-8, criterion="delta-x", max_iterations=50_000)
+
+
+def _tiny_spe(rng, m=3, n=4):
+    return SpatialPriceProblem(
+        p=rng.uniform(5.0, 10.0, m),
+        r=rng.uniform(0.5, 2.0, m),
+        q=rng.uniform(50.0, 80.0, n),
+        w=rng.uniform(0.5, 2.0, n),
+        h=rng.uniform(1.0, 10.0, (m, n)),
+        g=rng.uniform(0.2, 1.0, (m, n)),
+    )
+
+
+class TestModelValidation:
+    def test_shape_checks(self, rng):
+        with pytest.raises(ValueError, match="p and r"):
+            SpatialPriceProblem(
+                p=np.ones(2), r=np.ones(3), q=np.ones(2), w=np.ones(2),
+                h=np.ones((3, 2)), g=np.ones((3, 2)),
+            )
+
+    def test_positive_slopes_required(self, rng):
+        with pytest.raises(ValueError, match="strictly positive"):
+            SpatialPriceProblem(
+                p=np.ones(2), r=np.zeros(2), q=np.ones(2), w=np.ones(2),
+                h=np.ones((2, 2)), g=np.ones((2, 2)),
+            )
+
+    def test_price_functions(self, rng):
+        spe = _tiny_spe(rng)
+        s = np.ones(3)
+        np.testing.assert_allclose(spe.supply_price(s), spe.p + spe.r)
+
+
+class TestIsomorphism:
+    def test_round_trip(self, rng):
+        spe = _tiny_spe(rng)
+        back = spe_from_elastic(spe_to_elastic(spe))
+        np.testing.assert_allclose(back.p, spe.p, rtol=1e-12)
+        np.testing.assert_allclose(back.q, spe.q, rtol=1e-12)
+        np.testing.assert_allclose(back.h, spe.h, rtol=1e-12)
+        np.testing.assert_allclose(back.g, spe.g, rtol=1e-12)
+
+    def test_objectives_differ_by_constant(self, rng):
+        """The elastic quadratic objective equals the SPE net-social-payoff
+        objective up to an additive constant (completing the square)."""
+        spe = _tiny_spe(rng)
+        elastic = spe_to_elastic(spe)
+        rng2 = np.random.default_rng(7)
+        diffs = []
+        for _ in range(5):
+            x = rng2.uniform(0.0, 10.0, spe.shape)
+            s = x.sum(axis=1)
+            d = x.sum(axis=0)
+            diffs.append(
+                elastic.objective(x, s, d)
+                - spe.net_social_payoff_objective(x, s, d)
+            )
+        assert np.ptp(diffs) < 1e-8 * max(abs(diffs[0]), 1.0)
+
+    def test_masked_elastic_rejected(self, rng):
+        elastic = spe_to_elastic(_tiny_spe(rng))
+        masked = type(elastic)(
+            x0=elastic.x0, gamma=elastic.gamma, s0=elastic.s0, d0=elastic.d0,
+            alpha=elastic.alpha, beta=elastic.beta,
+            mask=np.zeros(elastic.shape, bool) | (elastic.x0 < 1e18),
+        )
+        masked2 = type(elastic)(
+            x0=elastic.x0, gamma=elastic.gamma, s0=elastic.s0, d0=elastic.d0,
+            alpha=elastic.alpha, beta=elastic.beta,
+            mask=np.eye(elastic.shape[0], elastic.shape[1], dtype=bool),
+        )
+        with pytest.raises(ValueError, match="all cells active"):
+            spe_from_elastic(masked2)
+
+
+class TestEquilibrium:
+    def test_solution_satisfies_equilibrium_conditions(self, rng):
+        spe = _tiny_spe(rng)
+        result = solve_spe(spe, stop=TIGHT)
+        assert result.converged
+        v = equilibrium_violations(spe, result.x, result.s, result.d)
+        price_scale = float(np.max(spe.q))
+        assert v["margin_used"] < 1e-6 * price_scale
+        assert v["margin_unused"] < 1e-6 * price_scale
+        assert v["demand_balance"] < 1e-6 * price_scale
+        assert v["supply_balance"] < 1e-4 * price_scale
+
+    def test_unused_routes_are_unprofitable(self, rng):
+        spe = _tiny_spe(rng)
+        result = solve_spe(spe, stop=TIGHT)
+        pi = spe.supply_price(result.s)[:, None]
+        rho = spe.demand_price(result.d)[None, :]
+        cost = spe.transaction_cost(result.x)
+        unused = result.x <= 1e-9
+        if unused.any():
+            assert np.all((pi + cost - rho)[unused] > -1e-6 * np.max(spe.q))
+
+    def test_generated_instance_properties(self):
+        spe = spe_instance(20)
+        result = solve_spe(spe, stop=StoppingRule(eps=1e-6, criterion="delta-x",
+                                                  max_iterations=50_000))
+        assert result.converged
+        assert max_equilibrium_violation(spe, result.x, result.s, result.d) < 1e-2
+        # Market quantities are positive: trade happens.
+        assert result.s.sum() > 0
+        assert (result.x > 1e-6).any()
+
+    def test_monopoly_shutdown(self):
+        """If demand intercepts sit below supply intercepts plus costs,
+        no trade occurs and all quantities collapse to zero."""
+        m = n = 3
+        spe = SpatialPriceProblem(
+            p=np.full(m, 100.0), r=np.ones(m),
+            q=np.full(n, 10.0), w=np.ones(n),
+            h=np.full((m, n), 5.0), g=np.ones((m, n)),
+        )
+        result = solve_spe(spe, stop=TIGHT)
+        assert np.all(result.x < 1e-8)
+        # With no trade, s and d rest at (clipped) autarky: s = -p/r < 0
+        # is infeasible, so the constraint pins s to the zero flows.
+        np.testing.assert_allclose(result.s, 0.0, atol=1e-8)

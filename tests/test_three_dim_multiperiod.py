@@ -1,0 +1,181 @@
+"""3-D constrained cubes and multi-period projection."""
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import StoppingRule
+from repro.extensions.three_dim import (
+    ThreeWayProblem,
+    solve_three_way,
+    tri_proportional_fit,
+)
+from repro.multiperiod import MultiPeriodResult, ProjectionPeriod, project_flows
+
+TIGHT = StoppingRule(eps=1e-9, max_iterations=20_000)
+
+
+def _cube_problem(rng, m=4, n=5, p=3):
+    x0 = rng.uniform(1.0, 20.0, (m, n, p))
+    # Feasible heterogeneous totals from a random witness cube.
+    witness = x0 * rng.uniform(0.5, 1.8, (m, n, p))
+    return ThreeWayProblem(
+        x0=x0,
+        gamma=rng.uniform(0.5, 3.0, (m, n, p)),
+        a=witness.sum(axis=(1, 2)),
+        b=witness.sum(axis=(0, 2)),
+        c=witness.sum(axis=(0, 1)),
+    )
+
+
+class TestThreeWay:
+    def test_all_three_families_satisfied(self, rng):
+        problem = _cube_problem(rng)
+        result = solve_three_way(problem, stop=TIGHT)
+        assert result.converged
+        res = problem.residuals(result.x)
+        scale = problem.a.max()
+        # The last-equilibrated family is exact; the others near-exact.
+        assert res["commodity"] < 1e-9 * scale
+        assert res["origin"] < 1e-6 * scale
+        assert res["destination"] < 1e-6 * scale
+        assert np.all(result.x >= 0)
+
+    def test_kkt_of_cube(self, rng):
+        """Full 3-D stationarity: 2 gamma (x - x0) = lam + mu + nu on
+        positive cells, >= on zero cells (nu recovered from a positive
+        commodity slab)."""
+        problem = _cube_problem(rng, 3, 4, 3)
+        result = solve_three_way(problem, stop=TIGHT)
+        grad = 2.0 * problem.gamma * (result.x - problem.x0)
+        partial = result.lam[:, None, None] + result.mu[None, :, None]
+        # Recover nu from any strictly positive cell per slab.
+        nu = np.empty(problem.shape[2])
+        for k in range(problem.shape[2]):
+            slab = result.x[:, :, k]
+            i, j = np.unravel_index(np.argmax(slab), slab.shape)
+            nu[k] = grad[i, j, k] - partial[i, j, 0] + 0.0 - (
+                result.mu[j] - result.mu[j]
+            )
+            nu[k] = grad[i, j, k] - result.lam[i] - result.mu[j]
+        reduced = grad - partial - nu[None, None, :]
+        scale = float(np.abs(grad).max()) + 1.0
+        positive = result.x > 1e-8 * problem.x0.max()
+        assert np.max(np.abs(reduced[positive])) < 1e-6 * scale
+        assert np.min(reduced[~positive], initial=0.0) > -1e-6 * scale
+
+    def test_feasible_base_is_fixed_point(self, rng):
+        x0 = rng.uniform(1.0, 10.0, (3, 3, 3))
+        problem = ThreeWayProblem(
+            x0=x0, gamma=np.ones_like(x0),
+            a=x0.sum(axis=(1, 2)), b=x0.sum(axis=(0, 2)), c=x0.sum(axis=(0, 1)),
+        )
+        result = solve_three_way(problem, stop=TIGHT)
+        np.testing.assert_allclose(result.x, x0, atol=1e-8 * x0.max())
+
+    def test_mismatched_grand_totals_rejected(self, rng):
+        x0 = np.ones((2, 2, 2))
+        with pytest.raises(ValueError, match="grand total"):
+            ThreeWayProblem(
+                x0=x0, gamma=np.ones_like(x0),
+                a=np.array([4.0, 4.0]), b=np.array([4.0, 4.0]),
+                c=np.array([5.0, 5.0]),
+            )
+
+    def test_degenerates_to_2d_when_p_is_1(self, rng):
+        """A 1-deep cube with commodity total = grand total is the 2-D
+        problem; compare against the 2-D solver."""
+        from repro.core.problems import FixedTotalsProblem
+        from repro.core.sea import solve_fixed
+
+        x0_2d = rng.uniform(1.0, 10.0, (4, 4))
+        witness = x0_2d * rng.uniform(0.5, 1.5, (4, 4))
+        s0 = witness.sum(axis=1)
+        d0 = witness.sum(axis=0)
+        gamma_2d = rng.uniform(0.5, 2.0, (4, 4))
+        cube = ThreeWayProblem(
+            x0=x0_2d[:, :, None], gamma=gamma_2d[:, :, None],
+            a=s0, b=d0, c=np.array([s0.sum()]),
+        )
+        flat = FixedTotalsProblem(x0=x0_2d, gamma=gamma_2d, s0=s0, d0=d0)
+        r3 = solve_three_way(cube, stop=TIGHT)
+        r2 = solve_fixed(flat, stop=TIGHT)
+        np.testing.assert_allclose(
+            r3.x[:, :, 0], r2.x, atol=1e-6 * s0.max()
+        )
+
+    def test_ipf_cube(self, rng):
+        x0 = rng.uniform(1.0, 10.0, (4, 4, 4))
+        witness = x0 * rng.uniform(0.5, 1.5, (4, 4, 4))
+        a = witness.sum(axis=(1, 2))
+        b = witness.sum(axis=(0, 2))
+        c = witness.sum(axis=(0, 1))
+        x, converged, _ = tri_proportional_fit(x0, a, b, c)
+        assert converged
+        np.testing.assert_allclose(x.sum(axis=(1, 2)), a, rtol=1e-6)
+        np.testing.assert_allclose(x.sum(axis=(0, 1)), c, rtol=1e-6)
+
+    def test_sea3d_and_ipf_agree_on_feasibility_not_values(self, rng):
+        problem = _cube_problem(rng, 3, 3, 3)
+        sea = solve_three_way(problem, stop=TIGHT)
+        ipf, converged, _ = tri_proportional_fit(
+            problem.x0, problem.a, problem.b, problem.c
+        )
+        assert converged
+        # Different objectives -> different cubes, same constraints.
+        assert problem.objective(sea.x) <= problem.objective(ipf) + 1e-9
+
+
+class TestMultiPeriod:
+    def _base(self, rng, n=6):
+        flows = rng.uniform(100.0, 5000.0, (n, n))
+        np.fill_diagonal(flows, 0.0)
+        pop = rng.uniform(1e5, 1e6, n)
+        return flows, pop
+
+    def test_population_accounting(self, rng):
+        flows, pop = self._base(rng)
+        result = project_flows(
+            flows, pop,
+            [ProjectionPeriod(out_growth=1.05, in_growth=1.05, label="p1"),
+             ProjectionPeriod(out_growth=1.02, in_growth=1.02, label="p2")],
+        )
+        assert result.converged
+        assert len(result.flows) == 2
+        # Closed system: total population conserved.
+        for p in result.populations:
+            assert p.sum() == pytest.approx(pop.sum(), rel=1e-9)
+        # Per-region accounting identity.
+        np.testing.assert_allclose(
+            result.populations[1],
+            pop - result.flows[0].sum(axis=1) + result.flows[0].sum(axis=0),
+        )
+
+    def test_growth_scenario_raises_mobility(self, rng):
+        flows, pop = self._base(rng)
+        low = project_flows(flows, pop, [ProjectionPeriod(1.0, 1.0)])
+        high = project_flows(flows, pop, [ProjectionPeriod(1.5, 1.5)])
+        assert high.total_movers()[0] > low.total_movers()[0]
+
+    def test_asymmetric_growth_shifts_population(self, rng):
+        flows, pop = self._base(rng, n=4)
+        out_g = np.array([1.5, 1.0, 1.0, 1.0])  # region 0 empties out
+        in_g = np.array([0.8, 1.1, 1.1, 1.1])
+        result = project_flows(flows, pop, [ProjectionPeriod(out_g, in_g)])
+        assert result.populations[1][0] < pop[0]
+
+    def test_diagonal_stays_zero(self, rng):
+        flows, pop = self._base(rng)
+        result = project_flows(flows, pop, [ProjectionPeriod(1.1, 1.1)])
+        assert np.all(np.diag(result.flows[0]) == 0.0)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="square"):
+            project_flows(np.ones((2, 3)), np.ones(2), [ProjectionPeriod()])
+        with pytest.raises(ValueError, match="populations"):
+            project_flows(np.ones((2, 2)), np.ones(3), [ProjectionPeriod()])
+
+    def test_empty_period_list(self, rng):
+        flows, pop = self._base(rng)
+        result = project_flows(flows, pop, [])
+        assert isinstance(result, MultiPeriodResult)
+        assert result.flows == []

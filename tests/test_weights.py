@@ -1,0 +1,64 @@
+"""Tests for the weight-scheme helpers (Section 2's flexibility)."""
+
+import numpy as np
+import pytest
+
+from repro.core.weights import SCHEMES, cell_weights, total_weights
+
+
+class TestCellWeights:
+    def test_unit(self):
+        x0 = np.array([[2.0, 4.0]])
+        np.testing.assert_array_equal(cell_weights(x0, "unit"), np.ones((1, 2)))
+
+    def test_chi_square_is_reciprocal(self):
+        x0 = np.array([[2.0, 4.0]])
+        np.testing.assert_allclose(
+            cell_weights(x0, "chi-square"), np.array([[0.5, 0.25]])
+        )
+
+    def test_inverse_sqrt(self):
+        x0 = np.array([[4.0, 16.0]])
+        np.testing.assert_allclose(
+            cell_weights(x0, "inverse-sqrt"), np.array([[0.5, 0.25]])
+        )
+
+    def test_masked_cells_get_unit_weight(self):
+        x0 = np.array([[2.0, 0.0]])
+        mask = np.array([[True, False]])
+        w = cell_weights(x0, "chi-square", mask=mask)
+        assert w[0, 1] == 1.0
+
+    def test_zero_active_entry_rejected_for_reciprocal(self):
+        with pytest.raises(ValueError, match="strictly positive"):
+            cell_weights(np.array([[0.0, 1.0]]), "chi-square")
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError, match="unknown"):
+            cell_weights(np.ones((1, 1)), "nope")
+
+    def test_all_listed_schemes_work(self):
+        for scheme in SCHEMES:
+            w = cell_weights(np.full((2, 2), 3.0), scheme)
+            assert np.all(w > 0)
+
+
+class TestTotalWeights:
+    def test_chi_square(self):
+        np.testing.assert_allclose(
+            total_weights(np.array([4.0, 8.0]), "chi-square"),
+            np.array([0.25, 0.125]),
+        )
+
+    def test_unit(self):
+        np.testing.assert_array_equal(
+            total_weights(np.array([4.0, 8.0]), "unit"), np.ones(2)
+        )
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValueError, match="strictly positive"):
+            total_weights(np.array([-1.0]), "inverse-sqrt")
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError, match="unknown"):
+            total_weights(np.ones(2), "nope")
