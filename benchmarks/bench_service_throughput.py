@@ -1,0 +1,130 @@
+"""Solve-service throughput: batching + warm starts vs per-request solve.
+
+The workload is the service's design target: a stream of 200 perturbed
+variants of one fixed-totals problem (a Sinkhorn-style rebalancing
+stream — same table structure and weights, totals drifting a few
+percent between revisions).  The naive baseline calls ``solve()`` once
+per problem; the service consumes the stream in micro-batch windows,
+fusing each window's row/column equilibrations into stacked kernel
+calls and warm-starting every solve from the nearest cached dual.
+
+Acceptance target: the service sustains **>= 2x** the naive throughput,
+with the warm-start hit rate reported via ``ServiceStats``.  Run
+directly (``python benchmarks/bench_service_throughput.py``) or through
+pytest; the rendered comparison lands in
+``benchmarks/results/service_throughput.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from _util import RESULTS_DIR
+from repro.core.api import solve
+from repro.core.convergence import StoppingRule
+from repro.core.problems import FixedTotalsProblem
+from repro.service import SolveService
+
+SIZE = 24          # table is SIZE x SIZE
+STREAM = 200       # problems per stream
+WINDOW = 25        # service micro-batch window
+EPS = 1e-8
+DRIFT = 0.03       # elementwise totals drift per revision
+
+
+def perturbation_stream(
+    size: int = SIZE, count: int = STREAM, seed: int = 42
+) -> list[FixedTotalsProblem]:
+    """``count`` revisions of one sparse table: fixed structure (IO-table
+    style structural zeros, spread weights), totals drifting a few
+    percent per revision."""
+    rng = np.random.default_rng(seed)
+    x0 = rng.uniform(1.0, 20.0, (size, size))
+    mask = rng.random((size, size)) < 0.3
+    for i in np.flatnonzero(~mask.any(axis=1)):
+        mask[i, rng.integers(size)] = True
+    for j in np.flatnonzero(~mask.any(axis=0)):
+        mask[rng.integers(size), j] = True
+    gamma = rng.uniform(1.0, 100.0, (size, size))
+    witness = np.where(mask, x0, 0.0) * rng.uniform(0.2, 2.5, x0.shape)
+    problems = []
+    for _ in range(count):
+        w = witness * rng.uniform(1.0 - DRIFT, 1.0 + DRIFT, x0.shape)
+        problems.append(
+            FixedTotalsProblem(
+                x0=x0, gamma=gamma, s0=w.sum(axis=1), d0=w.sum(axis=0),
+                mask=mask,
+            )
+        )
+    return problems
+
+
+def run_naive(problems, stop) -> float:
+    t0 = time.perf_counter()
+    for problem in problems:
+        result = solve(problem, stop=stop)
+        assert result.converged
+    return time.perf_counter() - t0
+
+
+def run_service(problems, stop) -> tuple[float, dict]:
+    t0 = time.perf_counter()
+    with SolveService(max_batch=WINDOW) as svc:
+        done = 0
+        for problem in problems:
+            svc.submit(
+                problem, eps=stop.eps, max_iterations=stop.max_iterations
+            )
+            if svc.pending >= WINDOW:
+                done += sum(r.converged for r in svc.drain())
+        done += sum(r.converged for r in svc.drain())
+        stats = svc.stats().as_dict()
+    assert done == len(problems)
+    return time.perf_counter() - t0, stats
+
+
+def render(naive_s: float, service_s: float, stats: dict) -> str:
+    ratio = naive_s / service_s
+    lines = [
+        "service throughput — stream of "
+        f"{STREAM} perturbed {SIZE}x{SIZE} fixed-totals problems",
+        f"  naive per-request solve(): {naive_s:8.3f}s "
+        f"({STREAM / naive_s:7.1f} req/s)",
+        f"  SolveService (window={WINDOW}): {service_s:8.3f}s "
+        f"({STREAM / service_s:7.1f} req/s)",
+        f"  speedup: {ratio:.2f}x (target >= 2x)",
+        f"  cache hit rate: {stats['cache_hit_rate']:.3f} "
+        f"({stats['cache_hits']} hits / {stats['cache_misses']} misses)",
+        f"  batches: {stats['batches']} covering "
+        f"{stats['batched_requests']} requests",
+        f"  mean iterations/solve: {stats['mean_iterations']}",
+    ]
+    return "\n".join(lines)
+
+
+def run_comparison() -> tuple[float, float, dict]:
+    stop = StoppingRule(eps=EPS, criterion="delta-x", max_iterations=5000)
+    problems = perturbation_stream()
+    # Warm-up both paths once so neither pays first-call numpy setup.
+    solve(problems[0], stop=stop)
+    naive_s = run_naive(problems, stop)
+    service_s, stats = run_service(problems, stop)
+    text = render(naive_s, service_s, stats)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "service_throughput.txt").write_text(text + "\n")
+    print(text)
+    return naive_s, service_s, stats
+
+
+def test_service_throughput():
+    naive_s, service_s, stats = run_comparison()
+    assert naive_s / service_s >= 2.0, (
+        f"service speedup {naive_s / service_s:.2f}x below the 2x target"
+    )
+    assert stats["cache_hit_rate"] > 0.5  # every post-first-window solve warm
+
+
+if __name__ == "__main__":
+    run_comparison()

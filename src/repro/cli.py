@@ -13,6 +13,16 @@ Commands
     needs only ``--row-totals`` (prior account totals); ``--kind
     elastic`` treats both totals files as priors.
 
+``serve``
+    Run the solve service over newline-delimited JSON::
+
+        python -m repro serve --jsonl < requests.jsonl > responses.jsonl
+
+    Each input line is one request (see :mod:`repro.service.wire` for
+    the schema); each output line is the matching response.  Requests
+    are micro-batched in windows (``--window``), fused by shape, and
+    warm-started from previously-solved problems.
+
 ``experiment``
     Regenerate one paper table/figure::
 
@@ -59,6 +69,37 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--out", help="write the estimate to a labeled CSV")
     solve.add_argument("--report", action="store_true",
                        help="print the convergence diagnostics report")
+    solve.add_argument("--json", action="store_true",
+                       help="print the result as a JSON document instead of "
+                            "the text summary (exit code 2 signals "
+                            "nonconvergence either way)")
+
+    serve = sub.add_parser("serve",
+                           help="solve a JSONL request stream via the "
+                                "batching, warm-starting service")
+    serve.add_argument("--jsonl", action="store_true",
+                       help="newline-delimited JSON in/out (the only wire "
+                            "format; flag kept explicit for forward "
+                            "compatibility)")
+    serve.add_argument("--input",
+                       help="read requests from this file (default: stdin)")
+    serve.add_argument("--output",
+                       help="write responses to this file (default: stdout)")
+    serve.add_argument("--window", type=int, default=32,
+                       help="micro-batch window: requests buffered before a "
+                            "drain (default 32)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker count of the shared kernel pool")
+    serve.add_argument("--backend", choices=("serial", "thread", "process"),
+                       default="serial")
+    serve.add_argument("--no-batch", action="store_true",
+                       help="disable same-shape request fusion")
+    serve.add_argument("--no-warm-start", action="store_true",
+                       help="disable the warm-start cache")
+    serve.add_argument("--no-matrix", action="store_true",
+                       help="omit x/s/d payloads from responses")
+    serve.add_argument("--stats", action="store_true",
+                       help="print the ServiceStats JSON to stderr on exit")
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate a paper table/figure")
@@ -137,14 +178,93 @@ def _cmd_solve(args) -> int:
             result = solve_elastic(problem, stop=stop,
                                    record_history=args.report)
 
-    if args.report:
+    if args.json:
+        import json
+
+        def _finite(v):
+            v = float(v)
+            return v if np.isfinite(v) else None
+
+        print(json.dumps({
+            "kind": args.kind,
+            "algorithm": result.algorithm,
+            "converged": bool(result.converged),
+            "iterations": int(result.iterations),
+            "residual": _finite(result.residual),
+            "objective": _finite(result.objective),
+            "elapsed": round(result.elapsed, 6),
+            "x": result.x.tolist(),
+            "s": result.s.tolist(),
+            "d": result.d.tolist(),
+            "row_labels": row_labels,
+            "col_labels": col_labels,
+        }))
+    elif args.report:
         print(convergence_report(result))
     else:
         print(result.summary())
     if args.out:
         write_table_csv(args.out, result.x, row_labels, col_labels)
-        print(f"wrote {args.out}")
+        if not args.json:
+            print(f"wrote {args.out}")
     return 0 if result.converged else 2
+
+
+def _cmd_serve(args) -> int:
+    import contextlib
+    import json
+    import pathlib
+
+    from repro.service import SolveService
+    from repro.service.wire import dump_response, read_requests
+
+    with contextlib.ExitStack() as stack:
+        if args.input:
+            in_stream = stack.enter_context(pathlib.Path(args.input).open())
+        else:
+            in_stream = sys.stdin
+        if args.output:
+            out_stream = stack.enter_context(pathlib.Path(args.output).open("w"))
+        else:
+            out_stream = sys.stdout
+
+        any_error = False
+        any_nonconverged = False
+
+        def _flush(svc) -> None:
+            nonlocal any_error, any_nonconverged
+            for resp in svc.drain():
+                out_stream.write(
+                    dump_response(resp, include_matrix=not args.no_matrix) + "\n"
+                )
+                if not resp.ok:
+                    any_error = True
+                elif not resp.converged:
+                    any_nonconverged = True
+            out_stream.flush()
+
+        svc = stack.enter_context(SolveService(
+            workers=args.workers,
+            backend=args.backend,
+            batching=not args.no_batch,
+            warm_start=not args.no_warm_start,
+            max_batch=max(args.window, 1),
+        ))
+        try:
+            for request in read_requests(in_stream):
+                svc.submit(request)
+                if svc.pending >= max(args.window, 1):
+                    _flush(svc)
+        except (ValueError, TypeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        _flush(svc)
+        if args.stats:
+            print(json.dumps(svc.stats().as_dict()), file=sys.stderr)
+
+    if any_error:
+        return 1
+    return 2 if any_nonconverged else 0
 
 
 def _cmd_experiment(args) -> int:
@@ -168,6 +288,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "solve":
         return _cmd_solve(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     return _cmd_info()

@@ -54,6 +54,7 @@ def solve_general(
     problem: GeneralProblem,
     stop: StoppingRule | None = None,
     inner_stop: StoppingRule | None = None,
+    mu0: np.ndarray | None = None,
     kernel=solve_piecewise_linear,
     record_history: bool = False,
 ) -> SolveResult:
@@ -68,6 +69,11 @@ def solve_general(
         defaults to ``eps = 1e-3``.
     inner_stop:
         Stopping rule handed to the diagonal SEA subsolver.
+    mu0:
+        Initial column multipliers seeding the *first* projection
+        step's diagonal solve (later steps chain their own warm
+        starts); gives the general solver the same warm-start surface
+        as the diagonal ones.
     kernel:
         Piecewise-linear kernel forwarded to diagonal SEA (lets the
         parallel executor drive the inner row/column sweeps).
@@ -89,7 +95,7 @@ def solve_general(
     residual = np.inf
     inner_total = 0
     inner = None
-    warm_mu = None
+    warm_mu = None if mu0 is None else np.asarray(mu0, dtype=np.float64).copy()
 
     for t in range(1, stop.max_iterations + 1):
         dx = np.where(mask, x_prev - x0, 0.0).ravel()

@@ -26,6 +26,8 @@ __all__ = [
     "write_table_csv",
     "save_problem",
     "load_problem",
+    "problem_to_jsonable",
+    "problem_from_jsonable",
 ]
 
 _KINDS = {
@@ -152,3 +154,82 @@ def load_problem(path):
                 mask=bundle["mask"], name=name,
             )
     raise ValueError(f"unknown problem kind {kind!r} in {path}")
+
+
+# ---------------------------------------------------------------------------
+# JSON wire format (the solve service's request/response payloads)
+# ---------------------------------------------------------------------------
+
+def _maybe_list(arr) -> list | None:
+    return None if arr is None else np.asarray(arr).tolist()
+
+
+def problem_to_jsonable(problem) -> dict:
+    """Encode a core problem as a JSON-serializable dict.
+
+    The layout mirrors the NPZ bundle of :func:`save_problem` with
+    nested lists in place of arrays; an all-``True`` mask is omitted.
+    """
+    kind = next((k for k, cls in _KINDS.items() if type(problem) is cls), None)
+    if kind is None:
+        raise TypeError(f"cannot encode {type(problem).__name__}")
+    obj: dict = {
+        "kind": kind,
+        "name": problem.name,
+        "x0": problem.x0.tolist(),
+        "s0": problem.s0.tolist(),
+    }
+    if not problem.mask.all():
+        obj["mask"] = problem.mask.tolist()
+    if kind == "general":
+        obj["general_kind"] = problem.kind
+        obj["G"] = problem.G.tolist()
+        obj["d0"] = _maybe_list(problem.d0)
+        obj["A"] = _maybe_list(problem.A)
+        obj["B"] = _maybe_list(problem.B)
+    else:
+        obj["gamma"] = problem.gamma.tolist()
+        if kind in ("fixed", "elastic"):
+            obj["d0"] = problem.d0.tolist()
+        if kind in ("elastic", "sam"):
+            obj["alpha"] = problem.alpha.tolist()
+        if kind == "elastic":
+            obj["beta"] = problem.beta.tolist()
+    return obj
+
+
+def problem_from_jsonable(obj: dict):
+    """Decode a dict produced by :func:`problem_to_jsonable`."""
+    kind = obj.get("kind")
+    if kind not in _KINDS:
+        raise ValueError(f"unknown problem kind {kind!r}")
+    arr = np.asarray
+    common = {
+        "x0": arr(obj["x0"], dtype=np.float64),
+        "s0": arr(obj["s0"], dtype=np.float64),
+        "mask": None if obj.get("mask") is None else arr(obj["mask"], dtype=bool),
+        "name": obj.get("name", kind),
+    }
+    if kind == "general":
+        opt = {
+            k: None if obj.get(k) is None else arr(obj[k], dtype=np.float64)
+            for k in ("d0", "A", "B")
+        }
+        return GeneralProblem(
+            kind=obj["general_kind"], G=arr(obj["G"], dtype=np.float64),
+            **common, **opt,
+        )
+    gamma = arr(obj["gamma"], dtype=np.float64)
+    if kind == "fixed":
+        return FixedTotalsProblem(
+            gamma=gamma, d0=arr(obj["d0"], dtype=np.float64), **common
+        )
+    if kind == "elastic":
+        return ElasticProblem(
+            gamma=gamma, d0=arr(obj["d0"], dtype=np.float64),
+            alpha=arr(obj["alpha"], dtype=np.float64),
+            beta=arr(obj["beta"], dtype=np.float64), **common,
+        )
+    return SAMProblem(
+        gamma=gamma, alpha=arr(obj["alpha"], dtype=np.float64), **common
+    )

@@ -56,6 +56,14 @@ class ParallelKernel:
     backend:
         ``'serial'``, ``'thread'`` or ``'process'``.
 
+    The kernel is a *long-lived* resource: the underlying pool is
+    created lazily on first parallel dispatch and then reused across as
+    many solves as you like, so a process-pool backend forks exactly
+    once per kernel, not once per solve.  ``close()`` releases the pool;
+    the kernel stays usable afterwards (the next dispatch transparently
+    builds a fresh pool), which lets services keep one kernel for their
+    whole lifetime and still reclaim workers during quiet periods.
+
     Use as a context manager (or call :meth:`close`) to release pool
     resources::
 
@@ -71,17 +79,22 @@ class ParallelKernel:
         self.workers = workers
         self.backend = backend
         self._pool: Executor | None = None
-        if backend == "thread":
-            self._pool = ThreadPoolExecutor(max_workers=workers)
-        elif backend == "process":
-            self._pool = ProcessPoolExecutor(max_workers=workers)
         self.dispatches = 0  # fork/join phases executed (diagnostics)
+
+    def _ensure_pool(self) -> Executor | None:
+        """Create the worker pool on demand (and after a ``close()``)."""
+        if self._pool is None:
+            if self.backend == "thread":
+                self._pool = ThreadPoolExecutor(max_workers=self.workers)
+            elif self.backend == "process":
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
 
     def __call__(self, breakpoints, slopes, target, a=None, c=None) -> np.ndarray:
         m = breakpoints.shape[0]
         blocks = partition_blocks(m, self.workers)
         self.dispatches += 1
-        if len(blocks) <= 1 or self._pool is None:
+        if len(blocks) <= 1 or self._ensure_pool() is None:
             out = np.empty(m)
             for lo, hi in blocks:
                 out[lo:hi] = _solve_block(

@@ -1,0 +1,45 @@
+"""In-process solve service for high-throughput constrained-matrix workloads.
+
+Real workloads (census updates, IO-table revisions, Sinkhorn-style
+rebalancing streams) arrive as *streams of closely-related problems*.
+This package amortizes everything that a one-shot ``solve()`` call pays
+per problem:
+
+* a job queue + scheduler (:class:`SolveService`) dispatching every
+  problem kind over one shared, long-lived
+  :class:`~repro.parallel.executor.ParallelKernel` worker pool;
+* request batching (:mod:`repro.service.batching`) that fuses the
+  independent row/column equilibrations of same-shape fixed-totals
+  problems into single kernel fan-outs;
+* a warm-start cache (:mod:`repro.service.cache`) keyed by the problem
+  fingerprint of :func:`repro.core.api.fingerprint`, seeding ``mu0``
+  from the nearest previously-solved problem;
+* a metrics surface (:class:`~repro.service.metrics.ServiceStats`).
+
+Drive it from Python::
+
+    from repro.service import SolveService
+
+    with SolveService(workers=4, backend="thread") as svc:
+        for problem in stream:
+            svc.submit(problem)
+        responses = svc.drain()
+        print(svc.stats().as_dict())
+
+or end-to-end over JSONL: ``python -m repro serve --jsonl``.
+"""
+
+from repro.service.batching import solve_fixed_batch
+from repro.service.cache import WarmStartCache
+from repro.service.metrics import ServiceStats
+from repro.service.request import SolveRequest, SolveResponse
+from repro.service.service import SolveService
+
+__all__ = [
+    "SolveService",
+    "SolveRequest",
+    "SolveResponse",
+    "ServiceStats",
+    "WarmStartCache",
+    "solve_fixed_batch",
+]

@@ -1,0 +1,80 @@
+"""Service observability: counters and derived rates.
+
+``ServiceStats`` is a plain mutable record the service updates in
+place; :meth:`ServiceStats.snapshot` hands callers an independent copy,
+and :meth:`ServiceStats.as_dict` flattens it (derived rates included)
+for the JSONL stats line of ``python -m repro serve``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["ServiceStats"]
+
+
+@dataclass
+class ServiceStats:
+    """Counters of one :class:`~repro.service.service.SolveService`.
+
+    ``cache_hits``/``cache_misses`` count warm-start lookups only (jobs
+    with warm-starting disabled touch neither); ``total_solve_time`` is
+    summed per-request service-side wall time, so batched requests
+    overlap and the sum can exceed the true wall clock.
+    """
+
+    requests: int = 0
+    completed: int = 0
+    errors: int = 0
+    batches: int = 0
+    batched_requests: int = 0
+    cache_hits: int = 0
+    cache_exact_hits: int = 0
+    cache_misses: int = 0
+    cache_size: int = 0
+    queue_depth: int = 0
+    total_solve_time: float = 0.0
+    total_iterations: int = 0
+    per_kind: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        """Warm-start cache hit rate over all lookups (0 when none)."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def mean_solve_time(self) -> float:
+        return self.total_solve_time / self.completed if self.completed else 0.0
+
+    @property
+    def mean_iterations(self) -> float:
+        return self.total_iterations / self.completed if self.completed else 0.0
+
+    def count_kind(self, kind: str) -> None:
+        self.per_kind[kind] = self.per_kind.get(kind, 0) + 1
+
+    def snapshot(self) -> "ServiceStats":
+        """Independent copy (safe to keep across further service work)."""
+        return replace(self, per_kind=dict(self.per_kind))
+
+    def as_dict(self) -> dict:
+        """Flat JSON-ready view including the derived rates."""
+        return {
+            "requests": self.requests,
+            "completed": self.completed,
+            "errors": self.errors,
+            "batches": self.batches,
+            "batched_requests": self.batched_requests,
+            "cache_hits": self.cache_hits,
+            "cache_exact_hits": self.cache_exact_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": round(self.hit_rate, 6),
+            "cache_size": self.cache_size,
+            "queue_depth": self.queue_depth,
+            "total_solve_time": round(self.total_solve_time, 6),
+            "mean_solve_time": round(self.mean_solve_time, 6),
+            "total_iterations": self.total_iterations,
+            "mean_iterations": round(self.mean_iterations, 3),
+            "per_kind": dict(self.per_kind),
+        }

@@ -1,0 +1,106 @@
+"""Service job objects: requests in, responses out.
+
+A :class:`SolveRequest` wraps any problem object the library can solve
+plus per-request solver options; a :class:`SolveResponse` pairs the
+request id with the :class:`~repro.core.result.SolveResult` (or the
+error that prevented one) and records how the service handled the job —
+warm-started, batched, which engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.convergence import StoppingRule
+from repro.core.result import SolveResult
+
+__all__ = ["SolveRequest", "SolveResponse", "resolve_stop"]
+
+# Paper-default tolerances per problem kind (Section 3 stopping rules).
+_DEFAULT_STOPS: dict[str, tuple[float, str]] = {
+    "fixed": (1e-2, "delta-x"),
+    "elastic": (1e-2, "delta-x"),
+    "sam": (1e-3, "imbalance"),
+    "general-fixed": (1e-3, "delta-x"),
+    "general-elastic": (1e-3, "delta-x"),
+    "general-sam": (1e-3, "delta-x"),
+}
+
+
+@dataclass
+class SolveRequest:
+    """One unit of work for the solve service.
+
+    Parameters
+    ----------
+    problem:
+        Any problem object accepted by :func:`repro.core.api.solve`
+        (fixed/elastic/SAM/general and the extension classes).
+    id:
+        Caller-chosen identifier echoed in the response; auto-assigned
+        by the service when omitted.
+    eps, max_iterations, criterion:
+        Optional stopping-rule overrides.  Unset fields fall back to
+        the paper defaults for the problem's kind; when all three are
+        unset the solver's own default rule applies.
+    warm_start:
+        Allow seeding ``mu0`` from the warm-start cache.
+    batchable:
+        Allow fusing this request into a same-shape batch (fixed-totals
+        problems on the dense engine only).
+    engine:
+        ``'dense'`` (default) or ``'sparse'`` — the sparse engine routes
+        masked diagonal problems through :mod:`repro.sparse.sea`.
+    """
+
+    problem: object
+    id: str | None = None
+    eps: float | None = None
+    max_iterations: int | None = None
+    criterion: str | None = None
+    warm_start: bool = True
+    batchable: bool = True
+    engine: str = "dense"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("dense", "sparse"):
+            raise ValueError(f"unknown engine {self.engine!r}")
+
+
+def resolve_stop(request: SolveRequest, kind: str) -> StoppingRule | None:
+    """Build the request's stopping rule, or ``None`` for solver defaults."""
+    if (
+        request.eps is None
+        and request.max_iterations is None
+        and request.criterion is None
+    ):
+        return None
+    eps_default, criterion_default = _DEFAULT_STOPS.get(kind, (1e-2, "delta-x"))
+    return StoppingRule(
+        eps=request.eps if request.eps is not None else eps_default,
+        criterion=request.criterion or criterion_default,
+        max_iterations=request.max_iterations or 10_000,
+    )
+
+
+@dataclass
+class SolveResponse:
+    """Outcome of one service job."""
+
+    id: str
+    result: SolveResult | None = None
+    error: str | None = None
+    kind: str = ""
+    elapsed: float = 0.0  # service-side solve time (excludes queueing)
+    warm_started: bool = False
+    cache_exact: bool = False
+    batched: bool = False
+    submitted_at: int = field(default=0, repr=False)  # submission order
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.result is not None
+
+    @property
+    def converged(self) -> bool:
+        return self.ok and self.result.converged

@@ -1,0 +1,292 @@
+"""The solve service: queue, scheduler, shared worker pool.
+
+``SolveService`` owns three long-lived resources a per-call ``solve()``
+rebuilds every time: a :class:`~repro.parallel.executor.ParallelKernel`
+(one worker pool for every solve), a
+:class:`~repro.service.cache.WarmStartCache` (dual multipliers of past
+solves seed new ones), and a
+:class:`~repro.service.metrics.ServiceStats` record.
+
+Scheduling policy (per :meth:`SolveService.drain`):
+
+1. pop every queued request;
+2. group batchable same-shape fixed-totals requests that share one
+   stopping rule and fuse each group through
+   :func:`~repro.service.batching.solve_fixed_batch` (chunks of
+   ``max_batch``); a failing batch falls back to per-request solves so
+   one infeasible problem cannot poison its batch-mates;
+3. dispatch everything else individually over the shared kernel;
+4. return responses in submission order.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+from repro.core.api import fingerprint, problem_kind, solve, totals_vector
+from repro.core.problems import (
+    ElasticProblem,
+    FixedTotalsProblem,
+    GeneralProblem,
+    SAMProblem,
+)
+from repro.parallel.executor import ParallelKernel
+from repro.service.batching import solve_fixed_batch
+from repro.service.cache import WarmStartCache
+from repro.service.metrics import ServiceStats
+from repro.service.request import SolveRequest, SolveResponse, resolve_stop
+
+__all__ = ["SolveService"]
+
+_CORE_KINDS = (FixedTotalsProblem, ElasticProblem, SAMProblem, GeneralProblem)
+
+
+def _stop_key(stop) -> tuple | None:
+    if stop is None:
+        return None
+    return (stop.eps, stop.criterion, stop.check_every, stop.max_iterations)
+
+
+class SolveService:
+    """Batching, warm-starting scheduler over a shared worker pool.
+
+    Parameters
+    ----------
+    workers, backend:
+        Configuration of the shared :class:`ParallelKernel`; the pool is
+        created lazily and reused for every solve until :meth:`close`.
+    batching:
+        Fuse compatible fixed-totals requests into stacked kernel calls.
+    warm_start:
+        Seed ``mu0`` from the cache of previously-solved problems.
+    cache_size:
+        Warm-start cache capacity (LRU beyond it).
+    max_batch:
+        Largest number of requests fused into one batch.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        backend: str = "serial",
+        batching: bool = True,
+        warm_start: bool = True,
+        cache_size: int = 256,
+        max_batch: int = 64,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.kernel = ParallelKernel(workers=workers, backend=backend)
+        self.batching = batching
+        self.warm_start = warm_start
+        self.max_batch = max_batch
+        self.cache = WarmStartCache(maxsize=cache_size)
+        self._queue: deque[SolveRequest] = deque()
+        self._stats = ServiceStats()
+        self._seq = 0
+
+    # -- job intake ---------------------------------------------------------
+
+    def submit(self, request, **options) -> str:
+        """Enqueue a request (or bare problem) and return its id."""
+        if not isinstance(request, SolveRequest):
+            request = SolveRequest(problem=request, **options)
+        elif options:
+            raise TypeError("options only apply when submitting a bare problem")
+        if request.id is None:
+            request.id = f"req-{self._seq}"
+        request._order = self._seq  # type: ignore[attr-defined]
+        self._seq += 1
+        self._queue.append(request)
+        self._stats.requests += 1
+        self._stats.queue_depth = len(self._queue)
+        return request.id
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def solve(self, request, **options) -> SolveResponse:
+        """Submit one job and drain; returns that job's response."""
+        rid = self.submit(request, **options)
+        responses = self.drain()
+        return next(r for r in responses if r.id == rid)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def drain(self) -> list[SolveResponse]:
+        """Process the whole queue; responses come back in submission order."""
+        requests = list(self._queue)
+        self._queue.clear()
+        self._stats.queue_depth = 0
+
+        groups: dict[tuple, list[SolveRequest]] = {}
+        singles: list[SolveRequest] = []
+        for req in requests:
+            if (
+                self.batching
+                and req.batchable
+                and req.engine == "dense"
+                and type(req.problem) is FixedTotalsProblem
+            ):
+                stop = resolve_stop(req, "fixed")
+                key = (req.problem.shape, _stop_key(stop))
+                groups.setdefault(key, []).append(req)
+            else:
+                singles.append(req)
+
+        responses: list[SolveResponse] = []
+        for (_, _), members in groups.items():
+            if len(members) == 1:
+                singles.extend(members)
+                continue
+            for lo in range(0, len(members), self.max_batch):
+                responses.extend(self._run_batch(members[lo:lo + self.max_batch]))
+        for req in singles:
+            responses.append(self._run_single(req, self._lookup(req)))
+        responses.sort(key=lambda r: r.submitted_at)
+        return responses
+
+    # -- execution ----------------------------------------------------------
+
+    def _lookup(self, req: SolveRequest):
+        """Warm-start lookup; returns (mu0, warm, exact, fp, totals)."""
+        if not (
+            self.warm_start
+            and req.warm_start
+            and req.engine == "dense"
+            and type(req.problem) in _CORE_KINDS
+        ):
+            if type(req.problem) in _CORE_KINDS and req.engine == "dense":
+                return (None, False, False, fingerprint(req.problem),
+                        totals_vector(req.problem))
+            return (None, False, False, None, None)
+        fp = fingerprint(req.problem)
+        totals = totals_vector(req.problem)
+        hit = self.cache.lookup(fp, totals)
+        if hit is None:
+            self._stats.cache_misses += 1
+            return (None, False, False, fp, totals)
+        mu0, exact = hit
+        self._stats.cache_hits += 1
+        if exact:
+            self._stats.cache_exact_hits += 1
+        return (mu0, True, exact, fp, totals)
+
+    def _record(self, req: SolveRequest, response: SolveResponse, fp, totals) -> None:
+        if response.ok:
+            self._stats.completed += 1
+            self._stats.total_solve_time += response.elapsed
+            self._stats.total_iterations += response.result.iterations
+            if fp is not None and response.result.mu is not None:
+                self.cache.store(fp, totals, response.result.mu)
+        else:
+            self._stats.errors += 1
+        self._stats.count_kind(response.kind)
+        self._stats.cache_size = len(self.cache)
+
+    def _kind_tag(self, req: SolveRequest) -> str:
+        if type(req.problem) in _CORE_KINDS:
+            tag = problem_kind(req.problem)
+        else:
+            tag = type(req.problem).__name__
+        return f"{tag}/sparse" if req.engine == "sparse" else tag
+
+    def _run_single(self, req: SolveRequest, lookup) -> SolveResponse:
+        mu0, warm, exact, fp, totals = lookup
+        kind = self._kind_tag(req)
+        response = SolveResponse(
+            id=req.id, kind=kind, warm_started=warm, cache_exact=exact,
+            submitted_at=getattr(req, "_order", 0),
+        )
+        t0 = time.perf_counter()
+        try:
+            response.result = self._dispatch(req, mu0)
+        except Exception as exc:  # noqa: BLE001 — fault isolation per job
+            response.error = f"{type(exc).__name__}: {exc}"
+        response.elapsed = time.perf_counter() - t0
+        self._record(req, response, fp, totals)
+        return response
+
+    def _dispatch(self, req: SolveRequest, mu0):
+        problem = req.problem
+        if req.engine == "sparse":
+            from repro.sparse.sea import (
+                solve_elastic_sparse,
+                solve_fixed_sparse,
+                solve_sam_sparse,
+            )
+
+            sparse_dispatch = {
+                FixedTotalsProblem: solve_fixed_sparse,
+                ElasticProblem: solve_elastic_sparse,
+                SAMProblem: solve_sam_sparse,
+            }
+            solver = sparse_dispatch.get(type(problem))
+            if solver is None:
+                raise TypeError(
+                    f"sparse engine cannot solve {type(problem).__name__}"
+                )
+            stop = resolve_stop(req, problem_kind(problem))
+            return solver(problem, stop=stop)
+        if type(problem) in _CORE_KINDS:
+            stop = resolve_stop(req, problem_kind(problem))
+            return solve(problem, stop=stop, mu0=mu0, kernel=self.kernel)
+        kwargs = {}
+        stop = resolve_stop(req, "")
+        if stop is not None:
+            kwargs["stop"] = stop
+        return solve(problem, **kwargs)
+
+    def _run_batch(self, members: list[SolveRequest]) -> list[SolveResponse]:
+        lookups = [self._lookup(req) for req in members]
+        stop = resolve_stop(members[0], "fixed")
+        try:
+            t0 = time.perf_counter()
+            results = solve_fixed_batch(
+                [req.problem for req in members],
+                stop=stop,
+                mu0s=[lk[0] for lk in lookups],
+                kernel=self.kernel,
+            )
+        except Exception:
+            # One bad problem (e.g. infeasible totals) aborts the fused
+            # kernel call — isolate faults by re-running solo.
+            return [
+                self._run_single(req, lk) for req, lk in zip(members, lookups)
+            ]
+        elapsed = time.perf_counter() - t0
+        self._stats.batches += 1
+        self._stats.batched_requests += len(members)
+        responses = []
+        for req, lk, result in zip(members, lookups, results):
+            mu0, warm, exact, fp, totals = lk
+            response = SolveResponse(
+                id=req.id, result=result, kind=self._kind_tag(req),
+                elapsed=result.elapsed if result.elapsed else elapsed,
+                warm_started=warm, cache_exact=exact, batched=True,
+                submitted_at=getattr(req, "_order", 0),
+            )
+            self._record(req, response, fp, totals)
+            responses.append(response)
+        return responses
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        """Snapshot of the current counters."""
+        self._stats.queue_depth = len(self._queue)
+        self._stats.cache_size = len(self.cache)
+        return self._stats.snapshot()
+
+    def close(self) -> None:
+        """Release the worker pool (the service stays usable; the pool
+        re-forks lazily on the next dispatch)."""
+        self.kernel.close()
+
+    def __enter__(self) -> "SolveService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

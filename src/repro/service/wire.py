@@ -1,0 +1,120 @@
+"""JSONL framing of service requests and responses.
+
+One JSON object per line.  A request line carries the problem payload
+of :func:`repro.io.problem_to_jsonable` plus per-request options::
+
+    {"id": "r1", "problem": {"kind": "fixed", "x0": [[...]], ...},
+     "eps": 1e-4, "max_iterations": 5000, "warm_start": true,
+     "batch": true, "engine": "dense"}
+
+A response line echoes the id and reports the outcome; ``x``/``s``/``d``
+are included unless suppressed (``include_matrix=False`` /
+``serve --no-matrix``).  Non-finite floats are encoded as ``null`` so
+the stream stays strict JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.io import problem_from_jsonable, problem_to_jsonable
+from repro.service.request import SolveRequest, SolveResponse
+
+__all__ = [
+    "request_from_jsonable",
+    "request_to_jsonable",
+    "response_to_jsonable",
+    "read_requests",
+    "dump_response",
+]
+
+
+def _finite(value: float) -> float | None:
+    value = float(value)
+    return value if np.isfinite(value) else None
+
+
+def request_from_jsonable(obj: dict) -> SolveRequest:
+    """Decode one request object."""
+    if "problem" not in obj:
+        raise ValueError("request is missing the 'problem' payload")
+    return SolveRequest(
+        problem=problem_from_jsonable(obj["problem"]),
+        id=obj.get("id"),
+        eps=obj.get("eps"),
+        max_iterations=obj.get("max_iterations"),
+        criterion=obj.get("criterion"),
+        warm_start=bool(obj.get("warm_start", True)),
+        batchable=bool(obj.get("batch", True)),
+        engine=obj.get("engine", "dense"),
+    )
+
+
+def request_to_jsonable(request: SolveRequest) -> dict:
+    """Encode a request (the inverse of :func:`request_from_jsonable`)."""
+    obj: dict = {
+        "id": request.id,
+        "problem": problem_to_jsonable(request.problem),
+        "warm_start": request.warm_start,
+        "batch": request.batchable,
+        "engine": request.engine,
+    }
+    for field in ("eps", "max_iterations", "criterion"):
+        value = getattr(request, field)
+        if value is not None:
+            obj[field] = value
+    return obj
+
+
+def response_to_jsonable(
+    response: SolveResponse, include_matrix: bool = True
+) -> dict:
+    """Encode one response object."""
+    if not response.ok:
+        return {"id": response.id, "status": "error", "kind": response.kind,
+                "error": response.error}
+    result = response.result
+    obj = {
+        "id": response.id,
+        "status": "ok",
+        "kind": response.kind,
+        "algorithm": result.algorithm,
+        "converged": bool(result.converged),
+        "iterations": int(result.iterations),
+        "inner_iterations": int(result.inner_iterations),
+        "residual": _finite(result.residual),
+        "objective": _finite(result.objective),
+        "elapsed": round(response.elapsed, 6),
+        "warm_started": response.warm_started,
+        "cache_exact": response.cache_exact,
+        "batched": response.batched,
+    }
+    if include_matrix:
+        obj["x"] = result.x.tolist()
+        obj["s"] = result.s.tolist()
+        obj["d"] = result.d.tolist()
+    return obj
+
+
+def read_requests(lines: Iterable[str]) -> Iterator[SolveRequest]:
+    """Parse a JSONL stream (blank lines ignored) into requests."""
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {lineno}: invalid JSON ({exc})") from exc
+        yield request_from_jsonable(obj)
+
+
+def dump_response(response: SolveResponse, include_matrix: bool = True) -> str:
+    """One response as a compact JSON line."""
+    return json.dumps(
+        response_to_jsonable(response, include_matrix=include_matrix),
+        separators=(",", ":"),
+    )

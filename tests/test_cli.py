@@ -75,6 +75,129 @@ class TestSolve:
                   "--row-totals", str(bad), "--col-totals", str(cols)])
 
 
+class TestSolveJSON:
+    def test_json_output(self, tmp_path, csv_problem, capsys):
+        table, rows, cols, s0, d0 = csv_problem
+        out = tmp_path / "solution.csv"
+        code = main([
+            "solve", "--kind", "fixed", "--table", str(table),
+            "--row-totals", str(rows), "--col-totals", str(cols),
+            "--eps", "1e-6", "--json", "--out", str(out),
+        ])
+        assert code == 0
+        import json
+
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["converged"] is True
+        assert doc["algorithm"] == "SEA-fixed"
+        x = np.asarray(doc["x"])
+        np.testing.assert_allclose(x.sum(axis=0), d0, rtol=1e-4)
+        assert out.exists()  # --out still writes the CSV
+
+    def test_nonconvergence_exit_code_and_json(self, csv_problem, capsys):
+        table, rows, cols, *_ = csv_problem
+        code = main([
+            "solve", "--kind", "fixed", "--table", str(table),
+            "--row-totals", str(rows), "--col-totals", str(cols),
+            "--eps", "1e-12", "--max-iterations", "1", "--json",
+        ])
+        assert code == 2
+        import json
+
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["converged"] is False
+        assert doc["iterations"] == 1
+
+
+class TestServe:
+    @pytest.fixture
+    def jsonl_stream(self, tmp_path, rng):
+        """A mixed request stream: fixed (x2 for batching), elastic, SAM."""
+        import json
+
+        from repro.io import problem_to_jsonable
+
+        x0 = rng.uniform(1.0, 20.0, (4, 4))
+        w = x0 * rng.uniform(0.8, 1.2, x0.shape)
+        lines = []
+        from repro.core.problems import (
+            ElasticProblem,
+            FixedTotalsProblem,
+            SAMProblem,
+        )
+
+        for i, factor in enumerate((1.0, 1.02)):
+            fixed = FixedTotalsProblem(
+                x0=x0, gamma=1.0 / x0,
+                s0=w.sum(axis=1) * factor, d0=w.sum(axis=0) * factor,
+            )
+            lines.append({"id": f"f{i}", "problem": problem_to_jsonable(fixed),
+                          "eps": 1e-6})
+        elastic = ElasticProblem(
+            x0=x0, gamma=1.0 / x0, s0=x0.sum(axis=1), d0=x0.sum(axis=0),
+            alpha=np.ones(4), beta=np.ones(4),
+        )
+        lines.append({"id": "e0", "problem": problem_to_jsonable(elastic)})
+        sam = SAMProblem(
+            x0=x0, gamma=1.0 / x0,
+            s0=0.5 * (x0.sum(axis=1) + x0.sum(axis=0)), alpha=np.ones(4),
+        )
+        lines.append({"id": "s0", "problem": problem_to_jsonable(sam)})
+        path = tmp_path / "requests.jsonl"
+        path.write_text("\n".join(json.dumps(o) for o in lines) + "\n")
+        return path
+
+    def test_mixed_stream_end_to_end(self, tmp_path, jsonl_stream, capsys):
+        import json
+
+        out = tmp_path / "responses.jsonl"
+        code = main([
+            "serve", "--jsonl", "--input", str(jsonl_stream),
+            "--output", str(out), "--stats",
+        ])
+        assert code == 0
+        responses = [json.loads(line) for line in
+                     out.read_text().splitlines() if line]
+        assert [r["id"] for r in responses] == ["f0", "f1", "e0", "s0"]
+        assert all(r["status"] == "ok" and r["converged"] for r in responses)
+        assert {r["algorithm"] for r in responses} == {
+            "SEA-fixed", "SEA-elastic", "SEA-sam",
+        }
+        # Same-shape fixed requests were fused into one batch.
+        assert [r["batched"] for r in responses] == [True, True, False, False]
+        stats = json.loads(capsys.readouterr().err)
+        assert stats["completed"] == 4
+        assert stats["batches"] == 1
+
+    def test_stdout_stream(self, jsonl_stream, capsys):
+        import json
+
+        code = main(["serve", "--jsonl", "--input", str(jsonl_stream),
+                     "--no-matrix"])
+        assert code == 0
+        responses = [json.loads(line) for line in
+                     capsys.readouterr().out.splitlines() if line]
+        assert len(responses) == 4
+        assert all("x" not in r for r in responses)
+
+    def test_nonconvergence_exit_code(self, tmp_path, rng):
+        import json
+
+        from repro.core.problems import FixedTotalsProblem
+        from repro.io import problem_to_jsonable
+
+        x0 = rng.uniform(1.0, 20.0, (4, 4))
+        w = x0 * rng.uniform(0.5, 2.0, x0.shape)
+        problem = FixedTotalsProblem(x0=x0, gamma=1.0 / x0,
+                                     s0=w.sum(axis=1), d0=w.sum(axis=0))
+        path = tmp_path / "r.jsonl"
+        path.write_text(json.dumps({
+            "id": "r0", "problem": problem_to_jsonable(problem),
+            "eps": 1e-12, "max_iterations": 1,
+        }) + "\n")
+        assert main(["serve", "--jsonl", "--input", str(path)]) == 2
+
+
 class TestOtherCommands:
     def test_info(self, capsys):
         assert main(["info"]) == 0

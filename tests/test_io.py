@@ -6,7 +6,14 @@ import pytest
 from conftest import random_elastic_problem, random_fixed_problem, random_sam_problem
 from repro.core.problems import GeneralProblem
 from repro.datasets.general import dense_spd_weights
-from repro.io import load_problem, read_table_csv, save_problem, write_table_csv
+from repro.io import (
+    load_problem,
+    problem_from_jsonable,
+    problem_to_jsonable,
+    read_table_csv,
+    save_problem,
+    write_table_csv,
+)
 
 
 class TestCSV:
@@ -80,6 +87,49 @@ class TestNPZ:
         assert back.kind == "fixed"
         np.testing.assert_array_equal(back.G, problem.G)
 
+    def test_general_elastic_round_trip(self, tmp_path, rng):
+        x0 = rng.uniform(1, 5, (3, 2))
+        problem = GeneralProblem(
+            kind="elastic", x0=x0, G=dense_spd_weights(6, seed=2),
+            s0=x0.sum(axis=1), d0=x0.sum(axis=0),
+            A=dense_spd_weights(3, seed=3), B=dense_spd_weights(2, seed=4),
+        )
+        path = tmp_path / "p.npz"
+        save_problem(path, problem)
+        back = load_problem(path)
+        assert back.kind == "elastic"
+        np.testing.assert_array_equal(back.A, problem.A)
+        np.testing.assert_array_equal(back.B, problem.B)
+        np.testing.assert_array_equal(back.d0, problem.d0)
+
+    def test_general_sam_round_trip(self, tmp_path, rng):
+        x0 = rng.uniform(1, 5, (3, 3))
+        problem = GeneralProblem(
+            kind="sam", x0=x0, G=dense_spd_weights(9, seed=5),
+            s0=0.5 * (x0.sum(axis=1) + x0.sum(axis=0)),
+            A=dense_spd_weights(3, seed=6),
+        )
+        path = tmp_path / "p.npz"
+        save_problem(path, problem)
+        back = load_problem(path)
+        assert back.kind == "sam"
+        assert back.d0 is None and back.B is None
+        np.testing.assert_array_equal(back.A, problem.A)
+
+    def test_general_solutions_identical_after_reload(self, tmp_path, rng):
+        from repro.core.sea_general import solve_general
+
+        x0 = rng.uniform(1, 5, (3, 3))
+        problem = GeneralProblem(
+            kind="fixed", x0=x0, G=dense_spd_weights(9, seed=7),
+            s0=x0.sum(axis=1), d0=x0.sum(axis=0),
+        )
+        path = tmp_path / "p.npz"
+        save_problem(path, problem)
+        r1 = solve_general(problem)
+        r2 = solve_general(load_problem(path))
+        np.testing.assert_array_equal(r1.x, r2.x)
+
     def test_solutions_identical_after_reload(self, tmp_path, rng):
         from repro.core.sea import solve_fixed
 
@@ -94,3 +144,72 @@ class TestNPZ:
     def test_unknown_type_rejected(self, tmp_path):
         with pytest.raises(TypeError):
             save_problem(tmp_path / "p.npz", object())
+
+
+class TestJSONWire:
+    """The solve service's problem payload format."""
+
+    def test_fixed_round_trip(self, rng):
+        problem = random_fixed_problem(rng, 5, 4, density=0.7)
+        back = problem_from_jsonable(problem_to_jsonable(problem))
+        np.testing.assert_allclose(back.x0, problem.x0)
+        np.testing.assert_allclose(back.gamma, problem.gamma)
+        np.testing.assert_array_equal(back.mask, problem.mask)
+        np.testing.assert_allclose(back.s0, problem.s0)
+        np.testing.assert_allclose(back.d0, problem.d0)
+
+    def test_full_mask_omitted(self, rng):
+        problem = random_fixed_problem(rng, 3, 3, density=1.0)
+        obj = problem_to_jsonable(problem)
+        assert "mask" not in obj
+        assert problem_from_jsonable(obj).mask.all()
+
+    def test_elastic_round_trip(self, rng):
+        problem = random_elastic_problem(rng, 3, 4)
+        back = problem_from_jsonable(problem_to_jsonable(problem))
+        np.testing.assert_allclose(back.alpha, problem.alpha)
+        np.testing.assert_allclose(back.beta, problem.beta)
+
+    def test_sam_round_trip(self, rng):
+        problem = random_sam_problem(rng, 4)
+        back = problem_from_jsonable(problem_to_jsonable(problem))
+        np.testing.assert_allclose(back.gamma, problem.gamma)
+        np.testing.assert_allclose(back.alpha, problem.alpha)
+
+    def test_general_round_trip(self, rng):
+        x0 = rng.uniform(1, 5, (2, 3))
+        problem = GeneralProblem(
+            kind="elastic", x0=x0, G=dense_spd_weights(6, seed=8),
+            s0=x0.sum(axis=1), d0=x0.sum(axis=0),
+            A=dense_spd_weights(2, seed=9), B=dense_spd_weights(3, seed=10),
+        )
+        back = problem_from_jsonable(problem_to_jsonable(problem))
+        assert back.kind == "elastic"
+        np.testing.assert_allclose(back.G, problem.G)
+        np.testing.assert_allclose(back.A, problem.A)
+        np.testing.assert_allclose(back.B, problem.B)
+
+    def test_json_serializable(self, rng):
+        import json
+
+        problem = random_fixed_problem(rng, 4, 4, density=0.6)
+        text = json.dumps(problem_to_jsonable(problem))
+        back = problem_from_jsonable(json.loads(text))
+        np.testing.assert_allclose(back.x0, problem.x0)
+
+    def test_solutions_identical_after_round_trip(self, rng):
+        from repro.core.sea import solve_fixed
+
+        problem = random_fixed_problem(rng, 5, 5)
+        back = problem_from_jsonable(problem_to_jsonable(problem))
+        np.testing.assert_array_equal(
+            solve_fixed(problem).x, solve_fixed(back).x
+        )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            problem_from_jsonable({"kind": "nope"})
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            problem_to_jsonable(object())

@@ -82,6 +82,36 @@ class TestParallelKernel:
         assert kernel._pool is None
         kernel.close()
 
+    def test_pool_reused_across_solves(self, rng):
+        """The long-lived pool is created once and shared by every solve."""
+        problem = random_fixed_problem(rng, 8, 8)
+        with ParallelKernel(workers=2, backend="thread") as kernel:
+            solve_fixed(problem, kernel=kernel)
+            pool = kernel._pool
+            assert pool is not None
+            solve_fixed(problem, kernel=kernel)
+            assert kernel._pool is pool
+
+    def test_reusable_after_close(self, rng):
+        """close() releases the pool; the next solve re-creates it lazily
+        and stays bit-identical."""
+        problem = random_fixed_problem(rng, 8, 8)
+        baseline = solve_fixed(problem)
+        kernel = ParallelKernel(workers=2, backend="thread")
+        first = solve_fixed(problem, kernel=kernel)
+        kernel.close()
+        assert kernel._pool is None
+        second = solve_fixed(problem, kernel=kernel)
+        assert kernel._pool is not None
+        kernel.close()
+        np.testing.assert_array_equal(first.x, baseline.x)
+        np.testing.assert_array_equal(second.x, baseline.x)
+
+    def test_pool_creation_is_lazy(self):
+        kernel = ParallelKernel(workers=4, backend="thread")
+        assert kernel._pool is None  # nothing forked until first dispatch
+        kernel.close()
+
     def test_process_backend_smoke(self, rng):
         """Process pool gives bit-identical results (slow start-up: one
         small instance only)."""

@@ -1,0 +1,343 @@
+"""Solve service: fingerprints, cache, batching, scheduling, wire format."""
+
+import numpy as np
+import pytest
+
+from conftest import (
+    random_elastic_problem,
+    random_fixed_problem,
+    random_sam_problem,
+)
+from repro.core.api import fingerprint, totals_vector
+from repro.core.convergence import StoppingRule
+from repro.core.problems import FixedTotalsProblem, GeneralProblem
+from repro.core.sea import solve_fixed
+from repro.core.sea_general import solve_general
+from repro.datasets.general import dense_spd_weights
+from repro.service import (
+    SolveRequest,
+    SolveService,
+    WarmStartCache,
+    solve_fixed_batch,
+)
+from repro.service.wire import (
+    request_from_jsonable,
+    request_to_jsonable,
+    response_to_jsonable,
+)
+
+
+def perturbed(problem: FixedTotalsProblem, rng, drift=0.02) -> FixedTotalsProblem:
+    """Same structure/weights, totals drifted by a balanced perturbation."""
+    w = np.where(problem.mask, problem.x0, 0.0) * rng.uniform(
+        1.0 - drift, 1.0 + drift, problem.shape
+    )
+    return FixedTotalsProblem(
+        x0=problem.x0, gamma=problem.gamma,
+        s0=w.sum(axis=1), d0=w.sum(axis=0), mask=problem.mask,
+    )
+
+
+def infeasible_fixed() -> FixedTotalsProblem:
+    """Passes construction, but row 0 has no active cell and s0[0] > 0."""
+    return FixedTotalsProblem(
+        x0=np.ones((2, 2)), gamma=np.ones((2, 2)),
+        s0=np.array([1.0, 3.0]), d0=np.array([2.0, 2.0]),
+        mask=np.array([[False, False], [True, True]]),
+    )
+
+
+class TestFingerprint:
+    def test_identical_problems_share_key(self, rng):
+        p = random_fixed_problem(rng, 5, 4)
+        q = FixedTotalsProblem(x0=p.x0, gamma=p.gamma, s0=p.s0, d0=p.d0,
+                               mask=p.mask)
+        assert fingerprint(p).key == fingerprint(q).key
+
+    def test_totals_change_data_not_bucket(self, rng):
+        p = random_fixed_problem(rng, 5, 4)
+        q = perturbed(p, rng)
+        fp, fq = fingerprint(p), fingerprint(q)
+        assert fp.bucket == fq.bucket
+        assert fp.key != fq.key
+
+    def test_weights_change_bucket(self, rng):
+        p = random_fixed_problem(rng, 5, 4)
+        q = FixedTotalsProblem(x0=p.x0, gamma=p.gamma * 2.0, s0=p.s0,
+                               d0=p.d0, mask=p.mask)
+        assert fingerprint(p).bucket != fingerprint(q).bucket
+
+    def test_kinds_disjoint(self, rng):
+        fixed = random_fixed_problem(rng, 4, 4)
+        sam = random_sam_problem(rng, 4)
+        assert fingerprint(fixed).kind == "fixed"
+        assert fingerprint(sam).kind == "sam"
+        assert fingerprint(fixed).bucket != fingerprint(sam).bucket
+
+    def test_general_kind_tag(self, rng):
+        x0 = rng.uniform(1, 5, (3, 3))
+        p = GeneralProblem(kind="fixed", x0=x0, G=dense_spd_weights(9, seed=0),
+                           s0=x0.sum(axis=1), d0=x0.sum(axis=0))
+        assert fingerprint(p).kind == "general-fixed"
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            fingerprint(object())
+
+
+class TestWarmStartCache:
+    def test_exact_hit(self, rng):
+        p = random_fixed_problem(rng, 4, 4)
+        cache = WarmStartCache()
+        fp, totals = fingerprint(p), totals_vector(p)
+        cache.store(fp, totals, np.arange(4.0))
+        mu, exact = cache.lookup(fp, totals)
+        assert exact
+        np.testing.assert_array_equal(mu, np.arange(4.0))
+
+    def test_nearest_neighbor(self, rng):
+        p = random_fixed_problem(rng, 4, 4)
+        near, far = perturbed(p, rng, drift=0.01), perturbed(p, rng, drift=0.5)
+        cache = WarmStartCache()
+        cache.store(fingerprint(near), totals_vector(near), np.full(4, 1.0))
+        cache.store(fingerprint(far), totals_vector(far), np.full(4, 2.0))
+        mu, exact = cache.lookup(fingerprint(p), totals_vector(p))
+        assert not exact
+        np.testing.assert_array_equal(mu, np.full(4, 1.0))
+
+    def test_miss_outside_bucket(self, rng):
+        p = random_fixed_problem(rng, 4, 4)
+        other = random_fixed_problem(rng, 4, 4)  # different weights/mask
+        cache = WarmStartCache()
+        cache.store(fingerprint(other), totals_vector(other), np.zeros(4))
+        assert cache.lookup(fingerprint(p), totals_vector(p)) is None
+
+    def test_lru_eviction(self, rng):
+        p = random_fixed_problem(rng, 4, 4)
+        cache = WarmStartCache(maxsize=2)
+        variants = [perturbed(p, rng) for _ in range(3)]
+        for i, v in enumerate(variants):
+            cache.store(fingerprint(v), totals_vector(v), np.full(4, float(i)))
+        assert len(cache) == 2
+        # The oldest entry is gone; its exact lookup now falls back to
+        # nearest-neighbor within the shared bucket.
+        v0 = variants[0]
+        mu, exact = cache.lookup(fingerprint(v0), totals_vector(v0))
+        assert not exact
+
+
+class TestBatch:
+    def test_bit_identical_to_solo(self, rng):
+        problems = [random_fixed_problem(rng, 7, 6, density=0.7)
+                    for _ in range(4)]
+        stop = StoppingRule(eps=1e-8, max_iterations=5000)
+        mu0s = [None, np.full(6, 0.5), None, np.zeros(6)]
+        for batch_result, problem, mu0 in zip(
+            solve_fixed_batch(problems, stop=stop, mu0s=mu0s), problems, mu0s
+        ):
+            solo = solve_fixed(problem, stop=stop, mu0=mu0)
+            np.testing.assert_array_equal(batch_result.x, solo.x)
+            np.testing.assert_array_equal(batch_result.lam, solo.lam)
+            np.testing.assert_array_equal(batch_result.mu, solo.mu)
+            assert batch_result.iterations == solo.iterations
+            assert batch_result.residual == solo.residual
+            assert batch_result.counts.parallel_ops == solo.counts.parallel_ops
+
+    def test_individual_retirement(self, rng):
+        easy = random_fixed_problem(rng, 6, 6, total_factor_low=0.95,
+                                    total_factor_high=1.05)
+        hard = random_fixed_problem(rng, 6, 6, density=0.5,
+                                    total_factor_low=0.2,
+                                    total_factor_high=2.5)
+        stop = StoppingRule(eps=1e-8, max_iterations=5000)
+        results = solve_fixed_batch([easy, hard], stop=stop)
+        solos = [solve_fixed(p, stop=stop) for p in (easy, hard)]
+        assert [r.iterations for r in results] == [s.iterations for s in solos]
+        assert results[0].iterations != results[1].iterations
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError, match="shape"):
+            solve_fixed_batch([random_fixed_problem(rng, 4, 4),
+                               random_fixed_problem(rng, 5, 4)])
+
+    def test_empty_batch(self):
+        assert solve_fixed_batch([]) == []
+
+
+class TestWarmStartConvergence:
+    def test_warm_equals_cold_solution(self, rng):
+        """Acceptance: warm-started solves reach the cold solution."""
+        stop = StoppingRule(eps=1e-9, max_iterations=20_000)
+        p1 = random_fixed_problem(rng, 8, 7, density=0.6)
+        p2 = perturbed(p1, rng)
+        seed = solve_fixed(p1, stop=stop)
+        cold = solve_fixed(p2, stop=stop)
+        warm = solve_fixed(p2, stop=stop, mu0=seed.mu)
+        assert warm.converged and cold.converged
+        np.testing.assert_allclose(warm.x, cold.x, atol=1e-6)
+
+    def test_warm_equals_cold_through_service(self, rng):
+        stop_kw = {"eps": 1e-9, "max_iterations": 20_000}
+        p1 = random_fixed_problem(rng, 8, 7)
+        p2 = perturbed(p1, rng)
+        cold = solve_fixed(p2, stop=StoppingRule(**stop_kw))
+        with SolveService() as svc:
+            svc.solve(p1, **stop_kw)
+            resp = svc.solve(p2, **stop_kw)
+        assert resp.warm_started and not resp.cache_exact
+        assert resp.converged
+        np.testing.assert_allclose(resp.result.x, cold.x, atol=1e-6)
+
+    def test_general_mu0_warm_start(self, rng):
+        x0 = rng.uniform(1, 5, (4, 4))
+        w = x0 * rng.uniform(0.8, 1.2, x0.shape)
+        p = GeneralProblem(kind="fixed", x0=x0, G=dense_spd_weights(16, seed=3),
+                           s0=w.sum(axis=1), d0=w.sum(axis=0))
+        stop = StoppingRule(eps=1e-7, max_iterations=5000)
+        cold = solve_general(p, stop=stop)
+        warm = solve_general(p, stop=stop, mu0=cold.mu)
+        assert warm.converged
+        np.testing.assert_allclose(warm.x, cold.x, atol=1e-5)
+
+
+class TestService:
+    def test_mixed_kind_stream(self, rng):
+        problems = [
+            random_fixed_problem(rng, 5, 5),
+            random_elastic_problem(rng, 4, 6),
+            random_sam_problem(rng, 5),
+            random_fixed_problem(rng, 5, 5),
+        ]
+        with SolveService() as svc:
+            ids = [svc.submit(p) for p in problems]
+            responses = svc.drain()
+        assert [r.id for r in responses] == ids
+        assert all(r.converged for r in responses)
+        stats = svc.stats()
+        assert stats.completed == 4
+        assert stats.per_kind == {"fixed": 2, "elastic": 1, "sam": 1}
+        # The two same-shape fixed problems were fused into one batch.
+        assert stats.batches == 1 and stats.batched_requests == 2
+        assert all(r.batched == (r.kind == "fixed") for r in responses)
+
+    def test_exact_cache_hit(self, rng):
+        p = random_fixed_problem(rng, 5, 5)
+        with SolveService() as svc:
+            svc.solve(p, batchable=False)
+            resp = svc.solve(p, batchable=False)
+        assert resp.warm_started and resp.cache_exact
+        stats = svc.stats()
+        assert stats.cache_exact_hits == 1
+        assert 0.0 < stats.hit_rate <= 1.0
+
+    def test_hit_rate_over_windows(self, rng):
+        base = random_fixed_problem(rng, 6, 6)
+        with SolveService(max_batch=4) as svc:
+            for _ in range(2):
+                for _ in range(4):
+                    svc.submit(perturbed(base, rng))
+                svc.drain()
+        stats = svc.stats()
+        assert stats.cache_misses == 4  # first window only
+        assert stats.cache_hits == 4  # second window all warm
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_queue_depth(self, rng):
+        with SolveService() as svc:
+            svc.submit(random_fixed_problem(rng, 4, 4))
+            svc.submit(random_fixed_problem(rng, 4, 4))
+            assert svc.stats().queue_depth == 2
+            svc.drain()
+            assert svc.stats().queue_depth == 0
+
+    def test_error_isolation_single(self, rng):
+        with SolveService() as svc:
+            good = svc.solve(random_fixed_problem(rng, 4, 4))
+            bad = svc.solve(infeasible_fixed())
+        assert good.ok
+        assert not bad.ok and "ValueError" in bad.error
+        stats = svc.stats()
+        assert stats.errors == 1 and stats.completed == 1
+
+    def test_batch_falls_back_on_poisoned_member(self, rng):
+        """An infeasible batch-mate must not take down the others."""
+        good = FixedTotalsProblem(
+            x0=np.ones((2, 2)), gamma=np.ones((2, 2)),
+            s0=np.array([2.0, 2.0]), d0=np.array([2.0, 2.0]),
+        )
+        with SolveService() as svc:
+            gid = svc.submit(good)
+            bid = svc.submit(infeasible_fixed())
+            responses = {r.id: r for r in svc.drain()}
+        assert responses[gid].ok and responses[gid].converged
+        assert not responses[bid].ok
+
+    def test_sparse_engine_matches_dense(self, rng):
+        p = random_fixed_problem(rng, 6, 6, density=0.5)
+        with SolveService() as svc:
+            dense = svc.solve(p, eps=1e-8, max_iterations=5000)
+            sparse = svc.solve(p, eps=1e-8, max_iterations=5000,
+                               engine="sparse")
+        assert sparse.kind == "fixed/sparse"
+        np.testing.assert_allclose(sparse.result.x, dense.result.x, atol=1e-6)
+
+    def test_usable_after_close(self, rng):
+        svc = SolveService(workers=2, backend="thread")
+        p = random_fixed_problem(rng, 5, 5)
+        first = svc.solve(p, batchable=False)
+        svc.close()
+        again = svc.solve(perturbed(p, rng), batchable=False)
+        assert first.converged and again.converged
+        svc.close()
+
+    def test_options_require_bare_problem(self, rng):
+        req = SolveRequest(problem=random_fixed_problem(rng, 3, 3))
+        with SolveService() as svc:
+            with pytest.raises(TypeError, match="options"):
+                svc.submit(req, eps=1e-4)
+
+    def test_bad_engine_rejected(self, rng):
+        with pytest.raises(ValueError, match="engine"):
+            SolveRequest(problem=random_fixed_problem(rng, 3, 3), engine="gpu")
+
+
+class TestWire:
+    def test_request_round_trip(self, rng):
+        req = SolveRequest(
+            problem=random_fixed_problem(rng, 4, 3, density=0.7),
+            id="abc", eps=1e-5, warm_start=False,
+        )
+        back = request_from_jsonable(request_to_jsonable(req))
+        assert back.id == "abc"
+        assert back.eps == 1e-5
+        assert back.warm_start is False and back.batchable is True
+        np.testing.assert_allclose(back.problem.x0, req.problem.x0)
+        np.testing.assert_array_equal(back.problem.mask, req.problem.mask)
+
+    def test_response_payloads(self, rng):
+        p = random_fixed_problem(rng, 4, 4)
+        with SolveService() as svc:
+            resp = svc.solve(p)
+        obj = response_to_jsonable(resp)
+        assert obj["status"] == "ok" and obj["converged"]
+        assert np.asarray(obj["x"]).shape == (4, 4)
+        slim = response_to_jsonable(resp, include_matrix=False)
+        assert "x" not in slim
+
+    def test_error_response_payload(self):
+        with SolveService() as svc:
+            resp = svc.solve(infeasible_fixed())
+        obj = response_to_jsonable(resp)
+        assert obj["status"] == "error"
+        assert "ValueError" in obj["error"]
+
+    def test_nonfinite_residual_is_null(self, rng):
+        p = random_fixed_problem(rng, 4, 4)
+        with SolveService() as svc:
+            resp = svc.solve(p, eps=1e-12, max_iterations=1, criterion="delta-x")
+        obj = response_to_jsonable(resp)
+        assert obj["converged"] is False
+
+    def test_request_without_problem_rejected(self):
+        with pytest.raises(ValueError, match="problem"):
+            request_from_jsonable({"id": "x"})
