@@ -1,0 +1,143 @@
+"""Mixed-kind stream throughput: kind-aware batching vs per-request solve.
+
+The workload extends ``bench_service_throughput`` to the service's full
+diagonal coverage: an interleaved stream of fixed-totals, elastic and
+SAM revisions (one base table per kind, totals drifting a few percent
+between revisions — the mixed traffic a production estimation server
+sees).  The naive baseline calls ``solve()`` once per problem; the
+service consumes the stream in micro-batch windows, grouping each window
+by kind + shape + stopping rule, fusing every group's row/column
+equilibrations into stacked kernel calls, and warm-starting from the
+nearest cached dual.
+
+Acceptance target: the service sustains **>= 2x** the naive throughput
+with every kind batched (checked via the per-kind batch counters).  Run
+directly (``python benchmarks/bench_batch_kinds.py``) or through pytest;
+the rendered comparison lands in ``benchmarks/results/batch_kinds.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from _util import RESULTS_DIR
+from repro.core.api import problem_kind, solve
+from repro.core.convergence import StoppingRule
+from repro.core.problems import ElasticProblem, FixedTotalsProblem, SAMProblem
+from repro.service import SolveService
+
+SIZE = 24          # every table is SIZE x SIZE
+PER_KIND = 60      # revisions per kind (stream length = 3 * PER_KIND)
+WINDOW = 30        # service micro-batch window
+DRIFT = 0.03       # elementwise totals drift per revision
+
+# One stopping rule per kind (paper criteria, service-tight tolerances).
+STOPS = {
+    "fixed": StoppingRule(eps=1e-8, criterion="delta-x", max_iterations=5000),
+    "elastic": StoppingRule(eps=1e-8, criterion="delta-x", max_iterations=5000),
+    "sam": StoppingRule(eps=1e-6, criterion="imbalance", max_iterations=5000),
+}
+
+
+def mixed_stream(size: int = SIZE, per_kind: int = PER_KIND, seed: int = 42):
+    """Interleaved revisions of one fixed, one elastic and one SAM table:
+    fixed structure and weights per kind, totals drifting per revision."""
+    rng = np.random.default_rng(seed)
+    x0 = rng.uniform(1.0, 20.0, (size, size))
+    gamma = rng.uniform(1.0, 100.0, (size, size))
+    alpha = rng.uniform(0.5, 3.0, size)
+    beta = rng.uniform(0.5, 3.0, size)
+    witness = x0 * rng.uniform(0.2, 2.5, x0.shape)
+
+    problems = []
+    for _ in range(per_kind):
+        w = witness * rng.uniform(1.0 - DRIFT, 1.0 + DRIFT, x0.shape)
+        problems.append(FixedTotalsProblem(
+            x0=x0, gamma=gamma, s0=w.sum(axis=1), d0=w.sum(axis=0),
+        ))
+        problems.append(ElasticProblem(
+            x0=x0, gamma=gamma, alpha=alpha, beta=beta,
+            s0=w.sum(axis=1), d0=w.sum(axis=0),
+        ))
+        problems.append(SAMProblem(
+            x0=x0, gamma=gamma, alpha=alpha,
+            s0=0.5 * (w.sum(axis=1) + w.sum(axis=0)),
+        ))
+    return problems
+
+
+def run_naive(problems) -> float:
+    t0 = time.perf_counter()
+    for problem in problems:
+        result = solve(problem, stop=STOPS[problem_kind(problem)])
+        assert result.converged
+    return time.perf_counter() - t0
+
+
+def run_service(problems) -> tuple[float, dict]:
+    t0 = time.perf_counter()
+    with SolveService(max_batch=WINDOW) as svc:
+        done = 0
+        for problem in problems:
+            stop = STOPS[problem_kind(problem)]
+            svc.submit(
+                problem, eps=stop.eps, criterion=stop.criterion,
+                max_iterations=stop.max_iterations,
+            )
+            if svc.pending >= WINDOW:
+                done += sum(r.converged for r in svc.drain())
+        done += sum(r.converged for r in svc.drain())
+        stats = svc.stats().as_dict()
+    assert done == len(problems)
+    return time.perf_counter() - t0, stats
+
+
+def render(naive_s: float, service_s: float, stats: dict) -> str:
+    count = 3 * PER_KIND
+    ratio = naive_s / service_s
+    by_kind = stats["batched_requests_by_kind"]
+    lines = [
+        "mixed-kind batching — interleaved stream of "
+        f"{count} {SIZE}x{SIZE} fixed/elastic/SAM revisions",
+        f"  naive per-request solve(): {naive_s:8.3f}s "
+        f"({count / naive_s:7.1f} req/s)",
+        f"  SolveService (window={WINDOW}): {service_s:8.3f}s "
+        f"({count / service_s:7.1f} req/s)",
+        f"  speedup: {ratio:.2f}x (target >= 2x)",
+        f"  batches by kind: {stats['batches_by_kind']} "
+        f"covering {by_kind} requests",
+        f"  cache hit rate: {stats['cache_hit_rate']:.3f} "
+        f"({stats['cache_hits']} hits / {stats['cache_misses']} misses)",
+        f"  mean iterations/solve: {stats['mean_iterations']}",
+    ]
+    return "\n".join(lines)
+
+
+def run_comparison() -> tuple[float, float, dict]:
+    problems = mixed_stream()
+    # Warm-up so neither path pays first-call numpy setup.
+    for problem in problems[:3]:
+        solve(problem, stop=STOPS[problem_kind(problem)])
+    naive_s = run_naive(problems)
+    service_s, stats = run_service(problems)
+    text = render(naive_s, service_s, stats)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "batch_kinds.txt").write_text(text + "\n")
+    print(text)
+    return naive_s, service_s, stats
+
+
+def test_batch_kinds_throughput():
+    naive_s, service_s, stats = run_comparison()
+    assert naive_s / service_s >= 2.0, (
+        f"mixed-kind speedup {naive_s / service_s:.2f}x below the 2x target"
+    )
+    # Every kind must actually go through the fused path.
+    assert set(stats["batches_by_kind"]) == {"fixed", "elastic", "sam"}
+    assert stats["errors"] == 0
+
+
+if __name__ == "__main__":
+    run_comparison()

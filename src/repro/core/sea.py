@@ -21,6 +21,14 @@ sam        a = 1/(2 alpha),       s_i = s0_i - (lam_i+mu_i)/(2 alpha_i)
                - s0_i, target = 0
 =========  =====================  ==========================================
 
+That table is code here: each variant is a :class:`DiagonalVariant` whose
+static methods produce the kernel terms and recovered totals from the
+problem's constant vectors.  The term formulas are elementwise, so they
+apply unchanged whether the leading axis is one problem's rows (the solo
+drivers below) or a whole batch of stacked problems
+(:func:`repro.service.batching.solve_batch`) — solo and batch solves share
+this one source of truth and are bit-identical.
+
 The ``kernel`` argument lets the parallel executor substitute a
 row-partitioned solver for the default whole-matrix vectorized one; the
 algorithm is oblivious to how the independent subproblems are scheduled,
@@ -39,7 +47,7 @@ from repro.core.problems import ElasticProblem, FixedTotalsProblem, SAMProblem
 from repro.core.result import PhaseCounts, SolveResult
 from repro.equilibration.exact import recover_flows, solve_piecewise_linear
 
-__all__ = ["solve_fixed", "solve_elastic", "solve_sam"]
+__all__ = ["solve_fixed", "solve_elastic", "solve_sam", "variant_spec"]
 
 Kernel = Callable[..., np.ndarray]
 
@@ -56,6 +64,237 @@ def _prepare(x0, gamma, mask):
     base = np.where(mask, -2.0 * gamma_safe * x0_safe, 0.0)
     slopes = np.where(mask, 1.0 / (2.0 * gamma_safe), 0.0)
     return base, slopes
+
+
+class DiagonalVariant:
+    """Variant constants of one diagonal SEA member (see module table).
+
+    ``pack`` extracts the per-problem constant vectors; ``row_terms`` /
+    ``col_terms`` turn them plus the opposite multipliers into the
+    piecewise-linear kernel's ``(target, a, c)``; ``totals`` recovers
+    the (estimated) row/column totals from the multipliers.  All term
+    formulas are elementwise over the leading axes, so stacked ``(k, m)``
+    batch arrays go through the same code paths as solo ``(m,)`` vectors.
+    """
+
+    kind: str
+    algorithm: str
+
+    @staticmethod
+    def default_stop() -> StoppingRule:
+        return StoppingRule(eps=1e-2, criterion="delta-x")
+
+    @staticmethod
+    def pack(problem) -> dict[str, np.ndarray]:
+        raise NotImplementedError
+
+    @staticmethod
+    def row_terms(data, mu):
+        raise NotImplementedError
+
+    @staticmethod
+    def col_terms(data, lam):
+        raise NotImplementedError
+
+    @staticmethod
+    def totals(data, lam, mu):
+        raise NotImplementedError
+
+    @staticmethod
+    def residual(stop, x, x_prev, s, d) -> float:
+        return stop.residual(x, x_prev, s, d)
+
+    @staticmethod
+    def objective(problem, x, s, d) -> float:
+        raise NotImplementedError
+
+
+class _FixedVariant(DiagonalVariant):
+    kind = "fixed"
+    algorithm = "SEA-fixed"
+
+    @staticmethod
+    def pack(problem):
+        return {"s0": problem.s0, "d0": problem.d0}
+
+    @staticmethod
+    def row_terms(data, mu):
+        return data["s0"], None, None
+
+    @staticmethod
+    def col_terms(data, lam):
+        return data["d0"], None, None
+
+    @staticmethod
+    def totals(data, lam, mu):
+        return data["s0"], data["d0"]
+
+    @staticmethod
+    def objective(problem, x, s, d):
+        return problem.objective(x)
+
+
+class _ElasticVariant(DiagonalVariant):
+    kind = "elastic"
+    algorithm = "SEA-elastic"
+
+    @staticmethod
+    def pack(problem):
+        return {
+            "s0": problem.s0,
+            "d0": problem.d0,
+            "a_row": 1.0 / (2.0 * problem.alpha),
+            "a_col": 1.0 / (2.0 * problem.beta),
+        }
+
+    @staticmethod
+    def row_terms(data, mu):
+        s0 = data["s0"]
+        return np.zeros_like(s0), data["a_row"], -s0
+
+    @staticmethod
+    def col_terms(data, lam):
+        d0 = data["d0"]
+        return np.zeros_like(d0), data["a_col"], -d0
+
+    @staticmethod
+    def totals(data, lam, mu):
+        s = data["s0"] - lam * data["a_row"]  # (23b)
+        d = data["d0"] - mu * data["a_col"]  # (23c)
+        return s, d
+
+    @staticmethod
+    def objective(problem, x, s, d):
+        return problem.objective(x, s, d)
+
+
+class _SAMVariant(DiagonalVariant):
+    kind = "sam"
+    algorithm = "SEA-sam"
+
+    @staticmethod
+    def default_stop() -> StoppingRule:
+        return StoppingRule(eps=1e-3, criterion="imbalance")
+
+    @staticmethod
+    def pack(problem):
+        return {"s0": problem.s0, "a_el": 1.0 / (2.0 * problem.alpha)}
+
+    @staticmethod
+    def row_terms(data, mu):
+        # Constraint sum_j x_ij = S_i(lam_i; mu_i): the elastic offset
+        # carries the *current* mu_i (eq. 40b couples the families).
+        s0 = data["s0"]
+        return np.zeros_like(s0), data["a_el"], mu * data["a_el"] - s0
+
+    @staticmethod
+    def col_terms(data, lam):
+        s0 = data["s0"]
+        return np.zeros_like(s0), data["a_el"], lam * data["a_el"] - s0
+
+    @staticmethod
+    def totals(data, lam, mu):
+        s = data["s0"] - (lam + mu) * data["a_el"]  # (40b)
+        return s, s
+
+    @staticmethod
+    def residual(stop, x, x_prev, s, d) -> float:
+        if stop.criterion == "imbalance":
+            return relative_imbalance(x, s, axis=0)
+        return stop.residual(x, x_prev, s, s)
+
+    @staticmethod
+    def objective(problem, x, s, d):
+        return problem.objective(x, s)
+
+
+_SPECS: dict[type, type[DiagonalVariant]] = {
+    FixedTotalsProblem: _FixedVariant,
+    ElasticProblem: _ElasticVariant,
+    SAMProblem: _SAMVariant,
+}
+
+
+def variant_spec(problem) -> type[DiagonalVariant]:
+    """The :class:`DiagonalVariant` for a diagonal core problem."""
+    spec = _SPECS.get(type(problem))
+    if spec is None:
+        raise TypeError(
+            f"no diagonal SEA variant for {type(problem).__name__}"
+        )
+    return spec
+
+
+def _run_diagonal(
+    problem,
+    spec: type[DiagonalVariant],
+    stop: StoppingRule | None,
+    mu0: np.ndarray | None,
+    kernel: Kernel,
+    record_history: bool,
+) -> SolveResult:
+    """One driver for all three diagonal variants (solo path)."""
+    stop = stop or spec.default_stop()
+    t0 = time.perf_counter()
+    m, n = problem.shape
+    base, slopes = _prepare(problem.x0, problem.gamma, problem.mask)
+    base_t, slopes_t = base.T.copy(), slopes.T.copy()
+    data = spec.pack(problem)
+
+    mu = np.zeros(n) if mu0 is None else np.asarray(mu0, dtype=np.float64).copy()
+    lam = np.zeros(m)
+    x_prev = np.where(problem.mask, np.maximum(problem.x0, 0.0), 0.0)
+    counts = PhaseCounts(cells=m * n)
+    history: list[float] = []
+    converged = False
+    residual = np.inf
+    x = x_prev
+
+    for t in range(1, stop.max_iterations + 1):
+        # Step 1: row equilibration — m independent subproblems.
+        target_r, a_r, c_r = spec.row_terms(data, mu)
+        row_b = base - mu[None, :]
+        lam = kernel(row_b, slopes, target_r, a=a_r, c=c_r)
+        counts.add_equilibration(m, n)
+
+        # Step 2: column equilibration — n independent subproblems,
+        # plus vectorized primal recovery (eq. 23a / 40a).
+        target_c, a_c, c_c = spec.col_terms(data, lam)
+        col_b = base_t - lam[None, :]
+        mu = kernel(col_b, slopes_t, target_c, a=a_c, c=c_c)
+        x = recover_flows(mu, col_b, slopes_t).T
+        counts.add_equilibration(n, m)
+
+        # Step 3: convergence verification (the serial phase).
+        if stop.due(t):
+            s, d = spec.totals(data, lam, mu)
+            residual = spec.residual(stop, x, x_prev, s, d)
+            counts.add_convergence_check(m, n)
+            if record_history:
+                history.append(residual)
+            if residual <= stop.eps:
+                converged = True
+                break
+        x_prev = x
+
+    s, d = spec.totals(data, lam, mu)
+    s = np.array(s, dtype=np.float64)
+    d = np.array(d, dtype=np.float64)
+    return SolveResult(
+        x=x,
+        s=s,
+        d=d,
+        lam=lam,
+        mu=mu,
+        converged=converged,
+        iterations=t,
+        residual=residual,
+        objective=spec.objective(problem, x, s, d),
+        elapsed=time.perf_counter() - t0,
+        algorithm=spec.algorithm,
+        history=history,
+        counts=counts,
+    )
 
 
 def solve_fixed(
@@ -81,59 +320,7 @@ def solve_fixed(
     record_history:
         Keep the per-iteration residual trace in ``result.history``.
     """
-    stop = stop or StoppingRule(eps=1e-2, criterion="delta-x")
-    t0 = time.perf_counter()
-    m, n = problem.shape
-    base, slopes = _prepare(problem.x0, problem.gamma, problem.mask)
-    base_t, slopes_t = base.T.copy(), slopes.T.copy()
-
-    mu = np.zeros(n) if mu0 is None else np.asarray(mu0, dtype=np.float64).copy()
-    lam = np.zeros(m)
-    x_prev = np.where(problem.mask, np.maximum(problem.x0, 0.0), 0.0)
-    counts = PhaseCounts(cells=m * n)
-    history: list[float] = []
-    converged = False
-    residual = np.inf
-    x = x_prev
-
-    for t in range(1, stop.max_iterations + 1):
-        # Step 1: row equilibration — m independent subproblems.
-        row_b = base - mu[None, :]
-        lam = kernel(row_b, slopes, problem.s0)
-        counts.add_equilibration(m, n)
-
-        # Step 2: column equilibration — n independent subproblems.
-        col_b = base_t - lam[None, :]
-        mu = kernel(col_b, slopes_t, problem.d0)
-        x = recover_flows(mu, col_b, slopes_t).T
-        counts.add_equilibration(n, m)
-
-        # Step 3: convergence verification (the serial phase).
-        if stop.due(t):
-            residual = stop.residual(x, x_prev, problem.s0, problem.d0)
-            counts.add_convergence_check(m, n)
-            if record_history:
-                history.append(residual)
-            if residual <= stop.eps:
-                converged = True
-                break
-        x_prev = x
-
-    return SolveResult(
-        x=x,
-        s=problem.s0.copy(),
-        d=problem.d0.copy(),
-        lam=lam,
-        mu=mu,
-        converged=converged,
-        iterations=t,
-        residual=residual,
-        objective=problem.objective(x),
-        elapsed=time.perf_counter() - t0,
-        algorithm="SEA-fixed",
-        history=history,
-        counts=counts,
-    )
+    return _run_diagonal(problem, _FixedVariant, stop, mu0, kernel, record_history)
 
 
 def solve_elastic(
@@ -150,67 +337,7 @@ def solve_elastic(
     (eq. 29b) come straight out of the kernel.  Column step symmetric
     with ``mu_j = 2 beta_j (d0_j - D_j)`` (eq. 30b).
     """
-    stop = stop or StoppingRule(eps=1e-2, criterion="delta-x")
-    t0 = time.perf_counter()
-    m, n = problem.shape
-    base, slopes = _prepare(problem.x0, problem.gamma, problem.mask)
-    base_t, slopes_t = base.T.copy(), slopes.T.copy()
-
-    a_row = 1.0 / (2.0 * problem.alpha)
-    a_col = 1.0 / (2.0 * problem.beta)
-    c_row = -problem.s0
-    c_col = -problem.d0
-    zeros_m = np.zeros(m)
-    zeros_n = np.zeros(n)
-
-    mu = np.zeros(n) if mu0 is None else np.asarray(mu0, dtype=np.float64).copy()
-    lam = np.zeros(m)
-    x_prev = np.where(problem.mask, np.maximum(problem.x0, 0.0), 0.0)
-    counts = PhaseCounts(cells=m * n)
-    history: list[float] = []
-    converged = False
-    residual = np.inf
-    x = x_prev
-    s = problem.s0.copy()
-    d = problem.d0.copy()
-
-    for t in range(1, stop.max_iterations + 1):
-        row_b = base - mu[None, :]
-        lam = kernel(row_b, slopes, zeros_m, a=a_row, c=c_row)
-        s = problem.s0 - lam * a_row  # (23b)
-        counts.add_equilibration(m, n)
-
-        col_b = base_t - lam[None, :]
-        mu = kernel(col_b, slopes_t, zeros_n, a=a_col, c=c_col)
-        d = problem.d0 - mu * a_col  # (23c)
-        x = recover_flows(mu, col_b, slopes_t).T
-        counts.add_equilibration(n, m)
-
-        if stop.due(t):
-            residual = stop.residual(x, x_prev, s, d)
-            counts.add_convergence_check(m, n)
-            if record_history:
-                history.append(residual)
-            if residual <= stop.eps:
-                converged = True
-                break
-        x_prev = x
-
-    return SolveResult(
-        x=x,
-        s=s,
-        d=d,
-        lam=lam,
-        mu=mu,
-        converged=converged,
-        iterations=t,
-        residual=residual,
-        objective=problem.objective(x, s, d),
-        elapsed=time.perf_counter() - t0,
-        algorithm="SEA-elastic",
-        history=history,
-        counts=counts,
-    )
+    return _run_diagonal(problem, _ElasticVariant, stop, mu0, kernel, record_history)
 
 
 def solve_sam(
@@ -228,65 +355,4 @@ def solve_sam(
     *current* ``mu_i`` and vice versa.  Default stopping rule is the
     paper's relative row imbalance at ``eps' = .001``.
     """
-    stop = stop or StoppingRule(eps=1e-3, criterion="imbalance")
-    t0 = time.perf_counter()
-    n = problem.n
-    base, slopes = _prepare(problem.x0, problem.gamma, problem.mask)
-    base_t, slopes_t = base.T.copy(), slopes.T.copy()
-
-    a_elastic = 1.0 / (2.0 * problem.alpha)
-    zeros_n = np.zeros(n)
-
-    mu = np.zeros(n) if mu0 is None else np.asarray(mu0, dtype=np.float64).copy()
-    lam = np.zeros(n)
-    x_prev = np.where(problem.mask, np.maximum(problem.x0, 0.0), 0.0)
-    counts = PhaseCounts(cells=n * n)
-    history: list[float] = []
-    converged = False
-    residual = np.inf
-    x = x_prev
-    s = problem.s0.copy()
-
-    for t in range(1, stop.max_iterations + 1):
-        # Row equilibration: constraint sum_j x_ij = S_i(lam_i; mu_i).
-        row_b = base - mu[None, :]
-        c_row = mu * a_elastic - problem.s0
-        lam = kernel(row_b, slopes, zeros_n, a=a_elastic, c=c_row)
-        counts.add_equilibration(n, n)
-
-        # Column equilibration: constraint sum_i x_ij = S_j(mu_j; lam_j).
-        col_b = base_t - lam[None, :]
-        c_col = lam * a_elastic - problem.s0
-        mu = kernel(col_b, slopes_t, zeros_n, a=a_elastic, c=c_col)
-        s = problem.s0 - (lam + mu) * a_elastic  # (40b)
-        x = recover_flows(mu, col_b, slopes_t).T
-        counts.add_equilibration(n, n)
-
-        if stop.due(t):
-            if stop.criterion == "imbalance":
-                residual = relative_imbalance(x, s, axis=0)
-            else:
-                residual = stop.residual(x, x_prev, s, s)
-            counts.add_convergence_check(n, n)
-            if record_history:
-                history.append(residual)
-            if residual <= stop.eps:
-                converged = True
-                break
-        x_prev = x
-
-    return SolveResult(
-        x=x,
-        s=s,
-        d=s.copy(),
-        lam=lam,
-        mu=mu,
-        converged=converged,
-        iterations=t,
-        residual=residual,
-        objective=problem.objective(x, s),
-        elapsed=time.perf_counter() - t0,
-        algorithm="SEA-sam",
-        history=history,
-        counts=counts,
-    )
+    return _run_diagonal(problem, _SAMVariant, stop, mu0, kernel, record_history)

@@ -135,8 +135,20 @@ def solve_piecewise_linear(
     if np.any(missing):
         viol = np.maximum(np.maximum(lo - cand, cand - hi), 0.0)
         viol = np.where(np.isfinite(cand) & (denom > 0.0), viol, np.inf)
+        rows_missing = np.flatnonzero(missing)
+        # A row whose violations are all inf has no finite candidate at
+        # all (e.g. nan/inf leaked into its inputs); argmin would pick
+        # index 0 and silently hand back a non-finite multiplier.
+        has_candidate = (viol[rows_missing] < np.inf).any(axis=1)
+        if not has_candidate.all():
+            bad = int(rows_missing[np.flatnonzero(~has_candidate)[0]])
+            raise ValueError(
+                f"equilibration subproblem {bad} has no finite candidate "
+                "segment — its breakpoints, slopes or target contain "
+                "inf/nan or the equation is unsolvable"
+            )
         best = np.argmin(viol[missing], axis=1)
-        lam[missing] = cand[np.flatnonzero(missing), best]
+        lam[missing] = cand[rows_missing, best]
     return lam
 
 

@@ -9,8 +9,8 @@ per problem:
   problem kind over one shared, long-lived
   :class:`~repro.parallel.executor.ParallelKernel` worker pool;
 * request batching (:mod:`repro.service.batching`) that fuses the
-  independent row/column equilibrations of same-shape fixed-totals
-  problems into single kernel fan-outs;
+  independent row/column equilibrations of same-shape fixed, elastic or
+  SAM problems into single kernel fan-outs;
 * a warm-start cache (:mod:`repro.service.cache`) keyed by the problem
   fingerprint of :func:`repro.core.api.fingerprint`, seeding ``mu0``
   from the nearest previously-solved problem;
@@ -29,7 +29,7 @@ Drive it from Python::
 or end-to-end over JSONL: ``python -m repro serve --jsonl``.
 """
 
-from repro.service.batching import solve_fixed_batch
+from repro.service.batching import solve_batch, solve_fixed_batch
 from repro.service.cache import WarmStartCache
 from repro.service.metrics import ServiceStats
 from repro.service.request import SolveRequest, SolveResponse
@@ -41,5 +41,6 @@ __all__ = [
     "SolveResponse",
     "ServiceStats",
     "WarmStartCache",
+    "solve_batch",
     "solve_fixed_batch",
 ]

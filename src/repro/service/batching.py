@@ -1,4 +1,4 @@
-"""Fused batch solving of same-shape fixed-totals problems.
+"""Fused batch solving of same-shape, same-kind diagonal problems.
 
 The SEA row phase solves ``m`` independent piecewise-linear equations;
 for ``k`` problems of one shape the ``k*m`` equations are *still*
@@ -9,11 +9,20 @@ to ``(k*n, m)`` the same way.  All per-iteration state lives in 3-D
 ``(k, m, n)`` arrays, so the hot path is pure vectorized NumPy with no
 per-problem Python loop.
 
-Because the kernel is exact and row-separable, every problem's iterates
-are bit-identical to what a solo :func:`repro.core.sea.solve_fixed`
+The independence argument is kind-agnostic: the elastic terms the
+variants feed the kernel (``a``, ``c``, total-recovery formulas
+23b/23c/40b) are elementwise, so :func:`solve_batch` handles fixed,
+elastic and SAM problems through the *same*
+:class:`~repro.core.sea.DiagonalVariant` specs the solo solvers use —
+one source of truth for the variant constants.  Because the kernel is
+exact and row-separable, every problem's iterates are bit-identical to
+what a solo :func:`repro.core.sea.solve_fixed` /
+:func:`~repro.core.sea.solve_elastic` / :func:`~repro.core.sea.solve_sam`
 would produce from the same ``mu0`` (asserted in the tests).  Problems
 retire from the batch individually as they meet the stopping rule, so a
-slow straggler never pads the others' iteration counts.
+slow straggler never pads the others' iteration counts.  Finalized
+results copy out of the shared stacks, so every returned array owns its
+memory.
 """
 
 from __future__ import annotations
@@ -25,28 +34,36 @@ import numpy as np
 from repro.core.convergence import StoppingRule
 from repro.core.problems import FixedTotalsProblem
 from repro.core.result import PhaseCounts, SolveResult
-from repro.core.sea import _prepare
+from repro.core.sea import _prepare, variant_spec
 from repro.equilibration.exact import solve_piecewise_linear
 
-__all__ = ["solve_fixed_batch"]
+__all__ = ["solve_batch", "solve_fixed_batch"]
 
 
-def solve_fixed_batch(
-    problems: list[FixedTotalsProblem],
+def _ravel(v: np.ndarray | None) -> np.ndarray | None:
+    return None if v is None else v.reshape(-1)
+
+
+def solve_batch(
+    problems: list,
     stop: StoppingRule | None = None,
     mu0s: list[np.ndarray | None] | None = None,
     kernel=solve_piecewise_linear,
 ) -> list[SolveResult]:
-    """Solve a batch of same-shape fixed-totals problems in lockstep.
+    """Solve a batch of same-shape, same-kind diagonal problems in lockstep.
 
     Parameters
     ----------
     problems:
-        Fixed-totals problems, all of one ``(m, n)`` shape (masks and
-        weights may differ freely).
+        :class:`~repro.core.problems.FixedTotalsProblem`,
+        :class:`~repro.core.problems.ElasticProblem` or
+        :class:`~repro.core.problems.SAMProblem` instances — all of one
+        kind and one ``(m, n)`` shape (masks and weights may differ
+        freely).
     stop:
         One stopping rule applied to every problem (the batch scheduler
-        only fuses requests whose rules agree).
+        only fuses requests whose rules agree); defaults to the kind's
+        paper rule.
     mu0s:
         Optional per-problem warm starts, aligned with ``problems``.
     kernel:
@@ -57,15 +74,20 @@ def solve_fixed_batch(
     Returns
     -------
     list[SolveResult]
-        Aligned with ``problems``; ``elapsed`` is each problem's time to
-        retirement, so the values overlap rather than add up.
+        Aligned with ``problems``; every array is an owned copy (never a
+        view into the batch stacks), and ``elapsed`` is each problem's
+        time to retirement, so the values overlap rather than add up.
     """
     if not problems:
         return []
-    stop = stop or StoppingRule(eps=1e-2, criterion="delta-x")
+    spec = variant_spec(problems[0])
+    cls = type(problems[0])
+    stop = stop or spec.default_stop()
     t0 = time.perf_counter()
     m, n = problems[0].shape
     for p in problems:
+        if type(p) is not cls:
+            raise TypeError("all problems in a batch must share one kind")
         if p.shape != (m, n):
             raise ValueError("all problems in a batch must share one shape")
     k = len(problems)
@@ -81,8 +103,8 @@ def solve_fixed_batch(
         base[i], slopes[i] = _prepare(p.x0, p.gamma, p.mask)
     base_t = np.ascontiguousarray(base.transpose(0, 2, 1))
     slopes_t = np.ascontiguousarray(slopes.transpose(0, 2, 1))
-    s0 = np.stack([p.s0 for p in problems])
-    d0 = np.stack([p.d0 for p in problems])
+    packed = [spec.pack(p) for p in problems]
+    data = {key: np.stack([pk[key] for pk in packed]) for key in packed[0]}
     mu = np.stack([
         np.zeros(n) if w is None else np.asarray(w, dtype=np.float64)
         for w in mu0s
@@ -99,6 +121,9 @@ def solve_fixed_batch(
     results: list[SolveResult | None] = [None] * k
     active = np.arange(k)
 
+    def _row(i: int) -> dict:
+        return {key: v[i] for key, v in data.items()}
+
     def _finalize(i: int, converged: bool) -> None:
         p = problems[i]
         counts = PhaseCounts(cells=m * n)
@@ -107,35 +132,48 @@ def solve_fixed_batch(
             counts.add_equilibration(n, m)
         for _ in range(int(checks[i])):
             counts.add_convergence_check(m, n)
+        # Copy out of the shared stacks: a result must own its arrays —
+        # returning views would pin the whole batch buffer alive and let
+        # a caller's in-place edit corrupt its batch-mates' results.
+        x_i, lam_i, mu_i = x[i].copy(), lam[i].copy(), mu[i].copy()
+        s_i, d_i = spec.totals(_row(i), lam_i, mu_i)
+        s_i = np.array(s_i, dtype=np.float64)
+        d_i = np.array(d_i, dtype=np.float64)
         results[i] = SolveResult(
-            x=x[i],
-            s=p.s0.copy(),
-            d=p.d0.copy(),
-            lam=lam[i],
-            mu=mu[i],
+            x=x_i,
+            s=s_i,
+            d=d_i,
+            lam=lam_i,
+            mu=mu_i,
             converged=converged,
             iterations=int(iterations[i]),
             residual=float(residual[i]),
-            objective=p.objective(x[i]),
+            objective=spec.objective(p, x_i, s_i, d_i),
             elapsed=time.perf_counter() - t0,
-            algorithm="SEA-fixed",
+            algorithm=spec.algorithm,
             counts=counts,
         )
 
     for t in range(1, stop.max_iterations + 1):
         a = active.size
         iterations[active] = t
+        sub = {key: v[active] for key, v in data.items()}
 
         # Fused row phase: one kernel call over a*m subproblems.
+        target_r, a_r, c_r = spec.row_terms(sub, mu[active])
         row_b = (base[active] - mu[active, None, :]).reshape(a * m, n)
         lam[active] = kernel(
-            row_b, slopes[active].reshape(a * m, n), s0[active].ravel()
+            row_b, slopes[active].reshape(a * m, n), _ravel(target_r),
+            a=_ravel(a_r), c=_ravel(c_r),
         ).reshape(a, m)
 
         # Fused column phase plus vectorized primal recovery (eq. 23a).
+        target_c, a_c, c_c = spec.col_terms(sub, lam[active])
         col_b = (base_t[active] - lam[active, None, :]).reshape(a * n, m)
         col_sl = slopes_t[active].reshape(a * n, m)
-        mu_flat = kernel(col_b, col_sl, d0[active].ravel())
+        mu_flat = kernel(
+            col_b, col_sl, _ravel(target_c), a=_ravel(a_c), c=_ravel(c_c)
+        )
         mu[active] = mu_flat.reshape(a, n)
         x_new = col_sl * np.maximum(mu_flat[:, None] - col_b, 0.0)
         x[active] = x_new.reshape(a, n, m).transpose(0, 2, 1)
@@ -149,7 +187,10 @@ def solve_fixed_batch(
                 ).reshape(a, -1).max(axis=1)
             else:
                 for i in active:
-                    residual[i] = stop.residual(x[i], x_prev[i], s0[i], d0[i])
+                    s_i, d_i = spec.totals(_row(i), lam[i], mu[i])
+                    residual[i] = spec.residual(
+                        stop, x[i], x_prev[i], s_i, d_i
+                    )
             checks[active] += 1
             retired = active[residual[active] <= stop.eps]
             if retired.size:
@@ -163,3 +204,14 @@ def solve_fixed_batch(
     for i in active:
         _finalize(i, converged=False)
     return results  # type: ignore[return-value]
+
+
+def solve_fixed_batch(
+    problems: list[FixedTotalsProblem],
+    stop: StoppingRule | None = None,
+    mu0s: list[np.ndarray | None] | None = None,
+    kernel=solve_piecewise_linear,
+) -> list[SolveResult]:
+    """Fixed-totals entry point, kept for callers predating
+    :func:`solve_batch` (which see for parameters)."""
+    return solve_batch(problems, stop=stop, mu0s=mu0s, kernel=kernel)

@@ -76,7 +76,12 @@ class WarmStartCache:
         """File a solved problem's multipliers under its fingerprint."""
         key = fp.key
         if key in self._entries:
-            self._entries[key].mu = np.asarray(mu, dtype=np.float64).copy()
+            entry = self._entries[key]
+            entry.mu = np.asarray(mu, dtype=np.float64).copy()
+            # Refresh totals too: they are the nearest-neighbor
+            # coordinates, and a stale vector would skew every distance
+            # computed against this entry.
+            entry.totals = np.asarray(totals, dtype=np.float64).copy()
             self._entries.move_to_end(key)
             return
         while len(self._entries) >= self.maxsize:

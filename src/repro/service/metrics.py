@@ -28,6 +28,8 @@ class ServiceStats:
     errors: int = 0
     batches: int = 0
     batched_requests: int = 0
+    batches_by_kind: dict[str, int] = field(default_factory=dict)
+    batched_requests_by_kind: dict[str, int] = field(default_factory=dict)
     cache_hits: int = 0
     cache_exact_hits: int = 0
     cache_misses: int = 0
@@ -54,9 +56,21 @@ class ServiceStats:
     def count_kind(self, kind: str) -> None:
         self.per_kind[kind] = self.per_kind.get(kind, 0) + 1
 
+    def count_batch(self, kind: str, size: int) -> None:
+        """Record one fused batch of ``size`` requests of ``kind``."""
+        self.batches_by_kind[kind] = self.batches_by_kind.get(kind, 0) + 1
+        self.batched_requests_by_kind[kind] = (
+            self.batched_requests_by_kind.get(kind, 0) + size
+        )
+
     def snapshot(self) -> "ServiceStats":
         """Independent copy (safe to keep across further service work)."""
-        return replace(self, per_kind=dict(self.per_kind))
+        return replace(
+            self,
+            per_kind=dict(self.per_kind),
+            batches_by_kind=dict(self.batches_by_kind),
+            batched_requests_by_kind=dict(self.batched_requests_by_kind),
+        )
 
     def as_dict(self) -> dict:
         """Flat JSON-ready view including the derived rates."""
@@ -66,6 +80,8 @@ class ServiceStats:
             "errors": self.errors,
             "batches": self.batches,
             "batched_requests": self.batched_requests,
+            "batches_by_kind": dict(self.batches_by_kind),
+            "batched_requests_by_kind": dict(self.batched_requests_by_kind),
             "cache_hits": self.cache_hits,
             "cache_exact_hits": self.cache_exact_hits,
             "cache_misses": self.cache_misses,

@@ -46,8 +46,8 @@ class SolveRequest:
     warm_start:
         Allow seeding ``mu0`` from the warm-start cache.
     batchable:
-        Allow fusing this request into a same-shape batch (fixed-totals
-        problems on the dense engine only).
+        Allow fusing this request into a same-kind, same-shape batch
+        (fixed, elastic and SAM problems on the dense engine).
     engine:
         ``'dense'`` (default) or ``'sparse'`` — the sparse engine routes
         masked diagonal problems through :mod:`repro.sparse.sea`.

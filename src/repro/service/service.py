@@ -10,13 +10,21 @@ solves seed new ones), and a
 Scheduling policy (per :meth:`SolveService.drain`):
 
 1. pop every queued request;
-2. group batchable same-shape fixed-totals requests that share one
-   stopping rule and fuse each group through
-   :func:`~repro.service.batching.solve_fixed_batch` (chunks of
+2. group batchable dense diagonal requests (fixed, elastic or SAM) by
+   kind + shape + stopping rule and fuse each group through
+   :func:`~repro.service.batching.solve_batch` (chunks of
    ``max_batch``); a failing batch falls back to per-request solves so
    one infeasible problem cannot poison its batch-mates;
 3. dispatch everything else individually over the shared kernel;
 4. return responses in submission order.
+
+Delivery semantics: :meth:`SolveService.drain` returns the responses of
+*everything* it processed — including requests enqueued earlier via
+:meth:`SolveService.submit`.  :meth:`SolveService.solve` also drains the
+whole queue but returns only its own response; the responses of other
+pending requests are retained in a completed-response buffer that
+:meth:`SolveService.collect` hands out (in submission order), so no
+response is ever silently dropped.
 """
 
 from __future__ import annotations
@@ -32,7 +40,7 @@ from repro.core.problems import (
     SAMProblem,
 )
 from repro.parallel.executor import ParallelKernel
-from repro.service.batching import solve_fixed_batch
+from repro.service.batching import solve_batch
 from repro.service.cache import WarmStartCache
 from repro.service.metrics import ServiceStats
 from repro.service.request import SolveRequest, SolveResponse, resolve_stop
@@ -40,6 +48,7 @@ from repro.service.request import SolveRequest, SolveResponse, resolve_stop
 __all__ = ["SolveService"]
 
 _CORE_KINDS = (FixedTotalsProblem, ElasticProblem, SAMProblem, GeneralProblem)
+_BATCH_KINDS = (FixedTotalsProblem, ElasticProblem, SAMProblem)
 
 
 def _stop_key(stop) -> tuple | None:
@@ -83,6 +92,7 @@ class SolveService:
         self.max_batch = max_batch
         self.cache = WarmStartCache(maxsize=cache_size)
         self._queue: deque[SolveRequest] = deque()
+        self._completed: list[SolveResponse] = []
         self._stats = ServiceStats()
         self._seq = 0
 
@@ -108,10 +118,32 @@ class SolveService:
         return len(self._queue)
 
     def solve(self, request, **options) -> SolveResponse:
-        """Submit one job and drain; returns that job's response."""
+        """Submit one job and drain; returns that job's response.
+
+        Draining also completes any previously ``submit()``-ed requests;
+        their responses are retained and delivered by :meth:`collect`,
+        never discarded.
+        """
         rid = self.submit(request, **options)
-        responses = self.drain()
-        return next(r for r in responses if r.id == rid)
+        mine: SolveResponse | None = None
+        for response in self.drain():
+            if mine is None and response.id == rid:
+                mine = response
+            else:
+                self._completed.append(response)
+        if mine is None:  # pragma: no cover — drain always answers rid
+            raise RuntimeError(f"no response produced for request {rid!r}")
+        return mine
+
+    def collect(self) -> list[SolveResponse]:
+        """Hand out (and clear) the undelivered completed responses.
+
+        These are responses of requests that were pending when a
+        :meth:`solve` call drained the queue; returned in submission
+        order."""
+        out = sorted(self._completed, key=lambda r: r.submitted_at)
+        self._completed.clear()
+        return out
 
     # -- scheduling ---------------------------------------------------------
 
@@ -128,16 +160,17 @@ class SolveService:
                 self.batching
                 and req.batchable
                 and req.engine == "dense"
-                and type(req.problem) is FixedTotalsProblem
+                and type(req.problem) in _BATCH_KINDS
             ):
-                stop = resolve_stop(req, "fixed")
-                key = (req.problem.shape, _stop_key(stop))
+                kind = problem_kind(req.problem)
+                stop = resolve_stop(req, kind)
+                key = (kind, req.problem.shape, _stop_key(stop))
                 groups.setdefault(key, []).append(req)
             else:
                 singles.append(req)
 
         responses: list[SolveResponse] = []
-        for (_, _), members in groups.items():
+        for members in groups.values():
             if len(members) == 1:
                 singles.extend(members)
                 continue
@@ -241,10 +274,11 @@ class SolveService:
 
     def _run_batch(self, members: list[SolveRequest]) -> list[SolveResponse]:
         lookups = [self._lookup(req) for req in members]
-        stop = resolve_stop(members[0], "fixed")
+        kind = problem_kind(members[0].problem)
+        stop = resolve_stop(members[0], kind)
         try:
             t0 = time.perf_counter()
-            results = solve_fixed_batch(
+            results = solve_batch(
                 [req.problem for req in members],
                 stop=stop,
                 mu0s=[lk[0] for lk in lookups],
@@ -259,6 +293,7 @@ class SolveService:
         elapsed = time.perf_counter() - t0
         self._stats.batches += 1
         self._stats.batched_requests += len(members)
+        self._stats.count_batch(kind, len(members))
         responses = []
         for req, lk, result in zip(members, lookups, results):
             mu0, warm, exact, fp, totals = lk

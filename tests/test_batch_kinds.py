@@ -1,0 +1,178 @@
+"""Kind-aware batch engine: bit-identity, ownership, service routing."""
+
+import numpy as np
+import pytest
+
+from conftest import (
+    random_elastic_problem,
+    random_fixed_problem,
+    random_sam_problem,
+)
+from repro.core.convergence import StoppingRule
+from repro.core.problems import FixedTotalsProblem
+from repro.core.sea import solve_elastic, solve_fixed, solve_sam
+from repro.service import SolveService, solve_batch
+
+KINDS = {
+    "fixed": (
+        lambda rng: random_fixed_problem(rng, 7, 6, density=0.7),
+        solve_fixed,
+        StoppingRule(eps=1e-8, max_iterations=5000),
+    ),
+    "elastic": (
+        lambda rng: random_elastic_problem(rng, 7, 6),
+        solve_elastic,
+        StoppingRule(eps=1e-8, max_iterations=5000),
+    ),
+    "sam": (
+        lambda rng: random_sam_problem(rng, 6),
+        solve_sam,
+        StoppingRule(eps=1e-6, criterion="imbalance", max_iterations=5000),
+    ),
+}
+
+
+@pytest.mark.parametrize("kind", sorted(KINDS))
+class TestBatchBitIdentity:
+    def test_matches_solo_with_warm_starts(self, rng, kind):
+        make, solo, stop = KINDS[kind]
+        problems = [make(rng) for _ in range(4)]
+        n = problems[0].shape[1]
+        mu0s = [None, np.full(n, 0.5), None, rng.normal(size=n)]
+        batch = solve_batch(problems, stop=stop, mu0s=mu0s)
+        for b, p, mu0 in zip(batch, problems, mu0s):
+            r = solo(p, stop=stop, mu0=mu0)
+            np.testing.assert_array_equal(b.x, r.x)
+            np.testing.assert_array_equal(b.lam, r.lam)
+            np.testing.assert_array_equal(b.mu, r.mu)
+            np.testing.assert_array_equal(b.s, r.s)
+            np.testing.assert_array_equal(b.d, r.d)
+            assert b.iterations == r.iterations
+            assert b.residual == r.residual
+            assert b.objective == r.objective
+            assert b.converged and r.converged
+            assert b.counts.parallel_ops == r.counts.parallel_ops
+
+    def test_retirement_order_matches_solo_counts(self, rng, kind):
+        """Problems retire individually at exactly their solo iteration."""
+        make, solo, stop = KINDS[kind]
+        problems = [make(rng) for _ in range(6)]
+        results = solve_batch(problems, stop=stop)
+        solo_iters = [solo(p, stop=stop).iterations for p in problems]
+        assert [r.iterations for r in results] == solo_iters
+        assert len(set(solo_iters)) > 1  # stragglers genuinely differ
+
+    def test_results_own_their_memory(self, rng, kind):
+        make, _, stop = KINDS[kind]
+        results = solve_batch([make(rng) for _ in range(3)], stop=stop)
+        for r in results:
+            for arr in (r.x, r.lam, r.mu, r.s, r.d):
+                assert arr.base is None
+        # Mutating one result must not leak into any batch-mate.
+        snapshot = results[1].x.copy()
+        results[0].x[:] = -1.0
+        results[0].mu[:] = -1.0
+        np.testing.assert_array_equal(results[1].x, snapshot)
+
+
+class TestBatchValidation:
+    def test_mixed_kinds_rejected(self, rng):
+        with pytest.raises(TypeError, match="kind"):
+            solve_batch([random_fixed_problem(rng, 5, 5),
+                         random_sam_problem(rng, 5)])
+
+    def test_mixed_shapes_rejected(self, rng):
+        with pytest.raises(ValueError, match="shape"):
+            solve_batch([random_elastic_problem(rng, 4, 4),
+                         random_elastic_problem(rng, 5, 4)])
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError, match="variant"):
+            solve_batch([object()])
+
+    def test_empty_batch(self):
+        assert solve_batch([]) == []
+
+
+class TestServiceKindBatching:
+    def test_drain_batches_every_kind(self, rng):
+        """Same-kind groups fuse; responses stay in submission order."""
+        problems = (
+            [random_fixed_problem(rng, 5, 5) for _ in range(3)]
+            + [random_elastic_problem(rng, 4, 6) for _ in range(3)]
+            + [random_sam_problem(rng, 5) for _ in range(3)]
+        )
+        order = rng.permutation(len(problems))
+        with SolveService() as svc:
+            ids = [svc.submit(problems[i]) for i in order]
+            responses = svc.drain()
+        assert [r.id for r in responses] == ids
+        assert all(r.converged and r.batched for r in responses)
+        stats = svc.stats()
+        assert stats.batches == 3
+        assert stats.batched_requests == 9
+        assert stats.batches_by_kind == {"fixed": 1, "elastic": 1, "sam": 1}
+        assert stats.batched_requests_by_kind == {
+            "fixed": 3, "elastic": 3, "sam": 3,
+        }
+
+    def test_drain_ordering_mixed_batched_single_error(self, rng):
+        """Batched, unbatchable, sparse and failing requests interleave;
+        drain() must still answer strictly in submission order."""
+        mask = np.ones((4, 4), dtype=bool)
+        mask[0] = False  # row 0 has no active cell but s0[0] > 0
+        infeasible = FixedTotalsProblem(
+            x0=np.ones((4, 4)), gamma=np.ones((4, 4)),
+            s0=np.array([1.0, 3.0, 2.0, 2.0]), d0=np.full(4, 2.0),
+            mask=mask,
+        )
+        with SolveService() as svc:
+            ids = [
+                svc.submit(random_sam_problem(rng, 4)),
+                svc.submit(random_fixed_problem(rng, 4, 4)),
+                svc.submit(infeasible),
+                svc.submit(random_elastic_problem(rng, 4, 4)),
+                svc.submit(random_fixed_problem(rng, 4, 4), batchable=False),
+                svc.submit(random_elastic_problem(rng, 4, 4)),
+                svc.submit(random_fixed_problem(rng, 4, 4, density=0.6),
+                           engine="sparse"),
+                svc.submit(random_fixed_problem(rng, 4, 4)),
+                svc.submit(random_sam_problem(rng, 4)),
+            ]
+            responses = svc.drain()
+        assert [r.id for r in responses] == ids
+        by_id = dict(zip(ids, responses))
+        assert not by_id[ids[2]].ok and "ValueError" in by_id[ids[2]].error
+        assert by_id[ids[4]].batched is False
+        assert by_id[ids[6]].kind == "fixed/sparse"
+        ok = [r for r in responses if r.ok]
+        assert len(ok) == 8 and all(r.converged for r in ok)
+        stats = svc.stats()
+        assert stats.errors == 1 and stats.completed == 8
+        # Two fused sam + two fused elastic batches; the two feasible
+        # same-shape fixed requests fused with the infeasible one and
+        # fell back to singles, so no fixed batch is counted.
+        assert stats.batches_by_kind.keys() == {"sam", "elastic"}
+
+    def test_batch_warm_start_matches_cold_solution(self, rng):
+        base = random_sam_problem(rng, 6)
+        drift = [
+            type(base)(
+                x0=base.x0, gamma=base.gamma, alpha=base.alpha,
+                s0=base.s0 * f, mask=base.mask,
+            )
+            for f in (1.01, 0.99, 1.02)
+        ]
+        stop_kw = {"eps": 1e-9, "max_iterations": 20_000,
+                   "criterion": "imbalance"}
+        cold = [solve_sam(p, stop=StoppingRule(**stop_kw)) for p in drift]
+        with SolveService() as svc:
+            for p in drift:
+                svc.submit(p, **stop_kw)
+            svc.drain()  # populate the cache
+            for p in drift:
+                svc.submit(p, **stop_kw)
+            warm = svc.drain()
+        assert all(r.warm_started and r.cache_exact for r in warm)
+        for w, c in zip(warm, cold):
+            np.testing.assert_allclose(w.result.x, c.x, atol=1e-6)

@@ -98,6 +98,21 @@ class TestValidation:
         )
         assert np.isfinite(lam[0])
 
+    def test_all_invalid_row_raises_instead_of_nan(self):
+        """Regression: a nan target (e.g. a diverged upstream multiplier)
+        made every candidate non-finite; the tie fallback's argmin then
+        picked index 0 and silently returned nan.  Now it names the row."""
+        with pytest.raises(ValueError, match="subproblem 1"):
+            solve_piecewise_linear(
+                np.zeros((2, 2)), np.ones((2, 2)), np.array([1.0, np.nan])
+            )
+
+    def test_nan_breakpoints_raise(self):
+        with pytest.raises(ValueError, match="no finite candidate"):
+            solve_piecewise_linear(
+                np.full((1, 2), np.nan), np.ones((1, 2)), np.array([1.0])
+            )
+
 
 class TestRecoverFlows:
     def test_flows_nonnegative_and_match_formula(self, rng):

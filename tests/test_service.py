@@ -112,6 +112,18 @@ class TestWarmStartCache:
         cache.store(fingerprint(other), totals_vector(other), np.zeros(4))
         assert cache.lookup(fingerprint(p), totals_vector(p)) is None
 
+    def test_store_update_refreshes_totals(self, rng):
+        """Re-storing a key must update totals along with mu, or
+        nearest-neighbor distances against the entry go stale."""
+        p = random_fixed_problem(rng, 4, 4)
+        cache = WarmStartCache()
+        fp, totals = fingerprint(p), totals_vector(p)
+        cache.store(fp, totals, np.zeros(4))
+        cache.store(fp, totals + 1.0, np.ones(4))
+        entry = cache._entries[fp.key]
+        np.testing.assert_array_equal(entry.totals, totals + 1.0)
+        np.testing.assert_array_equal(entry.mu, np.ones(4))
+
     def test_lru_eviction(self, rng):
         p = random_fixed_problem(rng, 4, 4)
         cache = WarmStartCache(maxsize=2)
@@ -162,6 +174,20 @@ class TestBatch:
 
     def test_empty_batch(self):
         assert solve_fixed_batch([]) == []
+
+    def test_results_are_not_views_into_batch_stacks(self, rng):
+        """Regression: _finalize used to store views into the shared
+        (k, m, n) iterate stacks, so results pinned the whole buffer
+        and mutating one corrupted its batch-mates."""
+        problems = [random_fixed_problem(rng, 5, 5) for _ in range(3)]
+        results = solve_fixed_batch(problems)
+        for r in results:
+            assert r.x.base is None
+            assert r.lam.base is None
+            assert r.mu.base is None
+        untouched = results[2].lam.copy()
+        results[0].lam[:] = np.nan
+        np.testing.assert_array_equal(results[2].lam, untouched)
 
 
 class TestWarmStartConvergence:
@@ -249,6 +275,19 @@ class TestService:
             assert svc.stats().queue_depth == 2
             svc.drain()
             assert svc.stats().queue_depth == 0
+
+    def test_solve_retains_other_responses_for_collect(self, rng):
+        """submit -> solve -> collect must lose nothing: solve() drains
+        the whole queue but only returns its own response."""
+        with SolveService() as svc:
+            early = [svc.submit(random_fixed_problem(rng, 4, 4)),
+                     svc.submit(random_sam_problem(rng, 4))]
+            mine = svc.solve(random_elastic_problem(rng, 4, 4))
+            leftovers = svc.collect()
+        assert mine.ok and mine.kind == "elastic"
+        assert [r.id for r in leftovers] == early
+        assert all(r.ok for r in leftovers)
+        assert svc.collect() == []  # delivered exactly once
 
     def test_error_isolation_single(self, rng):
         with SolveService() as svc:
