@@ -53,10 +53,26 @@ from repro.core import (
 )
 from repro.core.api import solve
 from repro.core.convergence import StoppingRule
+from repro.errors import (
+    DeadlineExceededError,
+    InfeasibleProblemError,
+    InvalidProblemError,
+    InvalidRequestError,
+    NonConvergenceError,
+    ReproError,
+    WorkerCrashError,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ReproError",
+    "InvalidProblemError",
+    "InfeasibleProblemError",
+    "NonConvergenceError",
+    "WorkerCrashError",
+    "DeadlineExceededError",
+    "InvalidRequestError",
     "FixedTotalsProblem",
     "ElasticProblem",
     "SAMProblem",

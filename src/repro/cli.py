@@ -98,6 +98,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the warm-start cache")
     serve.add_argument("--no-matrix", action="store_true",
                        help="omit x/s/d payloads from responses")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="default per-request wall-clock budget in "
+                            "seconds (overrun requests answer with "
+                            "error.kind=deadline-exceeded)")
+    serve.add_argument("--retries", type=int, default=1,
+                       help="default re-attempts after transient errors "
+                            "(worker crashes); deterministic errors are "
+                            "never retried (default 1)")
     serve.add_argument("--stats", action="store_true",
                        help="print the ServiceStats JSON to stderr on exit")
 
@@ -216,7 +224,12 @@ def _cmd_serve(args) -> int:
     import pathlib
 
     from repro.service import SolveService
-    from repro.service.wire import dump_response, read_requests
+    from repro.service.wire import (
+        RequestError,
+        dump_response,
+        error_line,
+        read_requests,
+    )
 
     with contextlib.ExitStack() as stack:
         if args.input:
@@ -249,15 +262,21 @@ def _cmd_serve(args) -> int:
             batching=not args.no_batch,
             warm_start=not args.no_warm_start,
             max_batch=max(args.window, 1),
+            default_deadline_s=args.deadline,
+            default_retries=max(args.retries, 0),
         ))
-        try:
-            for request in read_requests(in_stream):
-                svc.submit(request)
-                if svc.pending >= max(args.window, 1):
-                    _flush(svc)
-        except (ValueError, TypeError) as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 1
+        for request in read_requests(in_stream):
+            if isinstance(request, RequestError):
+                # A malformed line answers in stream position with a
+                # structured invalid-request error; the session lives on.
+                _flush(svc)  # keep responses in request order
+                out_stream.write(error_line(request) + "\n")
+                out_stream.flush()
+                any_error = True
+                continue
+            svc.submit(request)
+            if svc.pending >= max(args.window, 1):
+                _flush(svc)
         _flush(svc)
         if args.stats:
             print(json.dumps(svc.stats().as_dict()), file=sys.stderr)

@@ -18,6 +18,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import InvalidProblemError
+
 __all__ = ["StoppingRule", "delta_x_residual", "relative_imbalance"]
 
 
@@ -62,13 +64,13 @@ class StoppingRule:
 
     def __post_init__(self) -> None:
         if self.eps <= 0:
-            raise ValueError("eps must be positive")
+            raise InvalidProblemError("eps must be positive")
         if self.check_every < 1:
-            raise ValueError("check_every must be >= 1")
+            raise InvalidProblemError("check_every must be >= 1")
         if self.max_iterations < 1:
-            raise ValueError("max_iterations must be >= 1")
+            raise InvalidProblemError("max_iterations must be >= 1")
         if self.criterion not in ("delta-x", "imbalance", "dual-gradient"):
-            raise ValueError(f"unknown criterion {self.criterion!r}")
+            raise InvalidProblemError(f"unknown criterion {self.criterion!r}")
 
     def due(self, iteration: int) -> bool:
         """Whether the check runs at this (1-based) iteration."""

@@ -24,6 +24,8 @@ from typing import Literal
 
 import numpy as np
 
+from repro.errors import InvalidProblemError
+
 __all__ = [
     "FixedTotalsProblem",
     "ElasticProblem",
@@ -35,14 +37,14 @@ __all__ = [
 def _as_matrix(name: str, value: np.ndarray) -> np.ndarray:
     arr = np.asarray(value, dtype=np.float64)
     if arr.ndim != 2:
-        raise ValueError(f"{name} must be a 2-D array, got shape {arr.shape}")
+        raise InvalidProblemError(f"{name} must be a 2-D array, got shape {arr.shape}")
     return arr
 
 
 def _as_vector(name: str, value: np.ndarray, length: int) -> np.ndarray:
     arr = np.asarray(value, dtype=np.float64)
     if arr.shape != (length,):
-        raise ValueError(f"{name} must have shape ({length},), got {arr.shape}")
+        raise InvalidProblemError(f"{name} must have shape ({length},), got {arr.shape}")
     return arr
 
 
@@ -51,13 +53,13 @@ def _resolve_mask(x0: np.ndarray, mask: np.ndarray | None) -> np.ndarray:
         return np.ones(x0.shape, dtype=bool)
     arr = np.asarray(mask, dtype=bool)
     if arr.shape != x0.shape:
-        raise ValueError("mask must match the shape of x0")
+        raise InvalidProblemError("mask must match the shape of x0")
     return arr
 
 
 def _check_gamma(gamma: np.ndarray, mask: np.ndarray) -> None:
     if np.any(gamma[mask] <= 0.0) or not np.all(np.isfinite(gamma[mask])):
-        raise ValueError("gamma must be strictly positive and finite on active cells")
+        raise InvalidProblemError("gamma must be strictly positive and finite on active cells")
 
 
 def _check_symmetric(name: str, M: np.ndarray, block: int = 2048) -> None:
@@ -67,7 +69,7 @@ def _check_symmetric(name: str, M: np.ndarray, block: int = 2048) -> None:
     for lo in range(0, n, block):
         hi = min(lo + block, n)
         if not np.allclose(M[lo:hi, :], M[:, lo:hi].T, rtol=1e-8, atol=1e-10):
-            raise ValueError(f"{name} must be symmetric")
+            raise InvalidProblemError(f"{name} must be symmetric")
 
 
 @dataclass(frozen=True)
@@ -93,15 +95,15 @@ class FixedTotalsProblem:
         m, n = x0.shape
         gamma = _as_matrix("gamma", self.gamma)
         if gamma.shape != (m, n):
-            raise ValueError("gamma must match the shape of x0")
+            raise InvalidProblemError("gamma must match the shape of x0")
         s0 = _as_vector("s0", self.s0, m)
         d0 = _as_vector("d0", self.d0, n)
         mask = _resolve_mask(x0, self.mask)
         _check_gamma(gamma, mask)
         if np.any(s0 < 0.0) or np.any(d0 < 0.0):
-            raise ValueError("row and column totals must be nonnegative")
+            raise InvalidProblemError("row and column totals must be nonnegative")
         if not np.isclose(s0.sum(), d0.sum(), rtol=1e-9, atol=1e-6):
-            raise ValueError(
+            raise InvalidProblemError(
                 f"totals must balance: sum(s0)={s0.sum()!r} != sum(d0)={d0.sum()!r}"
             )
         object.__setattr__(self, "x0", x0)
@@ -143,7 +145,7 @@ class ElasticProblem:
         m, n = x0.shape
         gamma = _as_matrix("gamma", self.gamma)
         if gamma.shape != (m, n):
-            raise ValueError("gamma must match the shape of x0")
+            raise InvalidProblemError("gamma must match the shape of x0")
         s0 = _as_vector("s0", self.s0, m)
         d0 = _as_vector("d0", self.d0, n)
         alpha = _as_vector("alpha", self.alpha, m)
@@ -151,7 +153,7 @@ class ElasticProblem:
         mask = _resolve_mask(x0, self.mask)
         _check_gamma(gamma, mask)
         if np.any(alpha <= 0.0) or np.any(beta <= 0.0):
-            raise ValueError("alpha and beta must be strictly positive")
+            raise InvalidProblemError("alpha and beta must be strictly positive")
         object.__setattr__(self, "x0", x0)
         object.__setattr__(self, "gamma", gamma)
         object.__setattr__(self, "s0", s0)
@@ -196,16 +198,16 @@ class SAMProblem:
         x0 = _as_matrix("x0", self.x0)
         m, n = x0.shape
         if m != n:
-            raise ValueError("a SAM must be square")
+            raise InvalidProblemError("a SAM must be square")
         gamma = _as_matrix("gamma", self.gamma)
         if gamma.shape != (n, n):
-            raise ValueError("gamma must match the shape of x0")
+            raise InvalidProblemError("gamma must match the shape of x0")
         s0 = _as_vector("s0", self.s0, n)
         alpha = _as_vector("alpha", self.alpha, n)
         mask = _resolve_mask(x0, self.mask)
         _check_gamma(gamma, mask)
         if np.any(alpha <= 0.0):
-            raise ValueError("alpha must be strictly positive")
+            raise InvalidProblemError("alpha must be strictly positive")
         object.__setattr__(self, "x0", x0)
         object.__setattr__(self, "gamma", gamma)
         object.__setattr__(self, "s0", s0)
@@ -258,17 +260,17 @@ class GeneralProblem:
         m, n = x0.shape
         G = _as_matrix("G", self.G)
         if G.shape != (m * n, m * n):
-            raise ValueError(f"G must be ({m * n}, {m * n}), got {G.shape}")
+            raise InvalidProblemError(f"G must be ({m * n}, {m * n}), got {G.shape}")
         _check_symmetric("G", G)
         if np.any(np.diag(G) <= 0.0):
-            raise ValueError("G must have a strictly positive diagonal")
+            raise InvalidProblemError("G must have a strictly positive diagonal")
         mask = _resolve_mask(x0, self.mask)
 
         if self.kind == "fixed":
             s0 = _as_vector("s0", self.s0, m)
             d0 = _as_vector("d0", self.d0, n)
             if not np.isclose(s0.sum(), d0.sum(), rtol=1e-9, atol=1e-6):
-                raise ValueError("totals must balance for the fixed model")
+                raise InvalidProblemError("totals must balance for the fixed model")
             A = B = None
         elif self.kind == "elastic":
             s0 = _as_vector("s0", self.s0, m)
@@ -276,21 +278,21 @@ class GeneralProblem:
             A = _as_matrix("A", self.A)
             B = _as_matrix("B", self.B)
             if A.shape != (m, m) or B.shape != (n, n):
-                raise ValueError("A must be (m, m) and B (n, n)")
+                raise InvalidProblemError("A must be (m, m) and B (n, n)")
             if np.any(np.diag(A) <= 0.0) or np.any(np.diag(B) <= 0.0):
-                raise ValueError("A and B must have strictly positive diagonals")
+                raise InvalidProblemError("A and B must have strictly positive diagonals")
         elif self.kind == "sam":
             if m != n:
-                raise ValueError("a SAM must be square")
+                raise InvalidProblemError("a SAM must be square")
             s0 = _as_vector("s0", self.s0, n)
             A = _as_matrix("A", self.A)
             if A.shape != (n, n):
-                raise ValueError("A must be (n, n)")
+                raise InvalidProblemError("A must be (n, n)")
             if np.any(np.diag(A) <= 0.0):
-                raise ValueError("A must have a strictly positive diagonal")
+                raise InvalidProblemError("A must have a strictly positive diagonal")
             d0 = B = None
         else:
-            raise ValueError(f"unknown kind {self.kind!r}")
+            raise InvalidProblemError(f"unknown kind {self.kind!r}")
 
         object.__setattr__(self, "x0", x0)
         object.__setattr__(self, "G", G)

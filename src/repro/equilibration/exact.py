@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import InfeasibleProblemError
+
 __all__ = ["solve_piecewise_linear", "equilibrate_rows", "recover_flows"]
 
 # Sentinel breakpoint for inert (zero-slope) cells: sorts after every real
@@ -79,7 +81,7 @@ def solve_piecewise_linear(
     fixed = a_arr == 0.0
     if np.any(fixed & (rhs < 0.0)):
         bad = int(np.flatnonzero(fixed & (rhs < 0.0))[0])
-        raise ValueError(
+        raise InfeasibleProblemError(
             f"fixed-totals subproblem {bad} infeasible: target below g(-inf)"
         )
 
@@ -87,7 +89,7 @@ def solve_piecewise_linear(
     empty_fixed = fixed & (active_counts == 0)
     if np.any(empty_fixed & (rhs > 0.0)):
         bad = int(np.flatnonzero(empty_fixed & (rhs > 0.0))[0])
-        raise ValueError(
+        raise InfeasibleProblemError(
             f"fixed-totals subproblem {bad} has no active cell but positive target"
         )
 

@@ -24,6 +24,8 @@ from collections import deque
 
 import numpy as np
 
+from repro.errors import InfeasibleProblemError
+
 __all__ = ["max_flow_bipartite", "certify_feasible", "assert_feasible"]
 
 _INF = float("inf")
@@ -141,7 +143,8 @@ def certify_feasible(
 
 
 def assert_feasible(problem) -> None:
-    """Raise ``ValueError`` with a diagnostic if a fixed-totals (or
+    """Raise :class:`~repro.errors.InfeasibleProblemError` with a
+    diagnostic if a fixed-totals (or
     bounded) problem's polytope is empty.  Call before a long solve on
     data of uncertain provenance."""
     upper = getattr(problem, "upper", None)
@@ -149,7 +152,7 @@ def assert_feasible(problem) -> None:
     if mask is None:
         mask = np.ones(problem.shape, dtype=bool)
     if not certify_feasible(mask, problem.s0, problem.d0, upper=upper):
-        raise ValueError(
+        raise InfeasibleProblemError(
             f"problem {getattr(problem, 'name', '?')!r}: the zero pattern "
             "(or cell bounds) cannot route the required totals — the "
             "constraint polytope is empty (max-flow certificate)"

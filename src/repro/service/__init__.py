@@ -14,7 +14,13 @@ per problem:
 * a warm-start cache (:mod:`repro.service.cache`) keyed by the problem
   fingerprint of :func:`repro.core.api.fingerprint`, seeding ``mu0``
   from the nearest previously-solved problem;
-* a metrics surface (:class:`~repro.service.metrics.ServiceStats`).
+* a metrics surface (:class:`~repro.service.metrics.ServiceStats`);
+* a fault-tolerance layer: classified errors (:mod:`repro.errors`),
+  per-request deadlines and retries, worker-crash recovery with a
+  ``process -> thread -> serial`` degradation ladder, a kind+shape
+  circuit breaker, and a deterministic fault-injection harness
+  (:mod:`repro.service.faults`) that proves results stay bit-identical
+  under injected chaos.
 
 Drive it from Python::
 
@@ -31,6 +37,7 @@ or end-to-end over JSONL: ``python -m repro serve --jsonl``.
 
 from repro.service.batching import solve_batch, solve_fixed_batch
 from repro.service.cache import WarmStartCache
+from repro.service.faults import FaultPlan, FaultyKernel
 from repro.service.metrics import ServiceStats
 from repro.service.request import SolveRequest, SolveResponse
 from repro.service.service import SolveService
@@ -41,6 +48,8 @@ __all__ = [
     "SolveResponse",
     "ServiceStats",
     "WarmStartCache",
+    "FaultPlan",
+    "FaultyKernel",
     "solve_batch",
     "solve_fixed_batch",
 ]

@@ -1,0 +1,177 @@
+"""Deterministic fault injection for the solve service.
+
+A :class:`FaultyKernel` wraps any kernel (usually the service's shared
+:class:`~repro.parallel.executor.ParallelKernel`) and, following a
+seeded :class:`FaultPlan`, makes a configured fraction of fork/join
+dispatches misbehave:
+
+``raise``
+    The dispatch raises :class:`~repro.errors.WorkerCrashError` before
+    touching the pool — exercising the *service-level* retry policy.
+``kill``
+    A pool worker process is killed mid-dispatch (``os._exit`` smuggled
+    into the pool), so the real dispatch hits ``BrokenProcessPool`` —
+    exercising the *kernel-level* pool rebuild + retry path.  Falls
+    back to ``raise`` on non-process backends (threads cannot be
+    killed).
+``delay``
+    The dispatch sleeps ``delay_s`` first — exercising deadlines.
+``corrupt``
+    The dispatch returns an all-NaN result — exercising detection (the
+    next kernel call rejects non-finite inputs) and clean re-solve via
+    service retries.
+
+Everything is driven by one ``random.Random(seed)`` stream, so a given
+plan injects an identical fault schedule on every run — chaos you can
+put in a regression test.  The harness proves the headline guarantee:
+with a seeded plan raising/killing in >=20% of dispatches, every
+service response stays bit-identical to the fault-free serial solve
+(see ``tests/test_fault_injection.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import WorkerCrashError
+
+__all__ = ["FaultPlan", "FaultyKernel"]
+
+
+@dataclass
+class FaultPlan:
+    """Seeded schedule of which dispatches misbehave and how.
+
+    Each fraction is the independent probability (per dispatch, drawn
+    from the seeded stream) of that fault firing; at most one fault
+    fires per dispatch, tested in the order raise, kill, delay,
+    corrupt.  ``max_faults`` caps the *total* injected faults so a
+    bounded-retry pipeline is guaranteed to eventually see a clean
+    dispatch (``None`` = unlimited).
+    """
+
+    seed: int = 0
+    raise_fraction: float = 0.0
+    kill_fraction: float = 0.0
+    delay_fraction: float = 0.0
+    delay_s: float = 0.05
+    corrupt_fraction: float = 0.0
+    max_faults: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("raise_fraction", "kill_fraction", "delay_fraction",
+                     "corrupt_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be >= 0")
+        if self.max_faults is not None and self.max_faults < 0:
+            raise ValueError("max_faults must be >= 0")
+
+
+class FaultyKernel:
+    """Chaos wrapper around a kernel: same call signature, scheduled
+    misbehavior, full attribute pass-through.
+
+    The wrapper is transparent to everything that isn't a dispatch:
+    counters (``worker_crashes``, ``pool_rebuilds``, ...), ``close()``
+    and ``healthy()`` delegate to the wrapped kernel, so a
+    ``SolveService(kernel=FaultyKernel(...))`` behaves exactly like the
+    clean service apart from the injected faults.
+
+    ``injected`` counts what actually fired, per fault mode.
+    """
+
+    def __init__(self, kernel, plan: FaultPlan) -> None:
+        self.kernel = kernel
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        self.injected: dict[str, int] = {
+            "raise": 0, "kill": 0, "delay": 0, "corrupt": 0,
+        }
+
+    @property
+    def faults_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def _draw(self) -> str | None:
+        """Which fault (if any) fires on this dispatch."""
+        plan = self.plan
+        if (
+            plan.max_faults is not None
+            and self.faults_injected >= plan.max_faults
+        ):
+            return None
+        roll = self._rng.random()
+        threshold = 0.0
+        for mode, fraction in (
+            ("raise", plan.raise_fraction),
+            ("kill", plan.kill_fraction),
+            ("delay", plan.delay_fraction),
+            ("corrupt", plan.corrupt_fraction),
+        ):
+            threshold += fraction
+            if roll < threshold:
+                return mode
+        return None
+
+    def _kill_one_worker(self) -> bool:
+        """Smuggle an ``os._exit`` into the wrapped kernel's process
+        pool so one worker dies mid-batch; the following real dispatch
+        then hits ``BrokenProcessPool`` and must recover."""
+        ensure = getattr(self.kernel, "_ensure_pool", None)
+        pool = ensure() if ensure is not None else None
+        if not isinstance(pool, ProcessPoolExecutor):
+            return False
+        try:
+            pool.submit(os._exit, 1)
+        except Exception:
+            return True  # pool already broken — the dispatch will recover
+        # Give the doomed worker a moment to die so the *next* submit
+        # observes the broken pool deterministically.
+        time.sleep(0.05)
+        return True
+
+    def __call__(self, breakpoints, slopes, target, a=None, c=None,
+                 timeout=None):
+        mode = self._draw()
+        if mode == "raise":
+            self.injected["raise"] += 1
+            raise WorkerCrashError(
+                f"injected worker crash (fault #{self.faults_injected})"
+            )
+        if mode == "kill":
+            if self._kill_one_worker():
+                self.injected["kill"] += 1
+            else:
+                # Thread/serial backends have no killable workers;
+                # degrade the injection to a plain raise.
+                self.injected["raise"] += 1
+                raise WorkerCrashError(
+                    "injected worker crash (kill unavailable on "
+                    f"{getattr(self.kernel, 'backend', '?')!r} backend)"
+                )
+        elif mode == "delay":
+            self.injected["delay"] += 1
+            time.sleep(self.plan.delay_s)
+        result = self.kernel(
+            breakpoints, slopes, target, a=a, c=c, timeout=timeout
+        )
+        if mode == "corrupt":
+            # The whole block of duals goes NaN, so the *next* dispatch
+            # is guaranteed to see non-finite inputs and raise (a partial
+            # corruption can wash out of the dual iteration silently).
+            self.injected["corrupt"] += 1
+            result = np.full_like(np.asarray(result, dtype=np.float64), np.nan)
+        return result
+
+    def __getattr__(self, name):
+        # Transparent pass-through for counters, close(), healthy(), ...
+        return getattr(self.kernel, name)

@@ -21,6 +21,15 @@ class ServiceStats:
     with warm-starting disabled touch neither); ``total_solve_time`` is
     summed per-request service-side wall time, so batched requests
     overlap and the sum can exceed the true wall clock.
+
+    The fault-tolerance block: ``retries`` counts re-attempted solves
+    after transient errors, ``deadline_exceeded`` counts requests that
+    ran out of budget, ``errors_by_kind`` buckets every failed request
+    by its taxonomy tag (:mod:`repro.errors`), and ``worker_crashes`` /
+    ``pool_rebuilds`` / ``degraded_dispatches`` mirror the shared
+    kernel's counters at snapshot time.  ``breaker_trips`` counts
+    kind+shape circuit breakers opening; ``breaker_rejections`` counts
+    requests refused while one was open.
     """
 
     requests: int = 0
@@ -28,6 +37,7 @@ class ServiceStats:
     errors: int = 0
     batches: int = 0
     batched_requests: int = 0
+    batch_fallbacks: int = 0
     batches_by_kind: dict[str, int] = field(default_factory=dict)
     batched_requests_by_kind: dict[str, int] = field(default_factory=dict)
     cache_hits: int = 0
@@ -38,6 +48,14 @@ class ServiceStats:
     total_solve_time: float = 0.0
     total_iterations: int = 0
     per_kind: dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+    deadline_exceeded: int = 0
+    worker_crashes: int = 0
+    pool_rebuilds: int = 0
+    degraded_dispatches: int = 0
+    breaker_trips: int = 0
+    breaker_rejections: int = 0
+    errors_by_kind: dict[str, int] = field(default_factory=dict)
 
     @property
     def hit_rate(self) -> float:
@@ -56,6 +74,10 @@ class ServiceStats:
     def count_kind(self, kind: str) -> None:
         self.per_kind[kind] = self.per_kind.get(kind, 0) + 1
 
+    def count_error_kind(self, kind: str) -> None:
+        """Bucket one failed request under its taxonomy tag."""
+        self.errors_by_kind[kind] = self.errors_by_kind.get(kind, 0) + 1
+
     def count_batch(self, kind: str, size: int) -> None:
         """Record one fused batch of ``size`` requests of ``kind``."""
         self.batches_by_kind[kind] = self.batches_by_kind.get(kind, 0) + 1
@@ -70,6 +92,7 @@ class ServiceStats:
             per_kind=dict(self.per_kind),
             batches_by_kind=dict(self.batches_by_kind),
             batched_requests_by_kind=dict(self.batched_requests_by_kind),
+            errors_by_kind=dict(self.errors_by_kind),
         )
 
     def as_dict(self) -> dict:
@@ -80,6 +103,7 @@ class ServiceStats:
             "errors": self.errors,
             "batches": self.batches,
             "batched_requests": self.batched_requests,
+            "batch_fallbacks": self.batch_fallbacks,
             "batches_by_kind": dict(self.batches_by_kind),
             "batched_requests_by_kind": dict(self.batched_requests_by_kind),
             "cache_hits": self.cache_hits,
@@ -93,4 +117,12 @@ class ServiceStats:
             "total_iterations": self.total_iterations,
             "mean_iterations": round(self.mean_iterations, 3),
             "per_kind": dict(self.per_kind),
+            "retries": self.retries,
+            "deadline_exceeded": self.deadline_exceeded,
+            "worker_crashes": self.worker_crashes,
+            "pool_rebuilds": self.pool_rebuilds,
+            "degraded_dispatches": self.degraded_dispatches,
+            "breaker_trips": self.breaker_trips,
+            "breaker_rejections": self.breaker_rejections,
+            "errors_by_kind": dict(self.errors_by_kind),
         }

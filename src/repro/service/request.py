@@ -3,8 +3,10 @@
 A :class:`SolveRequest` wraps any problem object the library can solve
 plus per-request solver options; a :class:`SolveResponse` pairs the
 request id with the :class:`~repro.core.result.SolveResult` (or the
-error that prevented one) and records how the service handled the job —
-warm-started, batched, which engine.
+classified error that prevented one — ``error_kind`` carries the
+machine-readable taxonomy tag of :mod:`repro.errors`) and records how
+the service handled the job — warm-started, batched, retried, which
+engine.
 """
 
 from __future__ import annotations
@@ -13,6 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.core.convergence import StoppingRule
 from repro.core.result import SolveResult
+from repro.errors import InvalidProblemError
 
 __all__ = ["SolveRequest", "SolveResponse", "resolve_stop"]
 
@@ -51,6 +54,18 @@ class SolveRequest:
     engine:
         ``'dense'`` (default) or ``'sparse'`` — the sparse engine routes
         masked diagonal problems through :mod:`repro.sparse.sea`.
+    deadline_s:
+        Wall-clock budget for this request (seconds); overruns answer
+        with ``error_kind='deadline-exceeded'``.  ``None`` falls back to
+        the service default.
+    retries:
+        Extra attempts after *transient* errors (worker crashes,
+        unclassified internal faults); deterministic errors are never
+        retried.  ``None`` falls back to the service default.
+    strict:
+        Treat a non-converged result as an error
+        (``error_kind='non-convergence'``) instead of an ``ok``
+        response with ``converged=False``.
     """
 
     problem: object
@@ -61,20 +76,40 @@ class SolveRequest:
     warm_start: bool = True
     batchable: bool = True
     engine: str = "dense"
+    deadline_s: float | None = None
+    retries: int | None = None
+    strict: bool = False
 
     def __post_init__(self) -> None:
         if self.engine not in ("dense", "sparse"):
             raise ValueError(f"unknown engine {self.engine!r}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise InvalidProblemError("deadline_s must be positive")
+        if self.retries is not None and self.retries < 0:
+            raise InvalidProblemError("retries must be >= 0")
 
 
 def resolve_stop(request: SolveRequest, kind: str) -> StoppingRule | None:
-    """Build the request's stopping rule, or ``None`` for solver defaults."""
+    """Build the request's stopping rule, or ``None`` for solver defaults.
+
+    Raises :class:`~repro.errors.InvalidProblemError` on out-of-domain
+    overrides (``eps <= 0``, ``max_iterations < 1``) so a bad request
+    dies with a classified error before it touches the worker pool.
+    """
     if (
         request.eps is None
         and request.max_iterations is None
         and request.criterion is None
     ):
         return None
+    if request.eps is not None and request.eps <= 0:
+        raise InvalidProblemError(
+            f"eps must be positive, got {request.eps!r}"
+        )
+    if request.max_iterations is not None and request.max_iterations < 1:
+        raise InvalidProblemError(
+            f"max_iterations must be >= 1, got {request.max_iterations!r}"
+        )
     eps_default, criterion_default = _DEFAULT_STOPS.get(kind, (1e-2, "delta-x"))
     return StoppingRule(
         eps=request.eps if request.eps is not None else eps_default,
@@ -90,11 +125,13 @@ class SolveResponse:
     id: str
     result: SolveResult | None = None
     error: str | None = None
+    error_kind: str | None = None  # taxonomy tag of repro.errors
     kind: str = ""
     elapsed: float = 0.0  # service-side solve time (excludes queueing)
     warm_started: bool = False
     cache_exact: bool = False
     batched: bool = False
+    retries: int = 0  # transient-error re-attempts this response cost
     submitted_at: int = field(default=0, repr=False)  # submission order
 
     @property

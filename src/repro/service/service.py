@@ -13,10 +13,30 @@ Scheduling policy (per :meth:`SolveService.drain`):
 2. group batchable dense diagonal requests (fixed, elastic or SAM) by
    kind + shape + stopping rule and fuse each group through
    :func:`~repro.service.batching.solve_batch` (chunks of
-   ``max_batch``); a failing batch falls back to per-request solves so
-   one infeasible problem cannot poison its batch-mates;
+   ``max_batch``); a failing or timed-out batch falls back to
+   per-request solves so one infeasible problem cannot poison its
+   batch-mates;
 3. dispatch everything else individually over the shared kernel;
 4. return responses in submission order.
+
+Fault policy (per request):
+
+* every failure is classified with the taxonomy of :mod:`repro.errors`
+  and answered as a structured error response (``error_kind``), never a
+  crash of the drain loop;
+* *transient* errors (worker crashes, unclassified internal faults) are
+  retried up to ``retries`` times — deterministic errors
+  (invalid/infeasible problems) fail fast;
+* a request's ``deadline_s`` bounds its wall clock: the deadline is
+  checked between kernel dispatches and enforced inside pooled
+  dispatches, so a hung worker cannot stall the drain loop past the
+  budget;
+* a kind+shape group that keeps failing trips a circuit breaker:
+  further requests of that group are rejected (``circuit-open``)
+  without touching the pool until a cooldown of
+  ``breaker_cooldown`` processed requests has passed, after which one
+  trial request half-opens the breaker (success closes it, failure
+  re-trips it).
 
 Delivery semantics: :meth:`SolveService.drain` returns the responses of
 *everything* it processed — including requests enqueued earlier via
@@ -31,6 +51,7 @@ from __future__ import annotations
 
 import time
 from collections import deque
+from dataclasses import dataclass
 
 from repro.core.api import fingerprint, problem_kind, solve, totals_vector
 from repro.core.problems import (
@@ -38,6 +59,14 @@ from repro.core.problems import (
     FixedTotalsProblem,
     GeneralProblem,
     SAMProblem,
+)
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    NonConvergenceError,
+    ReproError,
+    error_kind,
+    is_transient,
 )
 from repro.parallel.executor import ParallelKernel
 from repro.service.batching import solve_batch
@@ -57,8 +86,43 @@ def _stop_key(stop) -> tuple | None:
     return (stop.eps, stop.criterion, stop.check_every, stop.max_iterations)
 
 
+class _DeadlineKernel:
+    """Per-request view of the shared kernel under an absolute deadline.
+
+    Checks the clock before every fork/join dispatch (covering the
+    serial backend, where a running dispatch cannot be interrupted) and
+    hands the pooled backends the remaining budget as their dispatch
+    timeout, so even a hung worker cannot overrun the deadline by more
+    than one dispatch.
+    """
+
+    def __init__(self, kernel, deadline: float) -> None:
+        self._kernel = kernel
+        self._deadline = deadline
+
+    def __call__(self, breakpoints, slopes, target, a=None, c=None):
+        remaining = self._deadline - time.monotonic()
+        if remaining <= 0:
+            raise DeadlineExceededError(
+                "request deadline exceeded between kernel dispatches"
+            )
+        return self._kernel(
+            breakpoints, slopes, target, a=a, c=c, timeout=remaining
+        )
+
+
+@dataclass
+class _Breaker:
+    """Failure state of one kind+shape request group."""
+
+    failures: int = 0
+    open_until: int | None = None  # processed-counter tick; None = closed
+    half_open: bool = False
+
+
 class SolveService:
-    """Batching, warm-starting scheduler over a shared worker pool.
+    """Batching, warm-starting, fault-isolating scheduler over a shared
+    worker pool.
 
     Parameters
     ----------
@@ -73,6 +137,22 @@ class SolveService:
         Warm-start cache capacity (LRU beyond it).
     max_batch:
         Largest number of requests fused into one batch.
+    default_deadline_s:
+        Wall-clock budget applied to requests that set no
+        ``deadline_s`` of their own (``None`` = unbounded).
+    default_retries:
+        Transient-error re-attempts for requests that set no
+        ``retries`` of their own.
+    breaker_threshold:
+        Consecutive failures of one kind+shape group that trip its
+        circuit breaker.
+    breaker_cooldown:
+        Processed requests an open breaker waits before letting a trial
+        request through.
+    kernel:
+        Pre-built kernel to use instead of constructing one from
+        ``workers``/``backend`` — the hook the fault-injection harness
+        (:mod:`repro.service.faults`) uses to wrap the pool.
     """
 
     def __init__(
@@ -83,18 +163,37 @@ class SolveService:
         warm_start: bool = True,
         cache_size: int = 256,
         max_batch: int = 64,
+        default_deadline_s: float | None = None,
+        default_retries: int = 1,
+        breaker_threshold: int = 5,
+        breaker_cooldown: int = 16,
+        kernel=None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
-        self.kernel = ParallelKernel(workers=workers, backend=backend)
+        if default_retries < 0:
+            raise ValueError("default_retries must be >= 0")
+        if breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if breaker_cooldown < 1:
+            raise ValueError("breaker_cooldown must be >= 1")
+        self.kernel = kernel if kernel is not None else ParallelKernel(
+            workers=workers, backend=backend
+        )
         self.batching = batching
         self.warm_start = warm_start
         self.max_batch = max_batch
+        self.default_deadline_s = default_deadline_s
+        self.default_retries = default_retries
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
         self.cache = WarmStartCache(maxsize=cache_size)
         self._queue: deque[SolveRequest] = deque()
         self._completed: list[SolveResponse] = []
         self._stats = ServiceStats()
         self._seq = 0
+        self._processed = 0
+        self._breakers: dict[tuple, _Breaker] = {}
 
     # -- job intake ---------------------------------------------------------
 
@@ -163,7 +262,13 @@ class SolveService:
                 and type(req.problem) in _BATCH_KINDS
             ):
                 kind = problem_kind(req.problem)
-                stop = resolve_stop(req, kind)
+                try:
+                    stop = resolve_stop(req, kind)
+                except ReproError:
+                    # Bad stopping overrides answer as classified error
+                    # responses on the single path; never sink a drain.
+                    singles.append(req)
+                    continue
                 key = (kind, req.problem.shape, _stop_key(stop))
                 groups.setdefault(key, []).append(req)
             else:
@@ -180,6 +285,46 @@ class SolveService:
             responses.append(self._run_single(req, self._lookup(req)))
         responses.sort(key=lambda r: r.submitted_at)
         return responses
+
+    # -- fault policy -------------------------------------------------------
+
+    def _group_key(self, req: SolveRequest) -> tuple:
+        """Circuit-breaker bucket: requests of one kind and shape."""
+        return (self._kind_tag(req), getattr(req.problem, "shape", None))
+
+    def _breaker_allows(self, key: tuple) -> bool:
+        breaker = self._breakers.get(key)
+        if breaker is None or breaker.open_until is None:
+            return True
+        if self._processed >= breaker.open_until:
+            breaker.half_open = True  # cooldown over: admit one trial
+            return True
+        return False
+
+    def _breaker_report(self, key: tuple, ok: bool) -> None:
+        breaker = self._breakers.setdefault(key, _Breaker())
+        if ok:
+            breaker.failures = 0
+            breaker.open_until = None
+            breaker.half_open = False
+            return
+        breaker.failures += 1
+        if breaker.half_open or breaker.failures >= self.breaker_threshold:
+            breaker.open_until = self._processed + self.breaker_cooldown
+            breaker.half_open = False
+            breaker.failures = 0
+            self._stats.breaker_trips += 1
+
+    def _deadline_of(self, req: SolveRequest, now: float) -> float | None:
+        """Absolute monotonic deadline of a request starting at ``now``."""
+        deadline_s = (
+            req.deadline_s if req.deadline_s is not None
+            else self.default_deadline_s
+        )
+        return None if deadline_s is None else now + deadline_s
+
+    def _retries_of(self, req: SolveRequest) -> int:
+        return req.retries if req.retries is not None else self.default_retries
 
     # -- execution ----------------------------------------------------------
 
@@ -208,16 +353,30 @@ class SolveService:
         return (mu0, True, exact, fp, totals)
 
     def _record(self, req: SolveRequest, response: SolveResponse, fp, totals) -> None:
+        self._processed += 1
         if response.ok:
             self._stats.completed += 1
             self._stats.total_solve_time += response.elapsed
             self._stats.total_iterations += response.result.iterations
-            if fp is not None and response.result.mu is not None:
+            # Only *converged* duals may seed future warm starts: the mu
+            # of a budget-exhausted or errored solve is an arbitrary
+            # point of the dual trajectory and would poison every
+            # neighbor lookup in its bucket.
+            if (
+                fp is not None
+                and response.result.mu is not None
+                and response.result.converged
+            ):
                 self.cache.store(fp, totals, response.result.mu)
         else:
             self._stats.errors += 1
+            self._stats.count_error_kind(response.error_kind or "internal")
         self._stats.count_kind(response.kind)
         self._stats.cache_size = len(self.cache)
+        # Breaker rejections don't feed back into the breaker (they are
+        # its output, not new evidence about the workload).
+        if response.error_kind != CircuitOpenError.kind:
+            self._breaker_report(self._group_key(req), ok=response.ok)
 
     def _kind_tag(self, req: SolveRequest) -> str:
         if type(req.problem) in _CORE_KINDS:
@@ -226,23 +385,67 @@ class SolveService:
             tag = type(req.problem).__name__
         return f"{tag}/sparse" if req.engine == "sparse" else tag
 
-    def _run_single(self, req: SolveRequest, lookup) -> SolveResponse:
+    def _set_error(self, response: SolveResponse, exc: BaseException) -> None:
+        response.error = f"{type(exc).__name__}: {exc}"
+        response.error_kind = error_kind(exc)
+
+    def _run_single(
+        self, req: SolveRequest, lookup, deadline: float | None = None
+    ) -> SolveResponse:
         mu0, warm, exact, fp, totals = lookup
-        kind = self._kind_tag(req)
         response = SolveResponse(
-            id=req.id, kind=kind, warm_started=warm, cache_exact=exact,
-            submitted_at=getattr(req, "_order", 0),
+            id=req.id, kind=self._kind_tag(req), warm_started=warm,
+            cache_exact=exact, submitted_at=getattr(req, "_order", 0),
         )
+        key = self._group_key(req)
+        if not self._breaker_allows(key):
+            self._stats.breaker_rejections += 1
+            self._set_error(response, CircuitOpenError(
+                f"circuit breaker open for group {key!r} after repeated "
+                "failures; retry after the cooldown"
+            ))
+            self._record(req, response, fp, totals)
+            return response
+
+        if deadline is None:
+            deadline = self._deadline_of(req, time.monotonic())
+        retries = self._retries_of(req)
+        attempt = 0
         t0 = time.perf_counter()
-        try:
-            response.result = self._dispatch(req, mu0)
-        except Exception as exc:  # noqa: BLE001 — fault isolation per job
-            response.error = f"{type(exc).__name__}: {exc}"
+        while True:
+            try:
+                response.result = self._dispatch(req, mu0, deadline)
+                response.error = response.error_kind = None
+                break
+            except Exception as exc:  # noqa: BLE001 — fault isolation per job
+                self._set_error(response, exc)
+                if isinstance(exc, DeadlineExceededError):
+                    self._stats.deadline_exceeded += 1
+                out_of_time = (
+                    deadline is not None and time.monotonic() >= deadline
+                )
+                if attempt < retries and is_transient(exc) and not out_of_time:
+                    attempt += 1
+                    self._stats.retries += 1
+                    continue
+                break
+        response.retries = attempt
         response.elapsed = time.perf_counter() - t0
+        if response.ok and req.strict and not response.result.converged:
+            self._set_error(response, NonConvergenceError(
+                f"no convergence after {response.result.iterations} "
+                f"iterations (residual {response.result.residual:g})"
+            ))
         self._record(req, response, fp, totals)
         return response
 
-    def _dispatch(self, req: SolveRequest, mu0):
+    def _dispatch(self, req: SolveRequest, mu0, deadline: float | None = None):
+        if deadline is not None and time.monotonic() >= deadline:
+            raise DeadlineExceededError("request deadline exceeded")
+        kernel = (
+            self.kernel if deadline is None
+            else _DeadlineKernel(self.kernel, deadline)
+        )
         problem = req.problem
         if req.engine == "sparse":
             from repro.sparse.sea import (
@@ -265,7 +468,7 @@ class SolveService:
             return solver(problem, stop=stop)
         if type(problem) in _CORE_KINDS:
             stop = resolve_stop(req, problem_kind(problem))
-            return solve(problem, stop=stop, mu0=mu0, kernel=self.kernel)
+            return solve(problem, stop=stop, mu0=mu0, kernel=kernel)
         kwargs = {}
         stop = resolve_stop(req, "")
         if stop is not None:
@@ -274,21 +477,43 @@ class SolveService:
 
     def _run_batch(self, members: list[SolveRequest]) -> list[SolveResponse]:
         lookups = [self._lookup(req) for req in members]
+        now = time.monotonic()
+        deadlines = [self._deadline_of(req, now) for req in members]
+        # All batch members share one kind+shape group: an open breaker
+        # rejects them on the single path without a fused dispatch.
+        if not self._breaker_allows(self._group_key(members[0])):
+            return [
+                self._run_single(req, lk, deadline=d)
+                for req, lk, d in zip(members, lookups, deadlines)
+            ]
         kind = problem_kind(members[0].problem)
         stop = resolve_stop(members[0], kind)
+        batch_deadline = min(
+            (d for d in deadlines if d is not None), default=None
+        )
+        kernel = (
+            self.kernel if batch_deadline is None
+            else _DeadlineKernel(self.kernel, batch_deadline)
+        )
         try:
             t0 = time.perf_counter()
             results = solve_batch(
                 [req.problem for req in members],
                 stop=stop,
                 mu0s=[lk[0] for lk in lookups],
-                kernel=self.kernel,
+                kernel=kernel,
             )
-        except Exception:
-            # One bad problem (e.g. infeasible totals) aborts the fused
-            # kernel call — isolate faults by re-running solo.
+        except Exception as exc:  # noqa: BLE001 — fault isolation per batch
+            # One bad problem (e.g. infeasible totals), a worker crash
+            # or the tightest member's deadline aborts the fused kernel
+            # call — isolate faults by re-running solo, each request
+            # under its own remaining budget.
+            self._stats.batch_fallbacks += 1
+            if isinstance(exc, DeadlineExceededError):
+                self._stats.deadline_exceeded += 1
             return [
-                self._run_single(req, lk) for req, lk in zip(members, lookups)
+                self._run_single(req, lk, deadline=d)
+                for req, lk, d in zip(members, lookups, deadlines)
             ]
         elapsed = time.perf_counter() - t0
         self._stats.batches += 1
@@ -303,6 +528,11 @@ class SolveService:
                 warm_started=warm, cache_exact=exact, batched=True,
                 submitted_at=getattr(req, "_order", 0),
             )
+            if req.strict and not result.converged:
+                self._set_error(response, NonConvergenceError(
+                    f"no convergence after {result.iterations} iterations "
+                    f"(residual {result.residual:g})"
+                ))
             self._record(req, response, fp, totals)
             responses.append(response)
         return responses
@@ -310,9 +540,14 @@ class SolveService:
     # -- lifecycle ----------------------------------------------------------
 
     def stats(self) -> ServiceStats:
-        """Snapshot of the current counters."""
+        """Snapshot of the current counters (kernel health included)."""
         self._stats.queue_depth = len(self._queue)
         self._stats.cache_size = len(self.cache)
+        self._stats.worker_crashes = getattr(self.kernel, "worker_crashes", 0)
+        self._stats.pool_rebuilds = getattr(self.kernel, "pool_rebuilds", 0)
+        self._stats.degraded_dispatches = getattr(
+            self.kernel, "degraded_dispatches", 0
+        )
         return self._stats.snapshot()
 
     def close(self) -> None:

@@ -5,30 +5,45 @@ of :func:`repro.io.problem_to_jsonable` plus per-request options::
 
     {"id": "r1", "problem": {"kind": "fixed", "x0": [[...]], ...},
      "eps": 1e-4, "max_iterations": 5000, "warm_start": true,
-     "batch": true, "engine": "dense"}
+     "batch": true, "engine": "dense", "deadline_s": 2.0, "retries": 1}
 
 A response line echoes the id and reports the outcome; ``x``/``s``/``d``
 are included unless suppressed (``include_matrix=False`` /
 ``serve --no-matrix``).  Non-finite floats are encoded as ``null`` so
 the stream stays strict JSON.
+
+Failures are structured, never stringified tracebacks::
+
+    {"id": "r1", "status": "error", "kind": "fixed",
+     "error": {"kind": "infeasible", "message": "..."}}
+
+where ``error.kind`` is the stable taxonomy tag of :mod:`repro.errors`.
+A line that cannot even be decoded into a request yields a
+:class:`RequestError` from :func:`read_requests` instead of killing the
+stream; :func:`error_line` turns it into an
+``error.kind: "invalid-request"`` response carrying the line number.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 import numpy as np
 
+from repro.errors import InvalidRequestError
 from repro.io import problem_from_jsonable, problem_to_jsonable
 from repro.service.request import SolveRequest, SolveResponse
 
 __all__ = [
+    "RequestError",
     "request_from_jsonable",
     "request_to_jsonable",
     "response_to_jsonable",
     "read_requests",
     "dump_response",
+    "error_line",
 ]
 
 
@@ -37,10 +52,28 @@ def _finite(value: float) -> float | None:
     return value if np.isfinite(value) else None
 
 
+@dataclass
+class RequestError:
+    """A JSONL line that failed to decode into a :class:`SolveRequest`.
+
+    Yielded by :func:`read_requests` in place of the request so one
+    malformed line cannot abort the rest of the stream; carries enough
+    context (line number, echoed id when the envelope was readable) for
+    the client to correlate the error response."""
+
+    lineno: int
+    message: str
+    id: str | None = None
+
+
 def request_from_jsonable(obj: dict) -> SolveRequest:
     """Decode one request object."""
+    if not isinstance(obj, dict):
+        raise InvalidRequestError(
+            f"request must be a JSON object, got {type(obj).__name__}"
+        )
     if "problem" not in obj:
-        raise ValueError("request is missing the 'problem' payload")
+        raise InvalidRequestError("request is missing the 'problem' payload")
     return SolveRequest(
         problem=problem_from_jsonable(obj["problem"]),
         id=obj.get("id"),
@@ -50,6 +83,9 @@ def request_from_jsonable(obj: dict) -> SolveRequest:
         warm_start=bool(obj.get("warm_start", True)),
         batchable=bool(obj.get("batch", True)),
         engine=obj.get("engine", "dense"),
+        deadline_s=obj.get("deadline_s"),
+        retries=obj.get("retries"),
+        strict=bool(obj.get("strict", False)),
     )
 
 
@@ -62,10 +98,13 @@ def request_to_jsonable(request: SolveRequest) -> dict:
         "batch": request.batchable,
         "engine": request.engine,
     }
-    for field in ("eps", "max_iterations", "criterion"):
+    for field in ("eps", "max_iterations", "criterion", "deadline_s",
+                  "retries"):
         value = getattr(request, field)
         if value is not None:
             obj[field] = value
+    if request.strict:
+        obj["strict"] = True
     return obj
 
 
@@ -74,8 +113,16 @@ def response_to_jsonable(
 ) -> dict:
     """Encode one response object."""
     if not response.ok:
-        return {"id": response.id, "status": "error", "kind": response.kind,
-                "error": response.error}
+        return {
+            "id": response.id,
+            "status": "error",
+            "kind": response.kind,
+            "retries": response.retries,
+            "error": {
+                "kind": response.error_kind or "internal",
+                "message": response.error,
+            },
+        }
     result = response.result
     obj = {
         "id": response.id,
@@ -91,6 +138,7 @@ def response_to_jsonable(
         "warm_started": response.warm_started,
         "cache_exact": response.cache_exact,
         "batched": response.batched,
+        "retries": response.retries,
     }
     if include_matrix:
         obj["x"] = result.x.tolist()
@@ -99,8 +147,15 @@ def response_to_jsonable(
     return obj
 
 
-def read_requests(lines: Iterable[str]) -> Iterator[SolveRequest]:
-    """Parse a JSONL stream (blank lines ignored) into requests."""
+def read_requests(
+    lines: Iterable[str],
+) -> Iterator[SolveRequest | RequestError]:
+    """Parse a JSONL stream (blank lines ignored) into requests.
+
+    A malformed line — invalid JSON, a non-object, a missing or
+    undecodable problem payload — yields a :class:`RequestError` in
+    stream position instead of raising, so the session survives any
+    input and every line gets exactly one response."""
     for lineno, line in enumerate(lines, start=1):
         line = line.strip()
         if not line:
@@ -108,13 +163,35 @@ def read_requests(lines: Iterable[str]) -> Iterator[SolveRequest]:
         try:
             obj = json.loads(line)
         except json.JSONDecodeError as exc:
-            raise ValueError(f"line {lineno}: invalid JSON ({exc})") from exc
-        yield request_from_jsonable(obj)
+            yield RequestError(lineno, f"line {lineno}: invalid JSON ({exc})")
+            continue
+        try:
+            yield request_from_jsonable(obj)
+        except Exception as exc:  # noqa: BLE001 — classify, don't crash
+            rid = obj.get("id") if isinstance(obj, dict) else None
+            yield RequestError(
+                lineno,
+                f"line {lineno}: {type(exc).__name__}: {exc}",
+                id=rid if isinstance(rid, str) else None,
+            )
 
 
 def dump_response(response: SolveResponse, include_matrix: bool = True) -> str:
     """One response as a compact JSON line."""
     return json.dumps(
         response_to_jsonable(response, include_matrix=include_matrix),
+        separators=(",", ":"),
+    )
+
+
+def error_line(err: RequestError) -> str:
+    """The structured error response for a malformed request line."""
+    return json.dumps(
+        {
+            "id": err.id,
+            "status": "error",
+            "line": err.lineno,
+            "error": {"kind": InvalidRequestError.kind, "message": err.message},
+        },
         separators=(",", ":"),
     )

@@ -142,7 +142,8 @@ class TestServiceKindBatching:
             responses = svc.drain()
         assert [r.id for r in responses] == ids
         by_id = dict(zip(ids, responses))
-        assert not by_id[ids[2]].ok and "ValueError" in by_id[ids[2]].error
+        assert not by_id[ids[2]].ok
+        assert by_id[ids[2]].error_kind == "infeasible"
         assert by_id[ids[4]].batched is False
         assert by_id[ids[6]].kind == "fixed/sparse"
         ok = [r for r in responses if r.ok]

@@ -197,6 +197,53 @@ class TestServe:
         }) + "\n")
         assert main(["serve", "--jsonl", "--input", str(path)]) == 2
 
+    def test_malformed_lines_keep_stream_alive(self, tmp_path, rng, capsys):
+        """A garbage line answers with a structured invalid-request error
+        in stream position; every well-formed neighbour still solves."""
+        import json
+
+        from repro.core.problems import FixedTotalsProblem
+        from repro.io import problem_to_jsonable
+
+        x0 = rng.uniform(1.0, 20.0, (4, 4))
+        w = x0 * rng.uniform(0.8, 1.2, x0.shape)
+        problem = FixedTotalsProblem(x0=x0, gamma=1.0 / x0,
+                                     s0=w.sum(axis=1), d0=w.sum(axis=0))
+        good = json.dumps({"id": "ok0",
+                           "problem": problem_to_jsonable(problem)})
+        path = tmp_path / "r.jsonl"
+        path.write_text("\n".join([
+            good.replace("ok0", "ok1"),
+            "{this is not json",                       # undecodable
+            json.dumps({"id": "nop", "nope": True}),   # no problem payload
+            good.replace("ok0", "ok2"),
+        ]) + "\n")
+        code = main(["serve", "--jsonl", "--input", str(path), "--no-matrix"])
+        assert code == 1  # errors occurred, but the stream was served
+        responses = [json.loads(line) for line in
+                     capsys.readouterr().out.splitlines() if line]
+        assert [r.get("id") for r in responses] == ["ok1", None, "nop", "ok2"]
+        bad_json, bad_payload = responses[1], responses[2]
+        assert bad_json["status"] == "error"
+        assert bad_json["error"]["kind"] == "invalid-request"
+        assert bad_json["line"] == 2
+        assert bad_payload["error"]["kind"] == "invalid-request"
+        assert bad_payload["line"] == 3
+        assert responses[0]["status"] == "ok"
+        assert responses[3]["status"] == "ok"
+
+    def test_deadline_flag_classifies_overruns(self, jsonl_stream, capsys):
+        import json
+
+        code = main(["serve", "--jsonl", "--input", str(jsonl_stream),
+                     "--no-matrix", "--deadline", "1e-9"])
+        assert code == 1
+        responses = [json.loads(line) for line in
+                     capsys.readouterr().out.splitlines() if line]
+        assert len(responses) == 4
+        assert all(r["status"] == "error" for r in responses)
+        assert {r["error"]["kind"] for r in responses} == {"deadline-exceeded"}
+
 
 class TestOtherCommands:
     def test_info(self, capsys):

@@ -12,6 +12,7 @@ from conftest import random_fixed_problem
 from repro.core.convergence import StoppingRule
 from repro.core.problems import ElasticProblem, FixedTotalsProblem, SAMProblem
 from repro.core.sea import solve_elastic, solve_fixed, solve_sam
+from repro.errors import InfeasibleProblemError, InvalidProblemError
 
 
 class TestNonFiniteInputs:
@@ -159,3 +160,69 @@ class TestBudgetAndHistory:
         np.testing.assert_allclose(
             result.x.sum(axis=0), problem.d0, rtol=1e-8
         )
+
+
+class TestInfeasibleSupport:
+    """Unsatisfiable mask/total combinations answer with the classified
+    :class:`~repro.errors.InfeasibleProblemError`, never NaN output."""
+
+    def test_masked_row_with_positive_total_raises(self):
+        mask = np.ones((3, 3), dtype=bool)
+        mask[0] = False  # row 0 has support nowhere...
+        problem = FixedTotalsProblem(
+            x0=np.ones((3, 3)), gamma=np.ones((3, 3)),
+            s0=np.array([2.0, 4.0, 4.0]),  # ...but must ship 2.0
+            d0=np.array([4.0, 3.0, 3.0]),
+            mask=mask,
+        )
+        with pytest.raises(InfeasibleProblemError):
+            solve_fixed(problem)
+
+    def test_masked_column_with_positive_total_raises(self):
+        mask = np.ones((3, 3), dtype=bool)
+        mask[:, 1] = False
+        problem = FixedTotalsProblem(
+            x0=np.ones((3, 3)), gamma=np.ones((3, 3)),
+            s0=np.array([3.0, 3.0, 3.0]),
+            d0=np.array([4.0, 2.0, 3.0]),
+            mask=mask,
+        )
+        with pytest.raises(InfeasibleProblemError):
+            solve_fixed(problem)
+
+    def test_infeasible_error_is_still_a_value_error(self):
+        # Taxonomy classes keep their legacy base so existing
+        # ``except ValueError`` call sites continue to work.
+        assert issubclass(InfeasibleProblemError, ValueError)
+        assert InfeasibleProblemError.kind == "infeasible"
+
+    def test_assert_feasible_classifies(self):
+        from repro.feasibility import assert_feasible
+
+        mask = np.ones((2, 2), dtype=bool)
+        mask[0] = False
+        problem = FixedTotalsProblem(
+            x0=np.ones((2, 2)), gamma=np.ones((2, 2)),
+            s0=np.array([1.0, 1.0]), d0=np.array([1.0, 1.0]),
+            mask=mask,
+        )
+        with pytest.raises(InfeasibleProblemError):
+            assert_feasible(problem)
+
+
+class TestStoppingRuleDomain:
+    def test_service_rejects_nonpositive_eps(self, rng):
+        from repro.service.request import SolveRequest, resolve_stop
+
+        request = SolveRequest(problem=random_fixed_problem(rng, 3, 3),
+                               eps=0.0)
+        with pytest.raises(InvalidProblemError):
+            resolve_stop(request, "fixed")
+
+    def test_service_rejects_zero_max_iterations(self, rng):
+        from repro.service.request import SolveRequest, resolve_stop
+
+        request = SolveRequest(problem=random_fixed_problem(rng, 3, 3),
+                               max_iterations=0)
+        with pytest.raises(InvalidProblemError):
+            resolve_stop(request, "fixed")

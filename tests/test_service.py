@@ -294,9 +294,12 @@ class TestService:
             good = svc.solve(random_fixed_problem(rng, 4, 4))
             bad = svc.solve(infeasible_fixed())
         assert good.ok
-        assert not bad.ok and "ValueError" in bad.error
+        assert not bad.ok and "InfeasibleProblemError" in bad.error
+        assert bad.error_kind == "infeasible"
+        assert bad.retries == 0  # deterministic errors are never retried
         stats = svc.stats()
         assert stats.errors == 1 and stats.completed == 1
+        assert stats.errors_by_kind == {"infeasible": 1}
 
     def test_batch_falls_back_on_poisoned_member(self, rng):
         """An infeasible batch-mate must not take down the others."""
@@ -368,7 +371,8 @@ class TestWire:
             resp = svc.solve(infeasible_fixed())
         obj = response_to_jsonable(resp)
         assert obj["status"] == "error"
-        assert "ValueError" in obj["error"]
+        assert obj["error"]["kind"] == "infeasible"
+        assert "InfeasibleProblemError" in obj["error"]["message"]
 
     def test_nonfinite_residual_is_null(self, rng):
         p = random_fixed_problem(rng, 4, 4)
