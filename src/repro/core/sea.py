@@ -46,10 +46,27 @@ from repro.core.convergence import StoppingRule, relative_imbalance
 from repro.core.problems import ElasticProblem, FixedTotalsProblem, SAMProblem
 from repro.core.result import PhaseCounts, SolveResult
 from repro.equilibration.exact import recover_flows, solve_piecewise_linear
+from repro.equilibration.workspace import SweepWorkspace
 
 __all__ = ["solve_fixed", "solve_elastic", "solve_sam", "variant_spec"]
 
 Kernel = Callable[..., np.ndarray]
+
+
+def _resolve_workspaces(workspaces, kernel, m, n):
+    """Pick the (row, column) workspace pair for a diagonal solve.
+
+    Explicitly passed workspaces always win (the service reuses pairs
+    across requests); otherwise the default vectorized kernel gets a
+    fresh pair, and custom kernels — which may not accept the
+    ``workspace`` keyword — run exactly as before.
+    """
+    if workspaces is not None:
+        row_ws, col_ws = workspaces
+        return row_ws, col_ws
+    if kernel is solve_piecewise_linear:
+        return SweepWorkspace(m, n), SweepWorkspace(n, m)
+    return None, None
 
 
 def _prepare(x0, gamma, mask):
@@ -232,14 +249,23 @@ def _run_diagonal(
     mu0: np.ndarray | None,
     kernel: Kernel,
     record_history: bool,
+    workspaces=None,
 ) -> SolveResult:
-    """One driver for all three diagonal variants (solo path)."""
+    """One driver for all three diagonal variants (solo path).
+
+    With workspaces (the default kernel always gets a pair), the row and
+    column sweeps run the preallocated sort-permutation-caching fast
+    path: breakpoint shifts, kernel temporaries and primal recovery all
+    land in persistent buffers, and only out-of-order rows re-sort.
+    Results are bit-identical to the workspace-free path.
+    """
     stop = stop or spec.default_stop()
     t0 = time.perf_counter()
     m, n = problem.shape
     base, slopes = _prepare(problem.x0, problem.gamma, problem.mask)
     base_t, slopes_t = base.T.copy(), slopes.T.copy()
     data = spec.pack(problem)
+    row_ws, col_ws = _resolve_workspaces(workspaces, kernel, m, n)
 
     mu = np.zeros(n) if mu0 is None else np.asarray(mu0, dtype=np.float64).copy()
     lam = np.zeros(m)
@@ -249,20 +275,36 @@ def _run_diagonal(
     converged = False
     residual = np.inf
     x = x_prev
+    # Double-buffered primal recovery: x and x_prev must be distinct
+    # arrays for the delta-x residual, so recovery alternates buffers.
+    xbufs = (np.empty((n, m)), np.empty((n, m))) if col_ws is not None else None
 
     for t in range(1, stop.max_iterations + 1):
         # Step 1: row equilibration — m independent subproblems.
         target_r, a_r, c_r = spec.row_terms(data, mu)
-        row_b = base - mu[None, :]
-        lam = kernel(row_b, slopes, target_r, a=a_r, c=c_r)
+        if row_ws is not None:
+            row_b = row_ws.shift(base, mu)
+            lam = kernel(row_b, slopes, target_r, a=a_r, c=c_r, workspace=row_ws)
+        else:
+            row_b = base - mu[None, :]
+            lam = kernel(row_b, slopes, target_r, a=a_r, c=c_r)
         counts.add_equilibration(m, n)
 
         # Step 2: column equilibration — n independent subproblems,
         # plus vectorized primal recovery (eq. 23a / 40a).
         target_c, a_c, c_c = spec.col_terms(data, lam)
-        col_b = base_t - lam[None, :]
-        mu = kernel(col_b, slopes_t, target_c, a=a_c, c=c_c)
-        x = recover_flows(mu, col_b, slopes_t).T
+        if col_ws is not None:
+            col_b = col_ws.shift(base_t, lam)
+            mu = kernel(col_b, slopes_t, target_c, a=a_c, c=c_c, workspace=col_ws)
+            xt = xbufs[t % 2]
+            np.subtract(mu[:, None], col_b, out=xt)
+            np.maximum(xt, 0.0, out=xt)
+            np.multiply(xt, slopes_t, out=xt)
+            x = xt.T
+        else:
+            col_b = base_t - lam[None, :]
+            mu = kernel(col_b, slopes_t, target_c, a=a_c, c=c_c)
+            x = recover_flows(mu, col_b, slopes_t).T
         counts.add_equilibration(n, m)
 
         # Step 3: convergence verification (the serial phase).
@@ -303,6 +345,7 @@ def solve_fixed(
     mu0: np.ndarray | None = None,
     kernel: Kernel = solve_piecewise_linear,
     record_history: bool = False,
+    workspaces=None,
 ) -> SolveResult:
     """SEA for the fixed-totals problem (Section 3.1.3, eqs. 45-48).
 
@@ -320,7 +363,9 @@ def solve_fixed(
     record_history:
         Keep the per-iteration residual trace in ``result.history``.
     """
-    return _run_diagonal(problem, _FixedVariant, stop, mu0, kernel, record_history)
+    return _run_diagonal(
+        problem, _FixedVariant, stop, mu0, kernel, record_history, workspaces
+    )
 
 
 def solve_elastic(
@@ -329,6 +374,7 @@ def solve_elastic(
     mu0: np.ndarray | None = None,
     kernel: Kernel = solve_piecewise_linear,
     record_history: bool = False,
+    workspaces=None,
 ) -> SolveResult:
     """SEA for unknown row and column totals (Section 3.1.1, eqs. 14-17).
 
@@ -337,7 +383,9 @@ def solve_elastic(
     (eq. 29b) come straight out of the kernel.  Column step symmetric
     with ``mu_j = 2 beta_j (d0_j - D_j)`` (eq. 30b).
     """
-    return _run_diagonal(problem, _ElasticVariant, stop, mu0, kernel, record_history)
+    return _run_diagonal(
+        problem, _ElasticVariant, stop, mu0, kernel, record_history, workspaces
+    )
 
 
 def solve_sam(
@@ -346,6 +394,7 @@ def solve_sam(
     mu0: np.ndarray | None = None,
     kernel: Kernel = solve_piecewise_linear,
     record_history: bool = False,
+    workspaces=None,
 ) -> SolveResult:
     """SEA for the SAM estimation problem (Section 3.1.2, eqs. 31-35).
 
@@ -355,4 +404,6 @@ def solve_sam(
     *current* ``mu_i`` and vice versa.  Default stopping rule is the
     paper's relative row imbalance at ``eps' = .001``.
     """
-    return _run_diagonal(problem, _SAMVariant, stop, mu0, kernel, record_history)
+    return _run_diagonal(
+        problem, _SAMVariant, stop, mu0, kernel, record_history, workspaces
+    )

@@ -37,6 +37,7 @@ from repro.core.problems import (
 from repro.core.result import PhaseCounts, SolveResult
 from repro.core.sea import solve_elastic, solve_fixed, solve_sam
 from repro.equilibration.exact import solve_piecewise_linear
+from repro.equilibration.workspace import SweepWorkspace
 
 __all__ = ["solve_general", "diagonalized_bases"]
 
@@ -57,6 +58,7 @@ def solve_general(
     mu0: np.ndarray | None = None,
     kernel=solve_piecewise_linear,
     record_history: bool = False,
+    workspaces=None,
 ) -> SolveResult:
     """General SEA: projection outer loop around diagonal SEA.
 
@@ -77,10 +79,20 @@ def solve_general(
     kernel:
         Piecewise-linear kernel forwarded to diagonal SEA (lets the
         parallel executor drive the inner row/column sweeps).
+    workspaces:
+        Optional ``(row, column)`` :class:`~repro.equilibration.
+        workspace.SweepWorkspace` pair shared by *every* projection
+        step's inner diagonal solve.  ``gamma`` (hence the kernel's
+        slopes) is constant across projections, so the workspaces'
+        content-equality bind keeps the cached sort permutations alive
+        from one projection to the next; by default a pair is created
+        here whenever the inner solves would use one anyway.
     """
     stop = stop or StoppingRule(eps=1e-3, criterion="delta-x")
     t0 = time.perf_counter()
     m, n = problem.shape
+    if workspaces is None and kernel is solve_piecewise_linear:
+        workspaces = (SweepWorkspace(m, n), SweepWorkspace(n, m))
     mask = problem.mask
     gamma_diag = np.diag(problem.G).reshape(m, n)
     x0 = np.where(mask, problem.x0, 0.0)
@@ -112,7 +124,10 @@ def solve_general(
                 mask=mask,
                 name=f"{problem.name}/proj{t}",
             )
-            inner = solve_fixed(sub, stop=inner_stop, mu0=warm_mu, kernel=kernel)
+            inner = solve_fixed(
+                sub, stop=inner_stop, mu0=warm_mu, kernel=kernel,
+                workspaces=workspaces,
+            )
         elif problem.kind == "elastic":
             s_hat = diagonalized_bases(problem.A, s_prev, problem.s0)
             d_hat = diagonalized_bases(problem.B, d_prev, problem.d0)
@@ -126,7 +141,10 @@ def solve_general(
                 mask=mask,
                 name=f"{problem.name}/proj{t}",
             )
-            inner = solve_elastic(sub, stop=inner_stop, mu0=warm_mu, kernel=kernel)
+            inner = solve_elastic(
+                sub, stop=inner_stop, mu0=warm_mu, kernel=kernel,
+                workspaces=workspaces,
+            )
         else:  # sam
             s_hat = diagonalized_bases(problem.A, s_prev, problem.s0)
             sub = SAMProblem(
@@ -137,7 +155,10 @@ def solve_general(
                 mask=mask,
                 name=f"{problem.name}/proj{t}",
             )
-            inner = solve_sam(sub, stop=inner_stop, mu0=warm_mu, kernel=kernel)
+            inner = solve_sam(
+                sub, stop=inner_stop, mu0=warm_mu, kernel=kernel,
+                workspaces=workspaces,
+            )
 
         inner_total += inner.iterations
         counts = counts.merged_with(inner.counts)

@@ -17,8 +17,10 @@ from repro.equilibration.exact import (
     solve_piecewise_linear,
 )
 from repro.equilibration.scalar import solve_piecewise_linear_scalar
+from repro.equilibration.workspace import SweepWorkspace
 
 __all__ = [
+    "SweepWorkspace",
     "equilibrate_rows",
     "solve_piecewise_linear",
     "solve_piecewise_linear_scalar",

@@ -15,6 +15,18 @@ Each subproblem ``i`` is: find ``lam_i`` with
 
 with the primal recovered as ``x_ij = slope_ij * max(lam_i - b_ij, 0)``
 (paper eqs. 23a / 40a).
+
+Hot-loop variant
+----------------
+SEA calls this kernel once per row phase and once per column phase,
+*every sweep*, with the same slopes and only the breakpoints shifting
+by the opposite multipliers.  The ``workspace`` argument accepts a
+:class:`repro.equilibration.workspace.SweepWorkspace` that hoists the
+per-call validation, preallocates every ``(m, n)`` temporary, and reuses
+the previous sweep's sort permutation — see that module for the
+bit-identity argument.  Without a workspace the kernel behaves exactly
+as before (cold path); the two paths share the segment-selection tail
+below, so they cannot drift apart.
 """
 
 from __future__ import annotations
@@ -30,62 +42,25 @@ __all__ = ["solve_piecewise_linear", "equilibrate_rows", "recover_flows"]
 _BIG = np.finfo(np.float64).max / 8.0
 
 
-def solve_piecewise_linear(
-    breakpoints: np.ndarray,
-    slopes: np.ndarray,
-    target: np.ndarray,
-    a: np.ndarray | None = None,
-    c: np.ndarray | None = None,
-) -> np.ndarray:
-    """Solve ``m`` independent piecewise-linear equations exactly.
-
-    Parameters
-    ----------
-    breakpoints, slopes:
-        ``(m, n)`` arrays.  ``slopes`` must be nonnegative; zero-slope
-        cells are inert (their flow is pinned to zero).
-    target:
-        ``(m,)`` right-hand sides.
-    a, c:
-        ``(m,)`` elastic slope/offset terms (``a >= 0``).  Omitting them
-        gives the fixed-totals subproblem ``a = c = 0``.
-
-    Returns
-    -------
-    numpy.ndarray
-        ``(m,)`` exact multipliers ``lam``.
-
-    Raises
-    ------
-    ValueError
-        If a fixed-totals row (``a_i == 0``) has ``target_i - c_i < 0``
-        (no ``lam`` can reach a negative total of nonnegative flows) or
-        has no active cell with a strictly positive target.
-    """
-    B = np.asarray(breakpoints, dtype=np.float64)
-    SL = np.asarray(slopes, dtype=np.float64)
-    if B.shape != SL.shape or B.ndim != 2:
-        raise ValueError("breakpoints and slopes must be equal-shape 2-D arrays")
-    m, n = B.shape
+def _coerce_terms(m, target, a, c):
+    """Validate and broadcast the per-row equation constants."""
     target = np.asarray(target, dtype=np.float64)
     a_arr = np.zeros(m) if a is None else np.asarray(a, dtype=np.float64)
     c_arr = np.zeros(m) if c is None else np.asarray(c, dtype=np.float64)
     if target.shape != (m,) or a_arr.shape != (m,) or c_arr.shape != (m,):
         raise ValueError("target, a, c must be (m,) vectors")
-    if np.any(SL < 0.0):
-        raise ValueError("slopes must be nonnegative")
-    if np.any(a_arr < 0.0):
+    if a is not None and np.any(a_arr < 0.0):
         raise ValueError("elastic slopes a must be nonnegative")
+    return target, a_arr, c_arr
 
-    rhs = target - c_arr
-    fixed = a_arr == 0.0
+
+def _check_feasible(rhs, fixed, active_counts):
+    """Per-call feasibility of the fixed-totals rows (O(m))."""
     if np.any(fixed & (rhs < 0.0)):
         bad = int(np.flatnonzero(fixed & (rhs < 0.0))[0])
         raise InfeasibleProblemError(
             f"fixed-totals subproblem {bad} infeasible: target below g(-inf)"
         )
-
-    active_counts = np.count_nonzero(SL > 0.0, axis=1)
     empty_fixed = fixed & (active_counts == 0)
     if np.any(empty_fixed & (rhs > 0.0)):
         bad = int(np.flatnonzero(empty_fixed & (rhs > 0.0))[0])
@@ -93,20 +68,14 @@ def solve_piecewise_linear(
             f"fixed-totals subproblem {bad} has no active cell but positive target"
         )
 
-    b_eff = np.where(SL > 0.0, B, _BIG)
-    order = np.argsort(b_eff, axis=1, kind="stable")
-    bs = np.take_along_axis(b_eff, order, axis=1)
-    ss = np.take_along_axis(SL, order, axis=1)
-    cum_slope = np.cumsum(ss, axis=1)
-    cum_sb = np.cumsum(ss * bs, axis=1)
 
-    denom = cum_slope + a_arr[:, None]
-    with np.errstate(divide="ignore", invalid="ignore"):
-        cand = (rhs[:, None] + cum_sb) / denom
-    lo = bs
-    hi = np.concatenate([bs[:, 1:], np.full((m, 1), np.inf)], axis=1)
-    valid = (cand >= lo) & (cand <= hi) & (denom > 0.0) & np.isfinite(cand)
+def _select(m, bs, denom, cand, lo, hi, valid, rhs, a_arr, fixed, active_counts):
+    """Pick each row's multiplier from its candidate segments.
 
+    Shared tail of the cold kernel and the workspace fast path: both
+    compute bit-identical inputs, so sharing this selection logic keeps
+    the two paths from ever diverging.
+    """
     lam = np.empty(m)
     any_valid = valid.any(axis=1)
     first = np.argmax(valid, axis=1)
@@ -154,6 +123,81 @@ def solve_piecewise_linear(
     return lam
 
 
+def solve_piecewise_linear(
+    breakpoints: np.ndarray,
+    slopes: np.ndarray,
+    target: np.ndarray,
+    a: np.ndarray | None = None,
+    c: np.ndarray | None = None,
+    workspace=None,
+) -> np.ndarray:
+    """Solve ``m`` independent piecewise-linear equations exactly.
+
+    Parameters
+    ----------
+    breakpoints, slopes:
+        ``(m, n)`` arrays.  ``slopes`` must be nonnegative; zero-slope
+        cells are inert (their flow is pinned to zero).
+    target:
+        ``(m,)`` right-hand sides.
+    a, c:
+        ``(m,)`` elastic slope/offset terms (``a >= 0``).  Omitting them
+        gives the fixed-totals subproblem ``a = c = 0``.
+    workspace:
+        Optional :class:`~repro.equilibration.workspace.SweepWorkspace`
+        bound (or bindable) to ``slopes``: runs the preallocated,
+        sort-permutation-caching fast path.  Results are bit-identical
+        to the cold path.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(m,)`` exact multipliers ``lam``.
+
+    Raises
+    ------
+    ValueError
+        If a fixed-totals row (``a_i == 0``) has ``target_i - c_i < 0``
+        (no ``lam`` can reach a negative total of nonnegative flows) or
+        has no active cell with a strictly positive target.
+    """
+    if workspace is not None:
+        workspace.bind(slopes)
+        return workspace.solve(breakpoints, target, a=a, c=c)
+
+    B = np.asarray(breakpoints, dtype=np.float64)
+    SL = np.asarray(slopes, dtype=np.float64)
+    if B.shape != SL.shape or B.ndim != 2:
+        raise ValueError("breakpoints and slopes must be equal-shape 2-D arrays")
+    m, n = B.shape
+    target, a_arr, c_arr = _coerce_terms(m, target, a, c)
+    if np.any(SL < 0.0):
+        raise ValueError("slopes must be nonnegative")
+
+    rhs = target - c_arr
+    fixed = a_arr == 0.0
+    active_counts = np.count_nonzero(SL > 0.0, axis=1)
+    _check_feasible(rhs, fixed, active_counts)
+
+    b_eff = np.where(SL > 0.0, B, _BIG)
+    order = np.argsort(b_eff, axis=1, kind="stable")
+    bs = np.take_along_axis(b_eff, order, axis=1)
+    ss = np.take_along_axis(SL, order, axis=1)
+    cum_slope = np.cumsum(ss, axis=1)
+    cum_sb = np.cumsum(ss * bs, axis=1)
+
+    denom = cum_slope + a_arr[:, None]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        cand = (rhs[:, None] + cum_sb) / denom
+    lo = bs
+    hi = np.concatenate([bs[:, 1:], np.full((m, 1), np.inf)], axis=1)
+    valid = (cand >= lo) & (cand <= hi) & (denom > 0.0) & np.isfinite(cand)
+
+    return _select(
+        m, bs, denom, cand, lo, hi, valid, rhs, a_arr, fixed, active_counts
+    )
+
+
 def recover_flows(
     lam: np.ndarray, breakpoints: np.ndarray, slopes: np.ndarray
 ) -> np.ndarray:
@@ -169,6 +213,7 @@ def equilibrate_rows(
     a: np.ndarray | None = None,
     c: np.ndarray | None = None,
     mask: np.ndarray | None = None,
+    workspace=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Run one exact row-equilibration phase for all rows at once.
 
@@ -191,20 +236,38 @@ def equilibrate_rows(
     mask:
         Optional ``(m, n)`` boolean; ``False`` cells are pinned to zero
         (structural zeros of sparse tables).
+    workspace:
+        Optional :class:`~repro.equilibration.workspace.SweepWorkspace`.
+        When the same ``(x0, gamma, mask)`` objects are passed on every
+        call (the sweep-loop pattern), the gamma validation and the
+        breakpoint/slope construction are hoisted out of the loop and
+        the kernel runs its zero-allocation fast path.
 
     Returns
     -------
     (lam, X):
         ``(m,)`` multipliers and the ``(m, n)`` equilibrated flows.
     """
+    mu = np.asarray(opposite_multipliers, dtype=np.float64)
+
+    if workspace is not None:
+        base, slopes = workspace.equilibrate_prep(x0, gamma, mask)
+        breakpoints = workspace.shift(base, mu)
+        lam = solve_piecewise_linear(
+            breakpoints, slopes, target, a=a, c=c, workspace=workspace
+        )
+        X = recover_flows(lam, breakpoints, slopes)
+        return lam, X
+
     x0 = np.asarray(x0, dtype=np.float64)
     gamma = np.asarray(gamma, dtype=np.float64)
-    mu = np.asarray(opposite_multipliers, dtype=np.float64)
     if mask is None:
         active = np.ones(x0.shape, dtype=bool)
     else:
         active = np.asarray(mask, dtype=bool)
-    if np.any(gamma[active] <= 0.0):
+    # Masked min instead of `gamma[active]` fancy indexing: the latter
+    # materialized an O(mn) float copy per call just for validation.
+    if np.amin(gamma, where=active, initial=np.inf) <= 0.0:
         raise ValueError("gamma must be strictly positive on active cells")
 
     # Inactive cells may carry arbitrary (even zero) gamma/x0; neutralize

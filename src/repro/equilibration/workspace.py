@@ -1,0 +1,477 @@
+"""Persistent sweep workspace for the exact-equilibration kernel.
+
+Every SEA sweep calls :func:`repro.equilibration.exact.
+solve_piecewise_linear` with the *same* slope matrix and a breakpoint
+matrix that is a constant base shifted by the opposite multipliers
+(``base - mu``).  The cold kernel pays, per call, a full ``O(mn log n)``
+stable argsort plus roughly ten fresh ``(m, n)`` temporaries and an
+``O(mn)`` validation scan — yet as the alternating-scaling duals settle
+(cf. Aas and Nathanson in PAPERS.md, on iterative scaling limits) the
+within-row sort order stops changing, so late sweeps re-derive a
+permutation they already know.
+
+:class:`SweepWorkspace` removes all three costs for a fixed ``(m, n)``
+shape:
+
+* **validation hoisting** — slope nonnegativity, the active mask and
+  per-row active counts are computed once per :meth:`bind`, not per
+  sweep (only the O(m) right-hand-side feasibility checks stay
+  per-call);
+* **zero-allocation sweeps** — every ``(m, n)`` temporary of the kernel
+  (effective breakpoints, sorted views, prefix sums, candidates,
+  segment bounds, validity masks) lives in a preallocated buffer and is
+  filled with ``out=`` ufunc calls;
+* **sort-permutation reuse** — the previous sweep's per-row permutation
+  is re-applied with one ``np.take`` and verified with an ``O(mn)``
+  pass; only rows that went out of order are re-``argsort``-ed.
+
+Bit-identity
+------------
+``np.argsort(..., kind="stable")`` output is *unique*: it sorts
+positions by the key ``(value, original index)``, a strict total order.
+The reuse check accepts a cached permutation for a row only when the
+permuted values are nondecreasing **and** every tie keeps its original
+indices in increasing order — exactly the characterization of that
+unique stable permutation.  A reused permutation therefore produces the
+very same sorted arrays the cold kernel would, and every downstream
+value (prefix sums, candidates, selected multiplier) is bit-identical;
+the selection tail itself is literally shared with the cold kernel
+(:func:`repro.equilibration.exact._select`).  Ties are harmless for the
+same reason: they only pass the check in stable order.
+
+Counters
+--------
+``sweeps`` counts kernel calls through the workspace, ``rows_reused`` /
+``rows_resorted`` count per-row permutation outcomes (a bind or the
+first sweep resorts everything), and :attr:`sort_reuse_rate` is their
+ratio — surfaced by the parallel kernels and ``ServiceStats`` and
+recorded in ``BENCH_sweeps.json`` by ``benchmarks/run_trajectory.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.equilibration.exact import (
+    _BIG,
+    _check_feasible,
+    _coerce_terms,
+    _select,
+)
+
+__all__ = ["SweepWorkspace"]
+
+
+class SweepWorkspace:
+    """Preallocated buffers + cached sort permutation for one ``(m, n)``.
+
+    The workspace is *bound* to a slope matrix (:meth:`bind`, called
+    automatically by ``solve_piecewise_linear(..., workspace=...)``) and
+    then drives any number of sweeps over shifting breakpoints.  Binding
+    is cheap when the slopes are the same object (identity) or equal in
+    content (one ``O(mn)`` compare — the case for process-pool workers
+    that receive a fresh pickle of the same matrix every dispatch);
+    only a genuinely new slope matrix re-validates and drops the cached
+    permutation.
+
+    ``m`` is a row *capacity*: the batch engine binds ``k*m`` stacked
+    rows and then :meth:`retain`-s the surviving subset as problems
+    retire, so one workspace serves the whole batch's lifetime.
+    """
+
+    def __init__(self, m: int, n: int) -> None:
+        if m < 1 or n < 1:
+            raise ValueError("workspace shape must be at least (1, 1)")
+        self.m = int(m)
+        self.n = int(n)
+        shape = (self.m, self.n)
+        pair = (self.m, max(self.n - 1, 0))
+        # Float kernel buffers.
+        self._b_eff = np.empty(shape)
+        self._bs = np.empty(shape)
+        self._ss = np.empty(shape)
+        self._mul = np.empty(shape)
+        self._cum_slope = np.empty(shape)
+        self._cum_sb = np.empty(shape)
+        self._denom = np.empty(shape)
+        self._cand = np.empty(shape)
+        self._hi = np.empty(shape)
+        self._shift = np.empty(shape)
+        # Boolean buffers.
+        self._valid = np.empty(shape, dtype=bool)
+        self._vtmp = np.empty(shape, dtype=bool)
+        self._pair1 = np.empty(pair, dtype=bool)
+        self._pair2 = np.empty(pair, dtype=bool)
+        self._active = np.empty(shape, dtype=bool)
+        self._inactive = np.empty(shape, dtype=bool)
+        # Permutation state.
+        self._order = np.empty(shape, dtype=np.intp)
+        self._flat_idx = np.empty(shape, dtype=np.intp)
+        self._offsets = (np.arange(self.m, dtype=np.intp) * self.n)[:, None]
+        self._ord_incr = np.empty(pair, dtype=bool)
+        self._order_valid = False
+        self._seeded = False  # seed survives the *next* full rebind
+        # Binding state.
+        self._rows = self.m
+        self._slopes_ref = None  # object identity of the bound slopes
+        self._slopes = None  # float64 view/copy of the bound slopes
+        self._slopes_flat = None
+        self._counts = np.empty(self.m, dtype=np.intp)
+        self._has_inactive = True
+        self._zeros = np.zeros(self.m)
+        self._eq_prep = None  # (x0, gamma, mask, base, slopes) of equilibrate_rows
+        # Counters.
+        self.sweeps = 0
+        self.rows_reused = 0
+        self.rows_resorted = 0
+        self.binds = 0
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def rows(self) -> int:
+        """Currently bound row count (``<= m`` after :meth:`retain`)."""
+        return self._rows
+
+    @property
+    def sort_reuse_rate(self) -> float:
+        """Fraction of row-sorts answered by the cached permutation."""
+        total = self.rows_reused + self.rows_resorted
+        return self.rows_reused / total if total else 0.0
+
+    def counters(self) -> tuple[int, int, int]:
+        """``(sweeps, rows_reused, rows_resorted)`` snapshot."""
+        return (self.sweeps, self.rows_reused, self.rows_resorted)
+
+    def permutation(self) -> np.ndarray:
+        """Copy of the current per-row sort permutation (or ``None``)."""
+        if not self._order_valid:
+            return None
+        return self._order[: self._rows].copy()
+
+    def seed_permutation(self, order: np.ndarray) -> None:
+        """Adopt a permutation from a previous related solve.
+
+        The seed is *trusted to be a permutation per row* (e.g. the
+        final permutation of a warm-start cache entry); shape, dtype
+        and index range are checked, and every row still passes the
+        stable-order verification on its first sweep, so a stale seed
+        costs at most one resort — never correctness.
+        """
+        order = np.asarray(order, dtype=np.intp)
+        if order.shape != (self._rows, self.n):
+            raise ValueError(
+                f"seed permutation shape {order.shape} != "
+                f"({self._rows}, {self.n})"
+            )
+        if order.size and (order.min() < 0 or order.max() >= self.n):
+            raise ValueError("seed permutation has out-of-range indices")
+        r = self._rows
+        self._order[:r] = order
+        self._refresh_perm_all()
+        self._order_valid = True
+        # A seed usually arrives before the first bind (the service seeds
+        # a fresh pair from its warm-start cache, then the solve binds the
+        # slopes).  The flag lets the next full rebind keep the seed
+        # instead of dropping it like an ordinary stale permutation.
+        self._seeded = True
+        # If already bound, refresh the permuted slopes now; otherwise
+        # bind() does it when the slopes arrive.
+        if self._slopes is not None:
+            self._ss[:r] = np.take(
+                self._slopes_flat, self._flat_idx[:r]
+            )
+
+    # -- binding ------------------------------------------------------------
+
+    def bind(self, slopes: np.ndarray) -> None:
+        """Bind the workspace to a slope matrix, hoisting validation.
+
+        Same object: no-op.  Same content (fresh pickle of the same
+        matrix): adopt the new reference, keep the cached permutation.
+        New content: full re-validation, permutation dropped.
+        """
+        if slopes is self._slopes_ref:
+            return
+        SL = np.asarray(slopes, dtype=np.float64)
+        if SL.ndim != 2 or SL.shape[1] != self.n or SL.shape[0] > self.m:
+            raise ValueError(
+                f"slopes shape {SL.shape} does not fit workspace "
+                f"capacity ({self.m}, {self.n})"
+            )
+        if (
+            self._slopes is not None
+            and SL.shape == self._slopes.shape
+            and np.array_equal(SL, self._slopes)
+        ):
+            self._slopes_ref = slopes
+            self._slopes = SL
+            self._slopes_flat = (
+                SL.reshape(-1) if SL.flags.c_contiguous
+                else np.ascontiguousarray(SL).reshape(-1)
+            )
+            return
+        if np.any(SL < 0.0):
+            raise ValueError("slopes must be nonnegative")
+        r = SL.shape[0]
+        keep_seed = (
+            self._seeded and self._order_valid and r == self._rows
+        )
+        self._rows = r
+        self._slopes_ref = slopes
+        self._slopes = SL
+        self._slopes_flat = (
+            SL.reshape(-1) if SL.flags.c_contiguous
+            else np.ascontiguousarray(SL).reshape(-1)
+        )
+        np.greater(SL, 0.0, out=self._active[:r])
+        np.logical_not(self._active[:r], out=self._inactive[:r])
+        self._has_inactive = bool(self._inactive[:r].any())
+        self._counts[:r] = np.count_nonzero(self._active[:r], axis=1)
+        # A fresh binding normally invalidates the permutation, but a
+        # just-seeded one is kept (refreshing the permuted slopes for the
+        # new matrix): the first sweep's stable-order check still vets it
+        # row by row, so a wrong seed costs a resort, never correctness.
+        if keep_seed:
+            self._ss[:r] = np.take(self._slopes_flat, self._flat_idx[:r])
+        self._order_valid = keep_seed
+        self._seeded = False
+        self.binds += 1
+
+    def retain(self, keep: np.ndarray, slopes: np.ndarray | None = None) -> None:
+        """Keep only the rows ``keep`` (sorted ascending) of the binding.
+
+        Used by the batch engine when problems retire: the cached
+        permutation, active mask, counts and permuted slopes of the
+        surviving rows are gathered in place, so no re-validation or
+        re-sort is paid.  ``slopes``, when given, is adopted as the new
+        bound reference — the caller guarantees it equals the retained
+        rows of the previous binding (the batch engine restacks the
+        same per-problem slope blocks).
+        """
+        keep = np.asarray(keep, dtype=np.intp)
+        r = keep.size
+        self._order[:r] = self._order[keep]
+        self._ord_incr[:r] = self._ord_incr[keep]
+        self._active[:r] = self._active[keep]
+        self._inactive[:r] = self._inactive[keep]
+        self._counts[:r] = self._counts[keep]
+        self._ss[:r] = self._ss[keep]
+        np.add(self._order[:r], self._offsets[:r], out=self._flat_idx[:r])
+        self._rows = r
+        self._has_inactive = bool(self._inactive[:r].any())
+        if slopes is not None:
+            SL = np.asarray(slopes, dtype=np.float64)
+            self._slopes_ref = slopes
+            self._slopes = SL
+            self._slopes_flat = (
+                SL.reshape(-1) if SL.flags.c_contiguous
+                else np.ascontiguousarray(SL).reshape(-1)
+            )
+
+    # -- driver helpers -----------------------------------------------------
+
+    def shift(self, base: np.ndarray, opposite: np.ndarray) -> np.ndarray:
+        """``base - opposite[None, :]`` into a reusable buffer.
+
+        The per-sweep breakpoint matrix of every diagonal SEA phase has
+        this form; routing it through the workspace removes the last
+        per-sweep ``(m, n)`` allocation of the drivers.
+        """
+        r = base.shape[0]
+        return np.subtract(base, opposite[None, :], out=self._shift[:r])
+
+    def shift_stack(self, base3: np.ndarray, opposite2: np.ndarray) -> np.ndarray:
+        """Batched shift: ``(k, m, n) - (k, 1, n)`` flattened to 2-D."""
+        k, mm, nn = base3.shape
+        view = self._shift.reshape(-1)[: k * mm * nn].reshape(k, mm, nn)
+        np.subtract(base3, opposite2[:, None, :], out=view)
+        return view.reshape(k * mm, nn)
+
+    def equilibrate_prep(self, x0, gamma, mask):
+        """Cached ``(base, slopes)`` for :func:`~repro.equilibration.
+        exact.equilibrate_rows` — validation and construction run only
+        when the ``(x0, gamma, mask)`` objects change."""
+        prep = self._eq_prep
+        if (
+            prep is not None
+            and prep[0] is x0 and prep[1] is gamma and prep[2] is mask
+        ):
+            return prep[3], prep[4]
+        x0_arr = np.asarray(x0, dtype=np.float64)
+        gamma_arr = np.asarray(gamma, dtype=np.float64)
+        if mask is None:
+            active = np.ones(x0_arr.shape, dtype=bool)
+        else:
+            active = np.asarray(mask, dtype=bool)
+        if np.amin(gamma_arr, where=active, initial=np.inf) <= 0.0:
+            raise ValueError("gamma must be strictly positive on active cells")
+        gamma_safe = np.where(active, gamma_arr, 1.0)
+        x0_safe = np.where(active, x0_arr, 0.0)
+        slopes = np.where(active, 1.0 / (2.0 * gamma_safe), 0.0)
+        base = np.where(active, -2.0 * gamma_safe * x0_safe, 0.0)
+        self._eq_prep = (x0, gamma, mask, base, slopes)
+        return base, slopes
+
+    # -- the kernel fast path -----------------------------------------------
+
+    def kernel(self, breakpoints, slopes, target, a=None, c=None):
+        """Drop-in :data:`~repro.core.sea.Kernel` signature."""
+        self.bind(slopes)
+        return self.solve(breakpoints, target, a=a, c=c)
+
+    def solve(
+        self,
+        breakpoints: np.ndarray,
+        target: np.ndarray,
+        a: np.ndarray | None = None,
+        c: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """One sweep over the bound rows; bit-identical to the cold kernel."""
+        if self._slopes is None:
+            raise RuntimeError("workspace is not bound; call bind(slopes) first")
+        r = self._rows
+        n = self.n
+        B = np.asarray(breakpoints, dtype=np.float64)
+        if B.shape != (r, n):
+            raise ValueError(
+                "breakpoints and slopes must be equal-shape 2-D arrays"
+            )
+        target, a_arr, c_arr = _coerce_terms(r, target, a, c)
+        if a is None:
+            a_arr = self._zeros[:r]
+
+        rhs = target - c_arr
+        fixed = a_arr == 0.0
+        counts = self._counts[:r]
+        _check_feasible(rhs, fixed, counts)
+
+        # Effective breakpoints: inert cells pinned to the _BIG sentinel.
+        if self._has_inactive:
+            be = self._b_eff[:r]
+            np.copyto(be, B)
+            np.copyto(be, _BIG, where=self._inactive[:r])
+        elif B.flags.c_contiguous:
+            be = B  # fully active: read the caller's buffer directly
+        else:
+            be = self._b_eff[:r]
+            np.copyto(be, B)
+        be_flat = be.reshape(-1)
+
+        bs = self._bs[:r]
+        ss = self._ss[:r]
+        order = self._order[:r]
+        if self._order_valid:
+            np.take(be_flat, self._flat_idx[:r], out=bs)
+            bad = self._out_of_order_rows(bs, r)
+            if bad.size:
+                self._resort(be, bs, ss, order, bad)
+            self.rows_reused += r - bad.size
+            self.rows_resorted += bad.size
+        else:
+            order[:] = np.argsort(be, axis=1, kind="stable")
+            self._refresh_perm_all()
+            np.take(be_flat, self._flat_idx[:r], out=bs)
+            np.take(self._slopes_flat, self._flat_idx[:r], out=ss)
+            self._order_valid = True
+            self.rows_resorted += r
+        self.sweeps += 1
+
+        cum_slope = self._cum_slope[:r]
+        np.cumsum(ss, axis=1, out=cum_slope)
+        mul = self._mul[:r]
+        np.multiply(ss, bs, out=mul)
+        cum_sb = self._cum_sb[:r]
+        np.cumsum(mul, axis=1, out=cum_sb)
+
+        denom = self._denom[:r]
+        np.add(cum_slope, a_arr[:, None], out=denom)
+        cand = self._cand[:r]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            np.add(rhs[:, None], cum_sb, out=cand)
+            np.divide(cand, denom, out=cand)
+        lo = bs
+        hi = self._hi[:r]
+        np.copyto(hi[:, : n - 1], bs[:, 1:])
+        hi[:, n - 1] = np.inf
+
+        valid = self._valid[:r]
+        vtmp = self._vtmp[:r]
+        np.greater_equal(cand, lo, out=valid)
+        np.less_equal(cand, hi, out=vtmp)
+        np.logical_and(valid, vtmp, out=valid)
+        np.greater(denom, 0.0, out=vtmp)
+        np.logical_and(valid, vtmp, out=valid)
+        np.isfinite(cand, out=vtmp)
+        np.logical_and(valid, vtmp, out=valid)
+
+        return _select(
+            r, bs, denom, cand, lo, hi, valid, rhs, a_arr, fixed, counts
+        )
+
+    # -- permutation internals ----------------------------------------------
+
+    def _refresh_perm(self, rows: np.ndarray) -> None:
+        """Recompute flat indices and tie-stability bits for ``rows``.
+
+        Fancy assignment (not ``out=``) on purpose: ``self._flat_idx[rows]``
+        with an index array is a copy, so an ``out=`` into it would be lost.
+        """
+        self._flat_idx[rows] = self._order[rows] + self._offsets[rows]
+        if self.n > 1:
+            self._ord_incr[rows] = (
+                self._order[rows, 1:] > self._order[rows, :-1]
+            )
+
+    def _refresh_perm_all(self) -> None:
+        """Full-range :meth:`_refresh_perm` without the fancy-index copies."""
+        r = self._rows
+        np.add(self._order[:r], self._offsets[:r], out=self._flat_idx[:r])
+        if self.n > 1:
+            np.greater(
+                self._order[:r, 1:], self._order[:r, :-1],
+                out=self._ord_incr[:r],
+            )
+
+    def _out_of_order_rows(self, bs: np.ndarray, r: int) -> np.ndarray:
+        """Rows whose cached permutation is no longer the stable order.
+
+        A pair ``(k, k+1)`` is in stable order iff ``bs`` strictly
+        increases, or ties with the original indices increasing.  Rows
+        where every pair passes reproduce ``argsort(kind="stable")``
+        exactly (the stable permutation is unique), so reusing them is
+        bit-identical; nan breakpoints fail every comparison and force a
+        resort, never a silent reuse.
+        """
+        if self.n <= 1:
+            return np.empty(0, dtype=np.intp)
+        p1 = self._pair1[:r]
+        p2 = self._pair2[:r]
+        np.greater(bs[:, 1:], bs[:, :-1], out=p1)
+        np.equal(bs[:, 1:], bs[:, :-1], out=p2)
+        np.logical_and(p2, self._ord_incr[:r], out=p2)
+        np.logical_or(p1, p2, out=p1)
+        return np.flatnonzero(~p1.all(axis=1))
+
+    def _resort(self, be, bs, ss, order, bad) -> None:
+        """Re-argsort the rows that went out of order.
+
+        Below half the rows, only the stale subset is touched; above it,
+        the fancy-indexed gather/scatter per row costs more than one
+        contiguous whole-matrix argsort, so the full path wins (and
+        recomputing a still-valid row reproduces its cached permutation
+        exactly — the stable order is unique — so both paths stay
+        bit-identical).
+        """
+        r = order.shape[0]
+        if 2 * bad.size >= r:
+            order[:] = np.argsort(be, axis=1, kind="stable")
+            self._refresh_perm_all()
+            np.take(be.reshape(-1), self._flat_idx[:r], out=bs)
+            np.take(self._slopes_flat, self._flat_idx[:r], out=ss)
+            return
+        order[bad] = np.argsort(be[bad], axis=1, kind="stable")
+        self._refresh_perm(bad)
+        idx = self._flat_idx[bad]
+        bs[bad] = np.take(be.reshape(-1), idx)
+        ss[bad] = np.take(self._slopes_flat, idx)

@@ -44,6 +44,8 @@ the functional demonstration that the decomposition is real.
 
 from __future__ import annotations
 
+import itertools
+import threading
 import time
 from concurrent.futures import (
     BrokenExecutor,
@@ -56,6 +58,7 @@ from concurrent.futures import TimeoutError as FuturesTimeoutError
 import numpy as np
 
 from repro.equilibration.exact import solve_piecewise_linear
+from repro.equilibration.workspace import SweepWorkspace
 from repro.errors import DeadlineExceededError, WorkerCrashError
 from repro.parallel.partition import partition_blocks
 
@@ -78,9 +81,56 @@ _POOL_TYPES: dict[str, type[Executor]] = {
 }
 
 
+# Per-block sweep workspaces, keyed by (kernel token, block index, block
+# shape).  Module-global on purpose: process-pool workers import this
+# module once and then keep their block's workspace alive across
+# dispatches — the freshly unpickled slopes of each dispatch pass the
+# workspace's content-equality bind, so the cached sort permutation
+# survives the process boundary.  Thread/serial backends share the same
+# cache in-process; a per-entry lock makes concurrent dispatches fall
+# back to the cold kernel instead of sharing buffers.
+_WS_CACHE: dict[tuple, tuple[threading.Lock, SweepWorkspace]] = {}
+_WS_CACHE_MAX = 64  # row + column phase per block: 2 * workers entries per kernel
+_WS_TOKENS = itertools.count()
+
+
+def _block_workspace(key, shape):
+    """LRU-cached (lock, workspace) for one kernel block."""
+    entry = _WS_CACHE.pop(key, None)
+    if entry is None:
+        if len(_WS_CACHE) >= _WS_CACHE_MAX:
+            _WS_CACHE.pop(next(iter(_WS_CACHE)))
+        entry = (threading.Lock(), SweepWorkspace(*shape))
+    _WS_CACHE[key] = entry  # reinsert = most recently used
+    return entry
+
+
 def _solve_block(args):
-    breakpoints, slopes, target, a, c = args
-    return solve_piecewise_linear(breakpoints, slopes, target, a=a, c=c)
+    """Solve one row block; returns ``(lam, rows_reused, rows_resorted)``.
+
+    The counter deltas ride back with the result (pickled, for process
+    workers) so the parent kernel can aggregate a sort-reuse rate it
+    never observes directly.
+    """
+    token, idx, breakpoints, slopes, target, a, c = args
+    if token is not None:
+        lock, ws = _block_workspace((token, idx, breakpoints.shape), breakpoints.shape)
+        if lock.acquire(blocking=False):
+            try:
+                before_reused = ws.rows_reused
+                before_resorted = ws.rows_resorted
+                lam = solve_piecewise_linear(
+                    breakpoints, slopes, target, a=a, c=c, workspace=ws
+                )
+                return (
+                    lam,
+                    ws.rows_reused - before_reused,
+                    ws.rows_resorted - before_resorted,
+                )
+            finally:
+                lock.release()
+    lam = solve_piecewise_linear(breakpoints, slopes, target, a=a, c=c)
+    return lam, 0, 0
 
 
 def _probe() -> int:
@@ -120,12 +170,18 @@ class ParallelKernel:
             result = solve_fixed(problem, kernel=kernel)
     """
 
+    # Capability flag: the service only threads SweepWorkspace pairs
+    # through kernels that declare they accept the ``workspace=`` kwarg
+    # (unknown kernels keep the plain five-argument call).
+    accepts_workspace = True
+
     def __init__(
         self,
         workers: int,
         backend: str = "serial",
         max_retries: int = 2,
         retry_backoff_s: float = 0.05,
+        use_workspaces: bool = True,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -137,6 +193,12 @@ class ParallelKernel:
         self.backend = backend
         self.max_retries = max_retries
         self.retry_backoff_s = retry_backoff_s
+        self.use_workspaces = use_workspaces
+        # Stable per-kernel token: block workspaces (in this process and
+        # in pool workers) key on it, so dispatches from the same kernel
+        # find their previous sweep's permutation and different kernels
+        # never collide.
+        self._ws_token = next(_WS_TOKENS) if use_workspaces else None
         self._ladder = _LADDERS[backend]
         self._rung = 0
         self._pool: Executor | None = None
@@ -144,6 +206,15 @@ class ParallelKernel:
         self.pool_rebuilds = 0  # broken pools replaced by fresh ones
         self.worker_crashes = 0  # BrokenExecutor faults observed
         self.degraded_dispatches = 0  # dispatches run below the configured backend
+        self.sort_sweeps = 0  # workspace-backed fork/join phases
+        self.sort_rows_reused = 0  # block rows served by a cached permutation
+        self.sort_rows_resorted = 0  # block rows that re-argsorted
+
+    @property
+    def sort_reuse_rate(self) -> float:
+        """Fraction of block-row sorts answered by cached permutations."""
+        total = self.sort_rows_reused + self.sort_rows_resorted
+        return self.sort_rows_reused / total if total else 0.0
 
     # -- pool lifecycle -----------------------------------------------------
 
@@ -191,7 +262,8 @@ class ParallelKernel:
     # -- dispatch -----------------------------------------------------------
 
     def __call__(
-        self, breakpoints, slopes, target, a=None, c=None, timeout=None
+        self, breakpoints, slopes, target, a=None, c=None, timeout=None,
+        workspace=None,
     ) -> np.ndarray:
         """One fork/join phase over the row blocks.
 
@@ -201,24 +273,47 @@ class ParallelKernel:
         pool so stragglers cannot occupy fresh dispatches.  The output
         array is assembled only after *every* block solved, so a partial
         failure can never leak a half-written result.
+
+        ``workspace`` (a caller-owned
+        :class:`~repro.equilibration.workspace.SweepWorkspace`) is
+        honored on single-block dispatches, which run in-process anyway;
+        multi-block dispatches use the kernel's own per-block worker
+        workspaces instead, whose reuse counters aggregate into
+        ``sort_rows_reused`` / ``sort_rows_resorted``.  A caller
+        workspace's counters belong to the caller — the kernel never
+        double-counts them.
         """
         m = breakpoints.shape[0]
         blocks = partition_blocks(m, self.workers)
         self.dispatches += 1
+        if workspace is not None and len(blocks) <= 1:
+            return solve_piecewise_linear(
+                breakpoints, slopes, target, a=a, c=c, workspace=workspace
+            )
+        token = self._ws_token
         tasks = [
             (
+                token,
+                idx,
                 breakpoints[lo:hi],
                 slopes[lo:hi],
                 target[lo:hi],
                 None if a is None else a[lo:hi],
                 None if c is None else c[lo:hi],
             )
-            for lo, hi in blocks
+            for idx, (lo, hi) in enumerate(blocks)
         ]
         results = self._run_tasks(tasks, timeout)
         out = np.empty(m)
-        for (lo, hi), block in zip(blocks, results):
+        reused = resorted = 0
+        for (lo, hi), (block, r_hit, r_miss) in zip(blocks, results):
             out[lo:hi] = block
+            reused += r_hit
+            resorted += r_miss
+        if token is not None:
+            self.sort_sweeps += 1
+            self.sort_rows_reused += reused
+            self.sort_rows_resorted += resorted
         return out
 
     def _run_tasks(self, tasks, timeout):

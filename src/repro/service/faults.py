@@ -140,7 +140,7 @@ class FaultyKernel:
         return True
 
     def __call__(self, breakpoints, slopes, target, a=None, c=None,
-                 timeout=None):
+                 timeout=None, workspace=None):
         mode = self._draw()
         if mode == "raise":
             self.injected["raise"] += 1
@@ -161,8 +161,13 @@ class FaultyKernel:
         elif mode == "delay":
             self.injected["delay"] += 1
             time.sleep(self.plan.delay_s)
+        # The workspace rides through untouched: a "corrupt" dispatch
+        # poisons the *result*, so the next sweep's NaN breakpoints fail
+        # the workspace's stable-order check, force a resort, and raise
+        # exactly the error a cold kernel would.
         result = self.kernel(
-            breakpoints, slopes, target, a=a, c=c, timeout=timeout
+            breakpoints, slopes, target, a=a, c=c, timeout=timeout,
+            workspace=workspace,
         )
         if mode == "corrupt":
             # The whole block of duals goes NaN, so the *next* dispatch

@@ -30,6 +30,13 @@ class ServiceStats:
     kernel's counters at snapshot time.  ``breaker_trips`` counts
     kind+shape circuit breakers opening; ``breaker_rejections`` counts
     requests refused while one was open.
+
+    The sort-reuse block: ``sort_sweeps`` counts workspace-backed kernel
+    sweeps, ``sort_rows_reused`` / ``sort_rows_resorted`` count per-row
+    permutation outcomes, summed at snapshot time over the shared
+    kernel's per-block workspaces *and* the service-owned workspace
+    pairs (disjoint sources: a kernel never counts a caller-provided
+    workspace).  :attr:`sort_reuse_rate` is their ratio.
     """
 
     requests: int = 0
@@ -56,12 +63,21 @@ class ServiceStats:
     breaker_trips: int = 0
     breaker_rejections: int = 0
     errors_by_kind: dict[str, int] = field(default_factory=dict)
+    sort_sweeps: int = 0
+    sort_rows_reused: int = 0
+    sort_rows_resorted: int = 0
 
     @property
     def hit_rate(self) -> float:
         """Warm-start cache hit rate over all lookups (0 when none)."""
         lookups = self.cache_hits + self.cache_misses
         return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def sort_reuse_rate(self) -> float:
+        """Fraction of kernel row-sorts answered by cached permutations."""
+        total = self.sort_rows_reused + self.sort_rows_resorted
+        return self.sort_rows_reused / total if total else 0.0
 
     @property
     def mean_solve_time(self) -> float:
@@ -125,4 +141,8 @@ class ServiceStats:
             "breaker_trips": self.breaker_trips,
             "breaker_rejections": self.breaker_rejections,
             "errors_by_kind": dict(self.errors_by_kind),
+            "sort_sweeps": self.sort_sweeps,
+            "sort_rows_reused": self.sort_rows_reused,
+            "sort_rows_resorted": self.sort_rows_resorted,
+            "sort_reuse_rate": round(self.sort_reuse_rate, 6),
         }

@@ -50,7 +50,7 @@ response is ever silently dropped.
 from __future__ import annotations
 
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 
 from repro.core.api import fingerprint, problem_kind, solve, totals_vector
@@ -68,6 +68,7 @@ from repro.errors import (
     error_kind,
     is_transient,
 )
+from repro.equilibration.workspace import SweepWorkspace
 from repro.parallel.executor import ParallelKernel
 from repro.service.batching import solve_batch
 from repro.service.cache import WarmStartCache
@@ -99,12 +100,23 @@ class _DeadlineKernel:
     def __init__(self, kernel, deadline: float) -> None:
         self._kernel = kernel
         self._deadline = deadline
+        # Reflect the wrapped kernel's workspace capability so drivers
+        # (and the service's workspace-pair plumbing) treat the deadline
+        # view exactly like the kernel it wraps.
+        self.accepts_workspace = getattr(kernel, "accepts_workspace", False)
 
-    def __call__(self, breakpoints, slopes, target, a=None, c=None):
+    def __call__(
+        self, breakpoints, slopes, target, a=None, c=None, workspace=None
+    ):
         remaining = self._deadline - time.monotonic()
         if remaining <= 0:
             raise DeadlineExceededError(
                 "request deadline exceeded between kernel dispatches"
+            )
+        if self.accepts_workspace:
+            return self._kernel(
+                breakpoints, slopes, target, a=a, c=c, timeout=remaining,
+                workspace=workspace,
             )
         return self._kernel(
             breakpoints, slopes, target, a=a, c=c, timeout=remaining
@@ -194,6 +206,13 @@ class SolveService:
         self._seq = 0
         self._processed = 0
         self._breakers: dict[tuple, _Breaker] = {}
+        # Long-lived SweepWorkspace pairs, keyed (kind tag, shape, k):
+        # k=1 entries serve single dispatches, k>1 entries serve fused
+        # batches of exactly k problems.  Bounded LRU — a pair is just
+        # preallocated buffers plus a cached permutation, so eviction
+        # only costs the next solve one cold sort.
+        self._workspaces: OrderedDict[tuple, tuple] = OrderedDict()
+        self._workspaces_max = 8
 
     # -- job intake ---------------------------------------------------------
 
@@ -328,8 +347,43 @@ class SolveService:
 
     # -- execution ----------------------------------------------------------
 
+    def _workspace_pair(self, key: tuple, m: int, n: int, k: int = 1):
+        """Get or create the LRU'd ``(row, column)`` workspace pair for
+        a kind+shape(+batch size) group; ``None`` when the shared kernel
+        does not understand the ``workspace=`` kwarg (unknown test
+        doubles keep the plain five-argument call)."""
+        if not getattr(self.kernel, "accepts_workspace", False):
+            return None
+        pair = self._workspaces.get(key)
+        if pair is not None:
+            self._workspaces.move_to_end(key)
+            return pair
+        while len(self._workspaces) >= self._workspaces_max:
+            self._workspaces.popitem(last=False)
+        pair = (SweepWorkspace(k * m, n), SweepWorkspace(k * n, m))
+        self._workspaces[key] = pair
+        return pair
+
+    def _workspaces_for(self, req: SolveRequest, perms):
+        """Workspace pair for one dense single dispatch, seeded from the
+        cache's stored permutations when available."""
+        shape = getattr(req.problem, "shape", None)
+        if shape is None:
+            return None
+        m, n = shape
+        pair = self._workspace_pair((self._kind_tag(req), shape, 1), m, n)
+        if pair is not None and perms is not None:
+            for ws, perm in zip(pair, perms):
+                if perm is None:
+                    continue
+                try:
+                    ws.seed_permutation(perm)
+                except ValueError:
+                    pass  # stale shape (e.g. evicted + different rows)
+        return pair
+
     def _lookup(self, req: SolveRequest):
-        """Warm-start lookup; returns (mu0, warm, exact, fp, totals)."""
+        """Warm-start lookup; returns (mu0, warm, exact, fp, totals, perms)."""
         if not (
             self.warm_start
             and req.warm_start
@@ -338,21 +392,24 @@ class SolveService:
         ):
             if type(req.problem) in _CORE_KINDS and req.engine == "dense":
                 return (None, False, False, fingerprint(req.problem),
-                        totals_vector(req.problem))
-            return (None, False, False, None, None)
+                        totals_vector(req.problem), None)
+            return (None, False, False, None, None, None)
         fp = fingerprint(req.problem)
         totals = totals_vector(req.problem)
-        hit = self.cache.lookup(fp, totals)
+        hit = self.cache.lookup_with_perms(fp, totals)
         if hit is None:
             self._stats.cache_misses += 1
-            return (None, False, False, fp, totals)
-        mu0, exact = hit
+            return (None, False, False, fp, totals, None)
+        mu0, exact, perms = hit
         self._stats.cache_hits += 1
         if exact:
             self._stats.cache_exact_hits += 1
-        return (mu0, True, exact, fp, totals)
+        return (mu0, True, exact, fp, totals, perms)
 
-    def _record(self, req: SolveRequest, response: SolveResponse, fp, totals) -> None:
+    def _record(
+        self, req: SolveRequest, response: SolveResponse, fp, totals,
+        perms=None,
+    ) -> None:
         self._processed += 1
         if response.ok:
             self._stats.completed += 1
@@ -367,7 +424,7 @@ class SolveService:
                 and response.result.mu is not None
                 and response.result.converged
             ):
-                self.cache.store(fp, totals, response.result.mu)
+                self.cache.store(fp, totals, response.result.mu, perms=perms)
         else:
             self._stats.errors += 1
             self._stats.count_error_kind(response.error_kind or "internal")
@@ -392,7 +449,7 @@ class SolveService:
     def _run_single(
         self, req: SolveRequest, lookup, deadline: float | None = None
     ) -> SolveResponse:
-        mu0, warm, exact, fp, totals = lookup
+        mu0, warm, exact, fp, totals, perms = lookup
         response = SolveResponse(
             id=req.id, kind=self._kind_tag(req), warm_started=warm,
             cache_exact=exact, submitted_at=getattr(req, "_order", 0),
@@ -410,11 +467,16 @@ class SolveService:
         if deadline is None:
             deadline = self._deadline_of(req, time.monotonic())
         retries = self._retries_of(req)
+        workspaces = None
+        if req.engine == "dense" and type(req.problem) in _CORE_KINDS:
+            workspaces = self._workspaces_for(req, perms)
         attempt = 0
         t0 = time.perf_counter()
         while True:
             try:
-                response.result = self._dispatch(req, mu0, deadline)
+                response.result = self._dispatch(
+                    req, mu0, deadline, workspaces=workspaces
+                )
                 response.error = response.error_kind = None
                 break
             except Exception as exc:  # noqa: BLE001 — fault isolation per job
@@ -436,10 +498,25 @@ class SolveService:
                 f"no convergence after {response.result.iterations} "
                 f"iterations (residual {response.result.residual:g})"
             ))
-        self._record(req, response, fp, totals)
+        # A converged solve's final sort permutations file next to its
+        # duals: the next warm-started bucket-mate seeds its workspace
+        # pair from them and skips even its first argsort.
+        final_perms = None
+        if (
+            workspaces is not None
+            and response.ok
+            and response.result.converged
+        ):
+            final_perms = (
+                workspaces[0].permutation(), workspaces[1].permutation()
+            )
+        self._record(req, response, fp, totals, perms=final_perms)
         return response
 
-    def _dispatch(self, req: SolveRequest, mu0, deadline: float | None = None):
+    def _dispatch(
+        self, req: SolveRequest, mu0, deadline: float | None = None,
+        workspaces=None,
+    ):
         if deadline is not None and time.monotonic() >= deadline:
             raise DeadlineExceededError("request deadline exceeded")
         kernel = (
@@ -468,6 +545,11 @@ class SolveService:
             return solver(problem, stop=stop)
         if type(problem) in _CORE_KINDS:
             stop = resolve_stop(req, problem_kind(problem))
+            if workspaces is not None:
+                return solve(
+                    problem, stop=stop, mu0=mu0, kernel=kernel,
+                    workspaces=workspaces,
+                )
             return solve(problem, stop=stop, mu0=mu0, kernel=kernel)
         kwargs = {}
         stop = resolve_stop(req, "")
@@ -495,6 +577,13 @@ class SolveService:
             self.kernel if batch_deadline is None
             else _DeadlineKernel(self.kernel, batch_deadline)
         )
+        # One stacked workspace pair per kind+shape+size group: the whole
+        # fused batch shares its buffers, and the cached permutations
+        # survive problem retirements inside solve_batch via retain().
+        m, n = members[0].problem.shape
+        workspaces = self._workspace_pair(
+            (kind, (m, n), len(members)), m, n, k=len(members)
+        )
         try:
             t0 = time.perf_counter()
             results = solve_batch(
@@ -502,6 +591,7 @@ class SolveService:
                 stop=stop,
                 mu0s=[lk[0] for lk in lookups],
                 kernel=kernel,
+                workspaces=workspaces,
             )
         except Exception as exc:  # noqa: BLE001 — fault isolation per batch
             # One bad problem (e.g. infeasible totals), a worker crash
@@ -521,7 +611,7 @@ class SolveService:
         self._stats.count_batch(kind, len(members))
         responses = []
         for req, lk, result in zip(members, lookups, results):
-            mu0, warm, exact, fp, totals = lk
+            mu0, warm, exact, fp, totals, perms = lk
             response = SolveResponse(
                 id=req.id, result=result, kind=self._kind_tag(req),
                 elapsed=result.elapsed if result.elapsed else elapsed,
@@ -548,6 +638,22 @@ class SolveService:
         self._stats.degraded_dispatches = getattr(
             self.kernel, "degraded_dispatches", 0
         )
+        # Sort-reuse counters come from two disjoint sources: the shared
+        # kernel's per-block workspaces (multi-block dispatches) and the
+        # service-owned pairs (handed to the drivers, which the kernel by
+        # contract never counts) — so a plain sum never double-counts.
+        sweeps = getattr(self.kernel, "sort_sweeps", 0)
+        reused = getattr(self.kernel, "sort_rows_reused", 0)
+        resorted = getattr(self.kernel, "sort_rows_resorted", 0)
+        for pair in self._workspaces.values():
+            for ws in pair:
+                s, hit, miss = ws.counters()
+                sweeps += s
+                reused += hit
+                resorted += miss
+        self._stats.sort_sweeps = sweeps
+        self._stats.sort_rows_reused = reused
+        self._stats.sort_rows_resorted = resorted
         return self._stats.snapshot()
 
     def close(self) -> None:

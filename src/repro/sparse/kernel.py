@@ -9,13 +9,25 @@ without materializing the dense breakpoint matrix.  The dense kernel's
 per-row sort + prefix sums become a single ``lexsort`` by (row,
 breakpoint) and segment-reset cumulative sums over the flat nnz-length
 arrays — the classic segmented-scan formulation, all NumPy.
+
+Like the dense kernel, the sparse one has a persistent-sweep fast path:
+:class:`SparseSweepWorkspace` hoists the per-call validation and reuses
+the previous sweep's lexsort permutation.  ``lexsort((b, row_ids))`` is
+a stable sort whose primary key ``row_ids`` is already nondecreasing, so
+the sorted row ids, segment boundaries and segment indices are constant
+per binding; only the within-row order can drift, and a cached
+permutation is accepted exactly when every within-segment pair is
+nondecreasing with ties in increasing original index — the unique
+stable order, hence bit-identical reuse.  Sparse reuse is whole-or-
+nothing (ragged segments make per-row resorts not worth the
+bookkeeping): one out-of-order pair re-lexsorts the full nnz array.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["solve_piecewise_linear_sparse"]
+__all__ = ["solve_piecewise_linear_sparse", "SparseSweepWorkspace"]
 
 
 def _segment_cumsum(values: np.ndarray, starts_flags: np.ndarray) -> np.ndarray:
@@ -30,76 +42,35 @@ def _segment_cumsum(values: np.ndarray, starts_flags: np.ndarray) -> np.ndarray:
     return total - start_offsets[seg_index]
 
 
-def solve_piecewise_linear_sparse(
-    row_ids: np.ndarray,
-    breakpoints: np.ndarray,
-    slopes: np.ndarray,
-    m: int,
-    target: np.ndarray,
-    a: np.ndarray | None = None,
-    c: np.ndarray | None = None,
-) -> np.ndarray:
-    """Solve ``m`` independent subproblems stored as flat active cells.
-
-    Parameters
-    ----------
-    row_ids, breakpoints, slopes:
-        ``(nnz,)`` arrays; ``row_ids`` must be nondecreasing (CSR row-
-        major order).  Slopes must be strictly positive (structural
-        zeros simply are not present).
-    m:
-        Number of rows (some may own zero cells).
-    target, a, c:
-        Per-row equation constants, as in the dense kernel.
-
-    Returns
-    -------
-    ``(m,)`` exact multipliers.
-    """
-    row_ids = np.asarray(row_ids)
-    b = np.asarray(breakpoints, dtype=np.float64)
-    s = np.asarray(slopes, dtype=np.float64)
-    nnz = b.size
+def _coerce_sparse_terms(m, target, a, c):
     target = np.asarray(target, dtype=np.float64)
     a_arr = np.zeros(m) if a is None else np.asarray(a, dtype=np.float64)
     c_arr = np.zeros(m) if c is None else np.asarray(c, dtype=np.float64)
-    if np.any(s <= 0.0):
-        raise ValueError("sparse cells must carry strictly positive slopes")
-    if np.any(np.diff(row_ids) < 0):
-        raise ValueError("row_ids must be in row-major (nondecreasing) order")
+    return target, a_arr, c_arr
 
-    rhs = target - c_arr
-    fixed = a_arr == 0.0
-    counts = np.bincount(row_ids, minlength=m) if nnz else np.zeros(m, int)
+
+def _check_sparse_feasible(rhs, fixed, counts):
     if np.any(fixed & (rhs < 0.0)):
         raise ValueError("fixed-totals subproblem with negative target")
     if np.any(fixed & (counts == 0) & (rhs > 0.0)):
         raise ValueError("empty fixed row with positive target")
 
+
+def _select_sparse(
+    m, nnz, bs, ss, rid, seg_start, seg_end, rhs, a_arr, fixed, target
+):
+    """Candidate construction + segment selection over sorted cells.
+
+    Shared tail of the cold kernel and the workspace fast path — both
+    hand it identically sorted arrays, so the paths cannot diverge.
+    """
     lam = np.zeros(m)
-    if nnz == 0:
-        elastic = ~fixed
-        lam[elastic] = rhs[elastic] / a_arr[elastic]
-        return lam
-
-    # Sort by (row, breakpoint); stable so ties keep deterministic order.
-    order = np.lexsort((b, row_ids))
-    bs = b[order]
-    ss = s[order]
-    rid = row_ids[order]
-    seg_start = np.empty(nnz, dtype=bool)
-    seg_start[0] = True
-    seg_start[1:] = rid[1:] != rid[:-1]
-
     S = _segment_cumsum(ss, seg_start)
     T = _segment_cumsum(ss * bs, seg_start)
 
     denom = S + a_arr[rid]
     cand = (rhs[rid] + T) / denom
     lo = bs
-    seg_end = np.empty(nnz, dtype=bool)
-    seg_end[:-1] = seg_start[1:]
-    seg_end[-1] = True
     hi = np.empty(nnz)
     hi[:-1] = bs[1:]
     hi[seg_end] = np.inf
@@ -143,3 +114,225 @@ def solve_piecewise_linear_sparse(
         fix_rows = missing & (pick < nnz)
         lam[fix_rows] = cand[pick[fix_rows]]
     return lam
+
+
+def solve_piecewise_linear_sparse(
+    row_ids: np.ndarray,
+    breakpoints: np.ndarray,
+    slopes: np.ndarray,
+    m: int,
+    target: np.ndarray,
+    a: np.ndarray | None = None,
+    c: np.ndarray | None = None,
+    workspace: "SparseSweepWorkspace | None" = None,
+) -> np.ndarray:
+    """Solve ``m`` independent subproblems stored as flat active cells.
+
+    Parameters
+    ----------
+    row_ids, breakpoints, slopes:
+        ``(nnz,)`` arrays; ``row_ids`` must be nondecreasing (CSR row-
+        major order).  Slopes must be strictly positive (structural
+        zeros simply are not present).
+    m:
+        Number of rows (some may own zero cells).
+    target, a, c:
+        Per-row equation constants, as in the dense kernel.
+    workspace:
+        Optional :class:`SparseSweepWorkspace`: hoists the per-call
+        validation and reuses the previous sweep's lexsort permutation
+        (bit-identical results).
+
+    Returns
+    -------
+    ``(m,)`` exact multipliers.
+    """
+    if workspace is not None:
+        workspace.bind(row_ids, slopes, m)
+        return workspace.solve(breakpoints, target, a=a, c=c)
+
+    row_ids = np.asarray(row_ids)
+    b = np.asarray(breakpoints, dtype=np.float64)
+    s = np.asarray(slopes, dtype=np.float64)
+    nnz = b.size
+    target, a_arr, c_arr = _coerce_sparse_terms(m, target, a, c)
+    if np.any(s <= 0.0):
+        raise ValueError("sparse cells must carry strictly positive slopes")
+    if np.any(np.diff(row_ids) < 0):
+        raise ValueError("row_ids must be in row-major (nondecreasing) order")
+
+    rhs = target - c_arr
+    fixed = a_arr == 0.0
+    counts = np.bincount(row_ids, minlength=m) if nnz else np.zeros(m, int)
+    _check_sparse_feasible(rhs, fixed, counts)
+
+    if nnz == 0:
+        lam = np.zeros(m)
+        elastic = ~fixed
+        lam[elastic] = rhs[elastic] / a_arr[elastic]
+        return lam
+
+    # Sort by (row, breakpoint); stable so ties keep deterministic order.
+    order = np.lexsort((b, row_ids))
+    bs = b[order]
+    ss = s[order]
+    rid = row_ids[order]
+    seg_start = np.empty(nnz, dtype=bool)
+    seg_start[0] = True
+    seg_start[1:] = rid[1:] != rid[:-1]
+    seg_end = np.empty(nnz, dtype=bool)
+    seg_end[:-1] = seg_start[1:]
+    seg_end[-1] = True
+
+    return _select_sparse(
+        m, nnz, bs, ss, rid, seg_start, seg_end, rhs, a_arr, fixed, target
+    )
+
+
+class SparseSweepWorkspace:
+    """Persistent lexsort-permutation cache for the sparse kernel.
+
+    Bound to one ``(row_ids, slopes, m)`` pattern (identity-checked per
+    call, content-checked on new objects), it keeps the sorted row ids
+    and segment boundary masks — constant because ``lexsort``'s primary
+    key is already sorted — plus the previous sweep's permutation and
+    permuted slopes.  A sweep whose breakpoints still sort the same way
+    skips the ``O(nnz log nnz)`` lexsort entirely (``perm_hits``); one
+    out-of-order pair triggers a full re-lexsort (``perm_misses``).
+    """
+
+    def __init__(self, nnz: int, m: int) -> None:
+        self.nnz = int(nnz)
+        self.m = int(m)
+        self._bs = np.empty(self.nnz)
+        self._order = None
+        self._ord_incr = None  # within-segment tie stability bits
+        self._ss_sorted = None
+        self._rid_ref = None
+        self._slopes_ref = None
+        self._rid = None
+        self._slopes = None
+        self._counts = None
+        self._seg_start = None
+        self._seg_end = None
+        self._not_start = None
+        self.sweeps = 0
+        self.perm_hits = 0
+        self.perm_misses = 0
+        self.binds = 0
+
+    @property
+    def sort_reuse_rate(self) -> float:
+        total = self.perm_hits + self.perm_misses
+        return self.perm_hits / total if total else 0.0
+
+    def counters(self) -> tuple[int, int, int]:
+        return (self.sweeps, self.perm_hits, self.perm_misses)
+
+    def bind(self, row_ids: np.ndarray, slopes: np.ndarray, m: int) -> None:
+        if (
+            row_ids is self._rid_ref
+            and slopes is self._slopes_ref
+            and m == self.m
+        ):
+            return
+        rid = np.asarray(row_ids)
+        s = np.asarray(slopes, dtype=np.float64)
+        if rid.shape != (self.nnz,) or s.shape != (self.nnz,):
+            raise ValueError(
+                f"pattern size {rid.shape} does not match workspace "
+                f"nnz={self.nnz}"
+            )
+        if m != self.m:
+            raise ValueError(f"row count {m} != workspace m={self.m}")
+        same = (
+            self._rid is not None
+            and np.array_equal(rid, self._rid)
+            and np.array_equal(s, self._slopes)
+        )
+        self._rid_ref = row_ids
+        self._slopes_ref = slopes
+        if same:
+            self._rid = rid
+            self._slopes = s
+            return
+        if np.any(s <= 0.0):
+            raise ValueError("sparse cells must carry strictly positive slopes")
+        if np.any(np.diff(rid) < 0):
+            raise ValueError(
+                "row_ids must be in row-major (nondecreasing) order"
+            )
+        self._rid = rid
+        self._slopes = s
+        self._counts = (
+            np.bincount(rid, minlength=m) if self.nnz else np.zeros(m, int)
+        )
+        if self.nnz:
+            seg_start = np.empty(self.nnz, dtype=bool)
+            seg_start[0] = True
+            seg_start[1:] = rid[1:] != rid[:-1]
+            seg_end = np.empty(self.nnz, dtype=bool)
+            seg_end[:-1] = seg_start[1:]
+            seg_end[-1] = True
+            self._seg_start = seg_start
+            self._seg_end = seg_end
+            self._not_start = ~seg_start[1:]
+        self._order = None
+        self._ss_sorted = None
+        self.binds += 1
+
+    def solve(self, breakpoints, target, a=None, c=None) -> np.ndarray:
+        if self._rid is None:
+            raise RuntimeError("workspace is not bound; call bind() first")
+        m = self.m
+        b = np.asarray(breakpoints, dtype=np.float64)
+        target, a_arr, c_arr = _coerce_sparse_terms(m, target, a, c)
+
+        rhs = target - c_arr
+        fixed = a_arr == 0.0
+        _check_sparse_feasible(rhs, fixed, self._counts)
+
+        if self.nnz == 0:
+            lam = np.zeros(m)
+            elastic = ~fixed
+            lam[elastic] = rhs[elastic] / a_arr[elastic]
+            return lam
+
+        bs = self._bs
+        if self._order is not None:
+            np.take(b, self._order, out=bs)
+            if self._stable_order(bs):
+                self.perm_hits += 1
+            else:
+                self._relex(b, bs)
+                self.perm_misses += 1
+        else:
+            self._relex(b, bs)
+            self.perm_misses += 1
+        self.sweeps += 1
+
+        return _select_sparse(
+            m, self.nnz, bs, self._ss_sorted, self._rid, self._seg_start,
+            self._seg_end, rhs, a_arr, fixed, target,
+        )
+
+    def _relex(self, b: np.ndarray, bs: np.ndarray) -> None:
+        self._order = np.lexsort((b, self._rid))
+        np.take(b, self._order, out=bs)
+        self._ss_sorted = self._slopes[self._order]
+        if self.nnz > 1:
+            self._ord_incr = self._order[1:] > self._order[:-1]
+
+    def _stable_order(self, bs: np.ndarray) -> bool:
+        """True iff the cached permutation is still the lexsort order.
+
+        Within-segment pairs must be nondecreasing, with ties keeping
+        increasing original indices (lexsort is stable, so its order is
+        that unique one); segment-boundary pairs are unconstrained.
+        Any nan fails every comparison and forces a re-lexsort.
+        """
+        if self.nnz <= 1:
+            return True
+        left, right = bs[:-1], bs[1:]
+        ok = (right > left) | ((right == left) & self._ord_incr)
+        return bool(ok[self._not_start].all())

@@ -18,7 +18,10 @@ import numpy as np
 from repro.core.convergence import StoppingRule
 from repro.core.problems import ElasticProblem, FixedTotalsProblem, SAMProblem
 from repro.core.result import PhaseCounts, SolveResult
-from repro.sparse.kernel import solve_piecewise_linear_sparse
+from repro.sparse.kernel import (
+    SparseSweepWorkspace,
+    solve_piecewise_linear_sparse,
+)
 from repro.sparse.structure import SparsePattern
 
 __all__ = ["solve_fixed_sparse", "solve_elastic_sparse", "solve_sam_sparse"]
@@ -42,6 +45,7 @@ def solve_fixed_sparse(
     problem: FixedTotalsProblem,
     stop: StoppingRule | None = None,
     record_history: bool = False,
+    workspaces=None,
 ) -> SolveResult:
     """Sparse-path SEA for masked fixed-totals problems."""
     stop = stop or StoppingRule(eps=1e-2, criterion="delta-x")
@@ -49,6 +53,9 @@ def solve_fixed_sparse(
     m, n = problem.shape
     pattern = SparsePattern(problem.mask)
     nnz = pattern.nnz
+    if workspaces is None:
+        workspaces = (SparseSweepWorkspace(nnz, m), SparseSweepWorkspace(nnz, n))
+    row_ws, col_ws = workspaces
 
     gamma = problem.gamma[pattern.rows, pattern.cols]
     x0 = problem.x0[pattern.rows, pattern.cols]
@@ -73,14 +80,14 @@ def solve_fixed_sparse(
         # Row sweep on row-major flats.
         row_b = base - mu[pattern.cols]
         lam = solve_piecewise_linear_sparse(
-            pattern.rows, row_b, slopes, m, problem.s0
+            pattern.rows, row_b, slopes, m, problem.s0, workspace=row_ws
         )
         counts.add_equilibration(m, max(int(avg_row), 1))
 
         # Column sweep on column-major flats.
         col_b = base_c - lam[pattern.rows_c]
         mu = solve_piecewise_linear_sparse(
-            pattern.cols_c, col_b, slopes_c, n, problem.d0
+            pattern.cols_c, col_b, slopes_c, n, problem.d0, workspace=col_ws
         )
         x_c = slopes_c * np.maximum(mu[pattern.cols_c] - col_b, 0.0)
         x_flat = np.empty(nnz)
@@ -123,6 +130,7 @@ def solve_elastic_sparse(
     problem: ElasticProblem,
     stop: StoppingRule | None = None,
     record_history: bool = False,
+    workspaces=None,
 ) -> SolveResult:
     """Sparse-path SEA for masked elastic problems (unknown totals)."""
     stop = stop or StoppingRule(eps=1e-2, criterion="delta-x")
@@ -131,6 +139,9 @@ def solve_elastic_sparse(
     flat = _FlatData(problem)
     p = flat.pattern
     nnz = p.nnz
+    if workspaces is None:
+        workspaces = (SparseSweepWorkspace(nnz, m), SparseSweepWorkspace(nnz, n))
+    row_ws, col_ws = workspaces
 
     a_row = 1.0 / (2.0 * problem.alpha)
     a_col = 1.0 / (2.0 * problem.beta)
@@ -153,14 +164,16 @@ def solve_elastic_sparse(
     for t in range(1, stop.max_iterations + 1):
         row_b = flat.base - mu[p.cols]
         lam = solve_piecewise_linear_sparse(
-            p.rows, row_b, flat.slopes, m, zeros_m, a=a_row, c=c_row
+            p.rows, row_b, flat.slopes, m, zeros_m, a=a_row, c=c_row,
+            workspace=row_ws,
         )
         s = problem.s0 - lam * a_row
         counts.add_equilibration(m, max(int(nnz / max(m, 1)), 1))
 
         col_b = flat.base_c - lam[p.rows_c]
         mu = solve_piecewise_linear_sparse(
-            p.cols_c, col_b, flat.slopes_c, n, zeros_n, a=a_col, c=c_col
+            p.cols_c, col_b, flat.slopes_c, n, zeros_n, a=a_col, c=c_col,
+            workspace=col_ws,
         )
         d = problem.d0 - mu * a_col
         x_c = flat.slopes_c * np.maximum(mu[p.cols_c] - col_b, 0.0)
@@ -199,6 +212,7 @@ def solve_sam_sparse(
     problem: SAMProblem,
     stop: StoppingRule | None = None,
     record_history: bool = False,
+    workspaces=None,
 ) -> SolveResult:
     """Sparse-path SEA for masked SAM problems (balanced totals)."""
     stop = stop or StoppingRule(eps=1e-3, criterion="imbalance")
@@ -207,6 +221,9 @@ def solve_sam_sparse(
     flat = _FlatData(problem)
     p = flat.pattern
     nnz = p.nnz
+    if workspaces is None:
+        workspaces = (SparseSweepWorkspace(nnz, n), SparseSweepWorkspace(nnz, n))
+    row_ws, col_ws = workspaces
 
     a_el = 1.0 / (2.0 * problem.alpha)
     zeros_n = np.zeros(n)
@@ -225,14 +242,16 @@ def solve_sam_sparse(
         row_b = flat.base - mu[p.cols]
         c_row = mu * a_el - problem.s0
         lam = solve_piecewise_linear_sparse(
-            p.rows, row_b, flat.slopes, n, zeros_n, a=a_el, c=c_row
+            p.rows, row_b, flat.slopes, n, zeros_n, a=a_el, c=c_row,
+            workspace=row_ws,
         )
         counts.add_equilibration(n, max(int(nnz / max(n, 1)), 1))
 
         col_b = flat.base_c - lam[p.rows_c]
         c_col = lam * a_el - problem.s0
         mu = solve_piecewise_linear_sparse(
-            p.cols_c, col_b, flat.slopes_c, n, zeros_n, a=a_el, c=c_col
+            p.cols_c, col_b, flat.slopes_c, n, zeros_n, a=a_el, c=c_col,
+            workspace=col_ws,
         )
         s = problem.s0 - (lam + mu) * a_el
         x_c = flat.slopes_c * np.maximum(mu[p.cols_c] - col_b, 0.0)

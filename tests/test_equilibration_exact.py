@@ -191,3 +191,114 @@ def test_vectorized_roots_property(seed, m, n, elastic):
         g = evaluate_piecewise_linear(lam[i], B[i], SL[i], a[i], c[i])
         scale = max(abs(target[i]), float(np.sum(SL[i]) * 50.0), 1.0)
         assert abs(g - target[i]) < 1e-7 * scale
+
+
+class TestWorkspaceBitIdentity:
+    """Workspace-driven sweeps are bit-identical to the cold kernel.
+
+    The permutation cache relies on stable-sort uniqueness: a cached
+    order is accepted only if it is exactly the order a fresh stable
+    argsort would produce, so every dual trajectory — and therefore
+    every lam/mu/x — must match the cold path to the last bit.  Note
+    the comparisons always use *matched* ``mu0``: a warm-started solve
+    (different ``mu0``) legitimately follows a different trajectory.
+    """
+
+    @staticmethod
+    def _cold_kernel(b, s, t, a=None, c=None):
+        # No workspace kwarg -> drivers skip workspaces entirely.
+        return solve_piecewise_linear(b, s, t, a=a, c=c)
+
+    def _assert_same(self, cold, warm):
+        np.testing.assert_array_equal(cold.lam, warm.lam)
+        np.testing.assert_array_equal(cold.mu, warm.mu)
+        np.testing.assert_array_equal(cold.x, warm.x)
+        assert cold.iterations == warm.iterations
+        assert cold.converged == warm.converged
+
+    @pytest.mark.parametrize("kind", ["fixed", "elastic", "sam"])
+    def test_solo_drivers(self, rng, kind):
+        from repro.core.convergence import StoppingRule
+        from repro.core.sea import solve_elastic, solve_fixed, solve_sam
+        from repro.equilibration.workspace import SweepWorkspace
+        from tests.conftest import (
+            random_elastic_problem,
+            random_fixed_problem,
+            random_sam_problem,
+        )
+
+        if kind == "fixed":
+            problem, solver = random_fixed_problem(rng, 19, 13), solve_fixed
+        elif kind == "elastic":
+            problem, solver = random_elastic_problem(rng, 19, 13), solve_elastic
+        else:
+            problem, solver = random_sam_problem(rng, 17), solve_sam
+        stop = StoppingRule(eps=1e-6, criterion="delta-x", max_iterations=500)
+
+        cold = solver(problem, stop=stop, kernel=self._cold_kernel)
+        m, n = problem.shape
+        ws = (SweepWorkspace(m, n), SweepWorkspace(n, m))
+        warm = solver(problem, stop=stop, workspaces=ws)
+        self._assert_same(cold, warm)
+        if warm.iterations > 1:
+            assert ws[0].rows_reused > 0  # the cache actually engaged
+
+    @pytest.mark.parametrize("kind", ["fixed", "elastic", "sam"])
+    def test_solo_drivers_matched_mu0(self, rng, kind):
+        """Warm-start path: same cached mu0 on both sides stays exact."""
+        from repro.core.convergence import StoppingRule
+        from repro.core.sea import solve_elastic, solve_fixed, solve_sam
+        from tests.conftest import (
+            random_elastic_problem,
+            random_fixed_problem,
+            random_sam_problem,
+        )
+
+        if kind == "fixed":
+            problem, solver = random_fixed_problem(rng, 11, 9), solve_fixed
+        elif kind == "elastic":
+            problem, solver = random_elastic_problem(rng, 11, 9), solve_elastic
+        else:
+            problem, solver = random_sam_problem(rng, 10), solve_sam
+        stop = StoppingRule(eps=1e-6, criterion="delta-x", max_iterations=500)
+        mu0 = solver(problem, stop=stop).mu  # a realistic cached dual
+
+        cold = solver(problem, stop=stop, mu0=mu0, kernel=self._cold_kernel)
+        warm = solver(problem, stop=stop, mu0=mu0)
+        self._assert_same(cold, warm)
+
+    def test_sparse_driver_cross_solve_reuse(self, rng):
+        """A retained sparse pair stays exact across repeated solves."""
+        from repro.core.convergence import StoppingRule
+        from repro.sparse.kernel import SparseSweepWorkspace
+        from repro.sparse.sea import solve_fixed_sparse
+        from tests.conftest import random_fixed_problem
+
+        problem = random_fixed_problem(rng, 15, 12, density=0.5)
+        stop = StoppingRule(eps=1e-6, criterion="delta-x", max_iterations=500)
+        fresh = solve_fixed_sparse(problem, stop=stop)
+
+        nnz = int(problem.mask.sum())
+        pair = (SparseSweepWorkspace(nnz, 15), SparseSweepWorkspace(nnz, 12))
+        solve_fixed_sparse(problem, stop=stop, workspaces=pair)
+        before = pair[0].counters()
+        again = solve_fixed_sparse(problem, stop=stop, workspaces=pair)
+        self._assert_same(fresh, again)
+        if again.iterations > 1:
+            assert pair[0].counters()[1] > before[1]
+
+    def test_solve_batch(self, rng):
+        from repro.core.convergence import StoppingRule
+        from repro.equilibration.workspace import SweepWorkspace
+        from repro.service.batching import solve_batch
+        from tests.conftest import random_fixed_problem
+
+        k, m, n = 3, 9, 7
+        problems = [random_fixed_problem(rng, m, n) for _ in range(k)]
+        stop = StoppingRule(eps=1e-6, criterion="delta-x", max_iterations=500)
+
+        cold = solve_batch(problems, stop=stop, kernel=self._cold_kernel)
+        ws = (SweepWorkspace(k * m, n), SweepWorkspace(k * n, m))
+        warm = solve_batch(problems, stop=stop, workspaces=ws)
+        for c, w in zip(cold, warm):
+            self._assert_same(c, w)

@@ -125,3 +125,178 @@ class TestCrossKernelConsistency:
         lam, X = equilibrate_rows(x0, gamma, np.zeros(6), target=s0)
         np.testing.assert_allclose(X.sum(axis=1), s0, rtol=1e-9)
         assert np.all(X >= 0.0)
+
+
+class TestWorkspaceAdversarial:
+    """Sort-permutation reuse under hostile orderings.
+
+    The cache accepts a stale permutation only when the permuted
+    breakpoints are nondecreasing *and* ties keep original indices
+    increasing (stable-sort uniqueness) — these cases attack exactly
+    that check: heavy ties, mid-series reorderings, deliberately wrong
+    seeds, and NaN poisoning.
+    """
+
+    def _sweep_pair(self, base, slopes, target, mus):
+        """(cold, warm) lam series over the same dual walk."""
+        from repro.equilibration.workspace import SweepWorkspace
+
+        ws = SweepWorkspace(*base.shape)
+        cold = [
+            solve_piecewise_linear(base - mu[None, :], slopes, target)
+            for mu in mus
+        ]
+        warm = [
+            solve_piecewise_linear(
+                ws.shift(base, mu), slopes, target, workspace=ws
+            )
+            for mu in mus
+        ]
+        return cold, warm, ws
+
+    def test_tie_heavy_mid_series_invalidation(self, rng):
+        # Every row is built from a handful of repeated breakpoint
+        # values, so almost any dual step creates/breaks ties.  The
+        # walk starts with tiny steps (order survives), then takes one
+        # violent step that reorders most columns mid-series.
+        m, n = 17, 24
+        levels = np.array([-3.0, -1.0, 0.0, 2.0, 5.0])
+        base = levels[rng.integers(0, levels.size, (m, n))]
+        slopes = rng.uniform(0.5, 2.0, (m, n))
+        target = rng.uniform(5.0, 50.0, m)
+        steps = np.full((8, n), 1e-12)
+        steps[4] = rng.uniform(-10.0, 10.0, n)  # the invalidating step
+        mus = np.cumsum(steps, axis=0)
+
+        cold, warm, ws = self._sweep_pair(base, slopes, target, mus)
+        for c, w in zip(cold, warm):
+            np.testing.assert_array_equal(c, w)
+        assert ws.rows_reused > 0
+        assert ws.rows_resorted > m  # first sweep plus the invalidation
+
+    def test_adaptive_resort_both_paths(self, rng):
+        # One step perturbs a single row (subset resort: 2*bad < rows);
+        # the next reorders every row (full-matrix argsort path).  Both
+        # must reproduce the cold kernel exactly.
+        m, n = 12, 10
+        base = rng.uniform(-5.0, 5.0, (m, n))
+        slopes = rng.uniform(0.5, 2.0, (m, n))
+        target = rng.uniform(5.0, 20.0, m)
+
+        from repro.equilibration.workspace import SweepWorkspace
+
+        ws = SweepWorkspace(m, n)
+        mu = np.zeros(n)
+        lam_w = solve_piecewise_linear(
+            ws.shift(base, mu), slopes, target, workspace=ws
+        )
+        np.testing.assert_array_equal(
+            lam_w, solve_piecewise_linear(base - mu[None, :], slopes, target)
+        )
+
+        # Subset path: swap two breakpoints in one row only.
+        base2 = base.copy()
+        base2[3, [0, 1]] = base2[3, [1, 0]] + np.array([1.0, -1.0])
+        before = ws.rows_resorted
+        lam_w = solve_piecewise_linear(
+            ws.shift(base2, mu), slopes, target, workspace=ws
+        )
+        np.testing.assert_array_equal(
+            lam_w, solve_piecewise_linear(base2 - mu[None, :], slopes, target)
+        )
+        assert 0 < ws.rows_resorted - before < m
+
+        # Full path: negate everything, reversing every row's order.
+        base3 = -base2
+        before = ws.rows_resorted
+        lam_w = solve_piecewise_linear(
+            ws.shift(base3, mu), slopes, target, workspace=ws
+        )
+        np.testing.assert_array_equal(
+            lam_w, solve_piecewise_linear(base3 - mu[None, :], slopes, target)
+        )
+        assert ws.rows_resorted - before == m
+
+    def test_wrong_seed_costs_resort_not_correctness(self, rng):
+        from repro.equilibration.workspace import SweepWorkspace
+
+        m, n = 9, 11
+        base = rng.uniform(-5.0, 5.0, (m, n))
+        slopes = rng.uniform(0.5, 2.0, (m, n))
+        target = rng.uniform(5.0, 20.0, m)
+        mu = rng.uniform(-1.0, 1.0, n)
+
+        ws = SweepWorkspace(m, n)
+        # Reversed identity is (almost surely) wrong for random data.
+        ws.seed_permutation(
+            np.tile(np.arange(n)[::-1], (m, 1)).astype(np.int64)
+        )
+        lam_w = solve_piecewise_linear(
+            ws.shift(base, mu), slopes, target, workspace=ws
+        )
+        np.testing.assert_array_equal(
+            lam_w, solve_piecewise_linear(base - mu[None, :], slopes, target)
+        )
+        assert ws.rows_resorted > 0
+
+    def test_good_seed_survives_bind(self, rng):
+        """A donor's final permutation carries into a fresh workspace's
+        first sweep (the service's warm-start perm round-trip)."""
+        from repro.equilibration.workspace import SweepWorkspace
+
+        m, n = 9, 11
+        base = rng.uniform(-5.0, 5.0, (m, n))
+        slopes = rng.uniform(0.5, 2.0, (m, n))
+        target = rng.uniform(5.0, 20.0, m)
+        mu = rng.uniform(-1.0, 1.0, n)
+
+        donor = SweepWorkspace(m, n)
+        lam_d = solve_piecewise_linear(
+            donor.shift(base, mu), slopes, target, workspace=donor
+        )
+        fresh = SweepWorkspace(m, n)
+        fresh.seed_permutation(donor.permutation())
+        lam_f = solve_piecewise_linear(
+            fresh.shift(base, mu), slopes, target, workspace=fresh
+        )
+        np.testing.assert_array_equal(lam_d, lam_f)
+        assert fresh.rows_resorted == 0  # the seed answered every row
+        assert fresh.rows_reused == m
+
+    def test_nan_poisoning_raises_like_cold(self, rng):
+        """NaN fails every comparison, so the validity check resorts and
+        then raises exactly the cold kernel's error."""
+        from repro.equilibration.workspace import SweepWorkspace
+
+        m, n = 6, 8
+        base = rng.uniform(-5.0, 5.0, (m, n))
+        slopes = rng.uniform(0.5, 2.0, (m, n))
+        target = rng.uniform(5.0, 20.0, m)
+        ws = SweepWorkspace(m, n)
+        solve_piecewise_linear(
+            ws.shift(base, np.zeros(n)), slopes, target, workspace=ws
+        )
+        # One NaN cell: the row keeps finite candidates, so both paths
+        # succeed — the workspace must resort the poisoned row (NaN
+        # fails the stable-order check) and still match cold exactly.
+        bad = base.copy()
+        bad[2, 3] = np.nan
+        before = ws.rows_resorted
+        lam_w = solve_piecewise_linear(
+            ws.shift(bad, np.zeros(n)), slopes, target, workspace=ws
+        )
+        np.testing.assert_array_equal(
+            lam_w, solve_piecewise_linear(bad, slopes, target)
+        )
+        assert ws.rows_resorted > before
+
+        # A fully-NaN row has no finite candidate: both paths raise the
+        # same error.
+        bad[2] = np.nan
+        with pytest.raises(ValueError) as warm_err:
+            solve_piecewise_linear(
+                ws.shift(bad, np.zeros(n)), slopes, target, workspace=ws
+            )
+        with pytest.raises(ValueError) as cold_err:
+            solve_piecewise_linear(bad, slopes, target)
+        assert str(warm_err.value) == str(cold_err.value)

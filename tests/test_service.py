@@ -384,3 +384,82 @@ class TestWire:
     def test_request_without_problem_rejected(self):
         with pytest.raises(ValueError, match="problem"):
             request_from_jsonable({"id": "x"})
+
+
+class TestServiceWorkspaces:
+    """Persistent sweep workspaces and the warm-start perm round-trip."""
+
+    class _WorkspaceKernel:
+        """In-process kernel advertising workspace capability."""
+
+        accepts_workspace = True
+
+        def __init__(self):
+            from repro.equilibration.exact import solve_piecewise_linear
+
+            self._solve = solve_piecewise_linear
+
+        def __call__(self, b, s, t, a=None, c=None, timeout=None,
+                     workspace=None):
+            return self._solve(b, s, t, a=a, c=c, workspace=workspace)
+
+    def test_perm_round_trip_and_counters(self, rng):
+        service = SolveService(kernel=self._WorkspaceKernel(), batching=False)
+        base = random_fixed_problem(rng, 9, 7)
+        first = service.solve(SolveRequest(problem=base, batchable=False))
+        assert first.ok
+        # The converged solve's final permutations landed in the cache.
+        fp = fingerprint(base)
+        entry = service.cache.lookup_with_perms(fp, totals_vector(base))
+        assert entry is not None and entry[2] is not None
+
+        # A bucket-mate request is seeded from those permutations and
+        # the service-level counters report the reuse.
+        second = service.solve(
+            SolveRequest(problem=perturbed(base, rng), batchable=False)
+        )
+        assert second.ok and second.warm_started
+        stats = service.stats()
+        assert stats.sort_sweeps > 0
+        assert stats.sort_rows_reused > 0
+        assert stats.sort_reuse_rate > 0.0
+
+    def test_unaware_kernel_gets_no_workspaces(self, rng):
+        """A kernel without accepts_workspace never sees the kwarg and
+        the service reports zero sort sweeps."""
+        from repro.equilibration.exact import solve_piecewise_linear
+
+        def plain_kernel(b, s, t, a=None, c=None, timeout=None):
+            return solve_piecewise_linear(b, s, t, a=a, c=c)
+
+        service = SolveService(kernel=plain_kernel, batching=False)
+        base = random_fixed_problem(rng, 8, 6)
+        assert service.solve(
+            SolveRequest(problem=base, batchable=False)
+        ).ok
+        assert service.stats().sort_sweeps == 0
+
+    def test_batch_workspaces_bit_identical_to_serial(self, rng):
+        """Fused batches over a retained k-stacked pair match the
+        serial cold path member by member."""
+        service = SolveService(kernel=self._WorkspaceKernel(), batching=True,
+                               warm_start=False)
+        problems = [random_fixed_problem(rng, 8, 6) for _ in range(3)]
+        reqs = [SolveRequest(problem=p) for p in problems]
+        for req in reqs:
+            service.submit(req)
+        responses = {r.id: r for r in service.drain()}
+        assert all(r.ok for r in responses.values())
+        assert any(r.batched for r in responses.values())
+        from repro.service.batching import solve_batch
+
+        def cold_kernel(b, s, t, a=None, c=None):
+            from repro.equilibration.exact import solve_piecewise_linear
+
+            return solve_piecewise_linear(b, s, t, a=a, c=c)
+
+        serial = solve_batch(problems, kernel=cold_kernel)
+        for req, res in zip(reqs, serial):
+            resp = responses[req.id]
+            np.testing.assert_array_equal(resp.result.x, res.x)
+            np.testing.assert_array_equal(resp.result.mu, res.mu)
