@@ -27,7 +27,10 @@ Output schema (one JSON document, written to ``--out``)::
                 sort_reuse_rate}, ...],
       "allocations": [{kind, size, cold_peak_mb, warm_peak_mb}, ...],
       "service": {kind, size, requests, baseline_s, workspace_s,
-                  speedup, sort_reuse_rate}
+                  speedup, sort_reuse_rate},
+      "durability": {kind, size, requests, in_memory_s, admission_s,
+                     journal_s, journal_fsync_s, *_overhead_pct,
+                     journal_records, journal_mb}
     }
 
 ``--check-reuse`` exits 1 if any converging solo solve reports a zero
@@ -230,8 +233,8 @@ def _service_traffic(service: SolveService, problems) -> float:
     return time.perf_counter() - t0
 
 
-def bench_service(kind: str, n: int, requests: int) -> dict:
-    """Warm service traffic: bucket-mate requests over one structure."""
+def _bucket_stream(kind: str, n: int, requests: int) -> list:
+    """``requests`` bucket-mate problems over one structure."""
     mk, _ = KINDS[kind]
     base = mk(n)
     rng = np.random.default_rng(11)
@@ -261,6 +264,12 @@ def bench_service(kind: str, n: int, requests: int) -> dict:
                     alpha=base.alpha, mask=base.mask,
                 )
             )
+    return problems
+
+
+def bench_service(kind: str, n: int, requests: int) -> dict:
+    """Warm service traffic: bucket-mate requests over one structure."""
+    problems = _bucket_stream(kind, n, requests)
 
     baseline = SolveService(kernel=_NoWorkspaceKernel(), batching=False)
     baseline_s = _service_traffic(baseline, problems)
@@ -277,6 +286,56 @@ def bench_service(kind: str, n: int, requests: int) -> dict:
         "workspace_s": round(workspace_s, 4),
         "speedup": round(baseline_s / workspace_s, 3),
         "sort_reuse_rate": round(stats.sort_reuse_rate, 4),
+    }
+
+
+def bench_durability(kind: str, n: int, requests: int) -> dict:
+    """Durability/overload overhead on identical warm service traffic.
+
+    Four passes over the same bucket-mate stream: in-memory (no
+    durability features), admission-controlled (bounded queue, never
+    actually full — pure ``decide()`` overhead), journaled (write-ahead
+    log, OS-buffered), journaled + ``fsync=1`` (classic WAL
+    durability).  Overheads are reported relative to the in-memory
+    pass; the journal byte count shows what the durability bought.
+    """
+    import tempfile
+
+    problems = _bucket_stream(kind, n, requests)
+
+    def _pass(**kwargs) -> tuple[float, SolveService]:
+        service = SolveService(batching=False, **kwargs)
+        elapsed = _service_traffic(service, problems)
+        service.close()
+        return elapsed, service
+
+    in_memory_s, _ = _pass()
+    admission_s, _ = _pass(max_queue=4 * requests,
+                           admission_policy="reject-newest")
+    with tempfile.TemporaryDirectory() as tmp:
+        journal_path = pathlib.Path(tmp) / "bench.journal"
+        journal_s, journaled = _pass(journal=journal_path)
+        journal_bytes = journal_path.stat().st_size
+        records = journaled.stats().journal_records
+        fsync_path = pathlib.Path(tmp) / "bench-fsync.journal"
+        fsync_s, _ = _pass(journal=fsync_path, fsync=1)
+
+    def _pct(t: float) -> float:
+        return round(100.0 * (t - in_memory_s) / in_memory_s, 1)
+
+    return {
+        "kind": kind,
+        "size": n,
+        "requests": requests - 1,
+        "in_memory_s": round(in_memory_s, 4),
+        "admission_s": round(admission_s, 4),
+        "journal_s": round(journal_s, 4),
+        "journal_fsync_s": round(fsync_s, 4),
+        "admission_overhead_pct": _pct(admission_s),
+        "journal_overhead_pct": _pct(journal_s),
+        "journal_fsync_overhead_pct": _pct(fsync_s),
+        "journal_records": records,
+        "journal_mb": round(journal_bytes / 2**20, 2),
     }
 
 
@@ -299,6 +358,7 @@ def main(argv=None) -> int:
     parser.add_argument("--service-requests", type=int, default=13)
     parser.add_argument("--skip-service", action="store_true")
     parser.add_argument("--skip-alloc", action="store_true")
+    parser.add_argument("--skip-durability", action="store_true")
     parser.add_argument("--check-reuse", action="store_true",
                         help="exit 1 if a converging solve reports zero "
                              "sort-reuse (CI smoke guard)")
@@ -316,6 +376,7 @@ def main(argv=None) -> int:
         "solo": [],
         "allocations": [],
         "service": None,
+        "durability": None,
     }
 
     failures = []
@@ -355,6 +416,20 @@ def main(argv=None) -> int:
             f"workspace={row['workspace_s']:.3f}s  "
             f"speedup={row['speedup']:.2f}x  "
             f"reuse={row['sort_reuse_rate']:.3f}",
+            flush=True,
+        )
+
+    if not args.skip_durability:
+        n = args.service_size or (sizes[-2] if len(sizes) > 1 else sizes[0])
+        row = bench_durability("elastic", n, args.service_requests)
+        doc["durability"] = row
+        print(
+            f"durability elastic n={n}  {row['requests']} warm requests  "
+            f"in-memory={row['in_memory_s']:.3f}s  "
+            f"admission=+{row['admission_overhead_pct']}%  "
+            f"journal=+{row['journal_overhead_pct']}%  "
+            f"fsync=+{row['journal_fsync_overhead_pct']}%  "
+            f"({row['journal_records']} records, {row['journal_mb']} MiB)",
             flush=True,
         )
 

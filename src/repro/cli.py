@@ -23,6 +23,14 @@ Commands
     are micro-batched in windows (``--window``), fused by shape, and
     warm-started from previously-solved problems.
 
+    Durability (all opt-in): ``--journal`` write-ahead logs every
+    accepted request and every response; ``--recover`` replays a
+    journal's unanswered requests exactly once after a crash;
+    ``--snapshot`` persists the warm state across restarts;
+    ``--max-queue``/``--admission``/``--max-per-kind`` bound the queue
+    under an overload policy; SIGTERM/SIGINT drain gracefully under
+    ``--drain-deadline`` and exit 0.
+
 ``experiment``
     Regenerate one paper table/figure::
 
@@ -108,6 +116,42 @@ def build_parser() -> argparse.ArgumentParser:
                             "never retried (default 1)")
     serve.add_argument("--stats", action="store_true",
                        help="print the ServiceStats JSON to stderr on exit")
+    serve.add_argument("--journal",
+                       help="write-ahead journal path (JSONL): every "
+                            "accepted request is journaled before solving, "
+                            "every response before delivery, enabling "
+                            "crash-safe exactly-once replay via --recover")
+    serve.add_argument("--fsync", type=int, default=0,
+                       help="journal fsync interval: 0 never (flush only), "
+                            "1 every record, N every N records (default 0)")
+    serve.add_argument("--recover", action="store_true",
+                       help="on startup, replay unanswered requests from "
+                            "--journal (exactly once; answered ids keep "
+                            "their recorded responses) before reading new "
+                            "input")
+    serve.add_argument("--snapshot",
+                       help="warm-state sidecar path: warm-start cache "
+                            "(duals + sort permutations) and breaker state "
+                            "saved on exit, restored on start")
+    serve.add_argument("--max-queue", type=int, default=None,
+                       help="bound the request queue; excess handled per "
+                            "--admission (default: unbounded)")
+    serve.add_argument("--admission",
+                       choices=("block", "reject-newest", "shed-oldest"),
+                       default="reject-newest",
+                       help="overload policy at a full --max-queue: "
+                            "reject-newest answers error.kind=overloaded, "
+                            "shed-oldest evicts the stalest queued request, "
+                            "block applies backpressure (default "
+                            "reject-newest)")
+    serve.add_argument("--max-per-kind", type=int, default=None,
+                       help="fair-share bound on any one problem kind's "
+                            "queue slots")
+    serve.add_argument("--drain-deadline", type=float, default=30.0,
+                       help="graceful-shutdown budget in seconds: on "
+                            "SIGTERM/SIGINT stop admission, drain queued "
+                            "work up to this long, leave the rest "
+                            "journaled, exit 0 (default 30)")
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate a paper table/figure")
@@ -222,7 +266,9 @@ def _cmd_serve(args) -> int:
     import contextlib
     import json
     import pathlib
+    import signal
 
+    from repro.errors import ReproError
     from repro.service import SolveService
     from repro.service.wire import (
         RequestError,
@@ -231,56 +277,132 @@ def _cmd_serve(args) -> int:
         read_requests,
     )
 
-    with contextlib.ExitStack() as stack:
-        if args.input:
-            in_stream = stack.enter_context(pathlib.Path(args.input).open())
-        else:
-            in_stream = sys.stdin
-        if args.output:
-            out_stream = stack.enter_context(pathlib.Path(args.output).open("w"))
-        else:
-            out_stream = sys.stdout
+    class _GracefulShutdown(Exception):
+        """Raised by the signal handler to unwind into the drain path."""
 
-        any_error = False
-        any_nonconverged = False
+    def _handler(signum, frame):  # noqa: ARG001 — signal handler signature
+        raise _GracefulShutdown(signum)
 
-        def _flush(svc) -> None:
-            nonlocal any_error, any_nonconverged
-            for resp in svc.drain():
+    # SIGTERM/SIGINT trigger a graceful drain: admission stops, queued
+    # work is answered under --drain-deadline, the rest stays journaled
+    # for the next --recover, and the process exits 0.  Handlers only
+    # install on the main thread; elsewhere (tests calling main()
+    # in-thread) the flags still work, just without signal-driven drain.
+    restore: list[tuple[int, object]] = []
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            restore.append((sig, signal.signal(sig, _handler)))
+        except ValueError:
+            pass
+
+    any_error = False
+    any_nonconverged = False
+    graceful = False
+    try:
+        with contextlib.ExitStack() as stack:
+            if args.input:
+                in_stream = stack.enter_context(pathlib.Path(args.input).open())
+            else:
+                in_stream = sys.stdin
+            if args.output:
+                out_stream = stack.enter_context(
+                    pathlib.Path(args.output).open("w")
+                )
+            else:
+                out_stream = sys.stdout
+
+            def _write(resp) -> None:
+                nonlocal any_error, any_nonconverged
                 out_stream.write(
-                    dump_response(resp, include_matrix=not args.no_matrix) + "\n"
+                    dump_response(resp, include_matrix=not args.no_matrix)
+                    + "\n"
                 )
                 if not resp.ok:
                     any_error = True
                 elif not resp.converged:
                     any_nonconverged = True
-            out_stream.flush()
 
-        svc = stack.enter_context(SolveService(
-            workers=args.workers,
-            backend=args.backend,
-            batching=not args.no_batch,
-            warm_start=not args.no_warm_start,
-            max_batch=max(args.window, 1),
-            default_deadline_s=args.deadline,
-            default_retries=max(args.retries, 0),
-        ))
-        for request in read_requests(in_stream):
-            if isinstance(request, RequestError):
-                # A malformed line answers in stream position with a
-                # structured invalid-request error; the session lives on.
-                _flush(svc)  # keep responses in request order
-                out_stream.write(error_line(request) + "\n")
+            def _flush(svc) -> None:
+                # collect() carries responses produced outside drain():
+                # shed-oldest victims and block-policy backpressure
+                # drains; merge them back into submission order.
+                for resp in sorted(
+                    svc.collect() + svc.drain(),
+                    key=lambda r: r.submitted_at,
+                ):
+                    _write(resp)
                 out_stream.flush()
-                any_error = True
-                continue
-            svc.submit(request)
-            if svc.pending >= max(args.window, 1):
-                _flush(svc)
-        _flush(svc)
-        if args.stats:
-            print(json.dumps(svc.stats().as_dict()), file=sys.stderr)
 
+            kwargs = dict(
+                workers=args.workers,
+                backend=args.backend,
+                batching=not args.no_batch,
+                warm_start=not args.no_warm_start,
+                max_batch=max(args.window, 1),
+                default_deadline_s=args.deadline,
+                default_retries=max(args.retries, 0),
+                fsync=max(args.fsync, 0),
+                snapshot_path=args.snapshot,
+                max_queue=args.max_queue,
+                admission_policy=args.admission,
+                max_per_kind=args.max_per_kind,
+            )
+            if args.recover:
+                if not args.journal:
+                    raise SystemExit("--recover requires --journal")
+                svc = SolveService.recover(args.journal, **kwargs)
+            else:
+                svc = SolveService(journal=args.journal, **kwargs)
+            stack.enter_context(svc)
+            try:
+                if args.recover and svc.pending:
+                    # Answer the journal's unanswered requests (exactly
+                    # once) before reading any new input.
+                    _flush(svc)
+                for request in read_requests(in_stream):
+                    if isinstance(request, RequestError):
+                        # A malformed line answers in stream position with
+                        # a structured invalid-request error; the session
+                        # lives on.
+                        _flush(svc)  # keep responses in request order
+                        out_stream.write(error_line(request) + "\n")
+                        out_stream.flush()
+                        any_error = True
+                        continue
+                    try:
+                        svc.submit(request)
+                    except ReproError as exc:
+                        # Admission refusals (overloaded,
+                        # duplicate-request) answer in stream position
+                        # with the taxonomy tag; the session lives on.
+                        _flush(svc)
+                        out_stream.write(json.dumps({
+                            "id": request.id,
+                            "status": "error",
+                            "error": {"kind": exc.kind, "message": str(exc)},
+                        }, separators=(",", ":")) + "\n")
+                        out_stream.flush()
+                        any_error = True
+                        continue
+                    if svc.pending >= max(args.window, 1):
+                        _flush(svc)
+                _flush(svc)
+            except _GracefulShutdown:
+                graceful = True
+                drained = svc.shutdown(deadline_s=args.drain_deadline)
+                for resp in sorted(
+                    svc.collect() + drained, key=lambda r: r.submitted_at
+                ):
+                    _write(resp)
+                out_stream.flush()
+            if args.stats:
+                print(json.dumps(svc.stats().as_dict()), file=sys.stderr)
+    finally:
+        for sig, old in restore:
+            signal.signal(sig, old)
+
+    if graceful:
+        return 0
     if any_error:
         return 1
     return 2 if any_nonconverged else 0

@@ -24,6 +24,8 @@ WorkerCrashError            worker-crash         yes — transient
 DeadlineExceededError       deadline-exceeded    no — budget consumed
 InvalidRequestError         invalid-request      no — fix the payload
 CircuitOpenError            circuit-open         later — breaker cooloff
+OverloadedError             overloaded           later — shed load first
+DuplicateRequestError       duplicate-request    no — already accepted
 ==========================  ===================  =======================
 """
 
@@ -38,6 +40,8 @@ __all__ = [
     "DeadlineExceededError",
     "InvalidRequestError",
     "CircuitOpenError",
+    "OverloadedError",
+    "DuplicateRequestError",
     "error_kind",
     "is_transient",
 ]
@@ -105,6 +109,23 @@ class CircuitOpenError(ReproError, RuntimeError):
     the worker pool.  Resubmit after the cooldown."""
 
     kind = "circuit-open"
+
+
+class OverloadedError(ReproError, RuntimeError):
+    """Admission control refused the request: the bounded queue (or the
+    request kind's fair share of it) is full, or the service is
+    draining for shutdown.  Deterministic *now* but not forever — back
+    off and resubmit once the backlog clears."""
+
+    kind = "overloaded"
+
+
+class DuplicateRequestError(ReproError, ValueError):
+    """A request with this ``request_id`` was already accepted into the
+    write-ahead journal.  The original will be answered exactly once
+    (or already was); resubmitting cannot produce a second answer."""
+
+    kind = "duplicate-request"
 
 
 def error_kind(exc: BaseException) -> str:

@@ -20,7 +20,13 @@ per problem:
   ``process -> thread -> serial`` degradation ladder, a kind+shape
   circuit breaker, and a deterministic fault-injection harness
   (:mod:`repro.service.faults`) that proves results stay bit-identical
-  under injected chaos.
+  under injected chaos;
+* a durability layer: a write-ahead journal
+  (:mod:`repro.service.journal`) giving crash-safe, exactly-once
+  request replay via :meth:`SolveService.recover`, warm-state
+  snapshots (cache duals + sort permutations + breaker state),
+  admission control with bounded queues and overload policies
+  (:mod:`repro.service.admission`), and graceful shutdown drains.
 
 Drive it from Python::
 
@@ -35,9 +41,17 @@ Drive it from Python::
 or end-to-end over JSONL: ``python -m repro serve --jsonl``.
 """
 
+from repro.service.admission import AdmissionConfig, AdmissionController
 from repro.service.batching import solve_batch, solve_fixed_batch
 from repro.service.cache import WarmStartCache
-from repro.service.faults import FaultPlan, FaultyKernel
+from repro.service.faults import (
+    CRASH_POINTS,
+    CrashPlan,
+    FaultPlan,
+    FaultyKernel,
+    SimulatedCrash,
+)
+from repro.service.journal import Journal, derive_request_id
 from repro.service.metrics import ServiceStats
 from repro.service.request import SolveRequest, SolveResponse
 from repro.service.service import SolveService
@@ -48,8 +62,15 @@ __all__ = [
     "SolveResponse",
     "ServiceStats",
     "WarmStartCache",
+    "Journal",
+    "derive_request_id",
+    "AdmissionConfig",
+    "AdmissionController",
     "FaultPlan",
     "FaultyKernel",
+    "CrashPlan",
+    "SimulatedCrash",
+    "CRASH_POINTS",
     "solve_batch",
     "solve_fixed_batch",
 ]

@@ -1,0 +1,106 @@
+"""Admission control: bounded queues, overload policies, fair shares.
+
+An unprotected service accepts unbounded work: a burst (or a
+fire-and-forget client that never collects) grows the queue, the
+completed-response buffer and the resident set without limit, and the
+tail latency of *everything* degrades together.  Admission control
+decides — **before** a request is accepted or journaled — whether the
+queue has room for it, and applies one of three policies when it does
+not:
+
+``reject-newest``
+    Refuse the incoming request (:class:`~repro.errors.OverloadedError`
+    with ``error.kind: "overloaded"``).  The cheapest policy and the
+    default: the client knows immediately and can back off.
+
+``shed-oldest``
+    Accept the incoming request and evict the *oldest* queued one,
+    which is answered with a structured overloaded error.  Prefers
+    fresh work — right for streams where stale requests lose value
+    (rolling revisions: the newest totals supersede the queued ones).
+
+``block``
+    Apply backpressure: the service synchronously drains the queue to
+    make room, then accepts.  Converts overload into latency instead
+    of errors — right for batch pipelines that must not lose work.
+
+A ``max_per_kind`` fair share additionally bounds how many queue slots
+one problem kind may hold, so a flood of (say) SAM rebalances cannot
+starve the fixed-totals traffic sharing the service; the policy then
+applies *within* the offending kind (the shed victim is the oldest
+request of that kind, not of the whole queue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ADMISSION_POLICIES", "AdmissionConfig", "AdmissionController"]
+
+ADMISSION_POLICIES = ("block", "reject-newest", "shed-oldest")
+
+# Decision actions handed back to the service.
+ACCEPT = "accept"
+BLOCK = "block"
+REJECT = "reject"
+SHED = "shed"
+
+_POLICY_ACTION = {
+    "block": BLOCK,
+    "reject-newest": REJECT,
+    "shed-oldest": SHED,
+}
+
+
+@dataclass
+class AdmissionConfig:
+    """Limits and policy of one service's admission controller.
+
+    ``max_queue`` bounds the whole queue, ``max_per_kind`` bounds any
+    single kind's share of it; either may be ``None`` (unlimited).
+    ``policy`` picks what happens at a full limit.
+    """
+
+    max_queue: int | None = None
+    policy: str = "reject-newest"
+    max_per_kind: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.policy not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission policy {self.policy!r}; "
+                f"expected one of {ADMISSION_POLICIES}"
+            )
+        if self.max_queue is not None and self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if self.max_per_kind is not None and self.max_per_kind < 1:
+            raise ValueError("max_per_kind must be >= 1")
+
+    @property
+    def bounded(self) -> bool:
+        return self.max_queue is not None or self.max_per_kind is not None
+
+
+class AdmissionController:
+    """Stateless decision function over the config.
+
+    :meth:`decide` returns ``(action, scope)``: ``action`` is one of
+    ``"accept" | "block" | "reject" | "shed"``, ``scope`` names the
+    limit that fired (``"kind"`` or ``"queue"``, ``None`` on accept) so
+    the service knows *which* population to shed from.
+    """
+
+    def __init__(self, config: AdmissionConfig) -> None:
+        self.config = config
+
+    def decide(
+        self, kind: str, queue_len: int, kind_count: int
+    ) -> tuple[str, str | None]:
+        cfg = self.config
+        # The kind limit is checked first: a kind at its fair share is
+        # over-represented even when the queue as a whole has room.
+        if cfg.max_per_kind is not None and kind_count >= cfg.max_per_kind:
+            return _POLICY_ACTION[cfg.policy], "kind"
+        if cfg.max_queue is not None and queue_len >= cfg.max_queue:
+            return _POLICY_ACTION[cfg.policy], "queue"
+        return ACCEPT, None

@@ -137,3 +137,39 @@ class WarmStartCache:
     def clear(self) -> None:
         self._entries.clear()
         self._buckets.clear()
+
+    # -- snapshot / restore --------------------------------------------------
+
+    def state(self) -> list[dict]:
+        """Picklable dump of every entry, least recently used first.
+
+        The order *is* the LRU order, so a restored cache evicts in the
+        same sequence the original would have.  Arrays are copied — the
+        state owns its memory and survives later cache mutation.
+        """
+        return [
+            {
+                "key": key,
+                "bucket": entry.bucket,
+                "totals": entry.totals.copy(),
+                "mu": entry.mu.copy(),
+                "perms": entry.perms,
+            }
+            for key, entry in self._entries.items()
+        ]
+
+    def restore(self, state: list[dict]) -> None:
+        """Load a :meth:`state` dump (clearing current contents first).
+
+        Beyond-``maxsize`` states load the *most recently used* tail —
+        exactly what an LRU holding them live would have kept.
+        """
+        self.clear()
+        for item in state[-self.maxsize:]:
+            self._entries[item["key"]] = _Entry(
+                bucket=item["bucket"],
+                totals=np.asarray(item["totals"], dtype=np.float64),
+                mu=np.asarray(item["mu"], dtype=np.float64),
+                perms=item.get("perms"),
+            )
+            self._buckets.setdefault(item["bucket"], set()).add(item["key"])

@@ -27,6 +27,28 @@ put in a regression test.  The harness proves the headline guarantee:
 with a seeded plan raising/killing in >=20% of dispatches, every
 service response stays bit-identical to the fault-free serial solve
 (see ``tests/test_fault_injection.py``).
+
+Crash points — :class:`CrashPlan` — complement the kernel-level chaos
+with *process-death* chaos at the durability layer's three critical
+windows (see :mod:`repro.service.journal`):
+
+``kill-after-journal``
+    Die right after a request is journaled, before it is solved — the
+    request must be replayed on recovery.
+``kill-before-response``
+    Die after a solve completes but before its response is journaled —
+    the work is lost and must be re-done, yet the answer must come out
+    identical and single.
+``kill-mid-drain``
+    Die between requests of a graceful shutdown drain — the drained
+    prefix is answered, the rest must survive as journaled pending.
+
+A crash plan raises :class:`SimulatedCrash` (a ``BaseException``, so no
+fault-isolating ``except Exception`` in the service can swallow it) at
+the armed point; the test then abandons the service object exactly as
+``SIGKILL`` would abandon the process — the journal file on disk is all
+that survives — and asserts that ``SolveService.recover`` restores
+exactly-once semantics (``tests/test_durability.py``).
 """
 
 from __future__ import annotations
@@ -41,7 +63,62 @@ import numpy as np
 
 from repro.errors import WorkerCrashError
 
-__all__ = ["FaultPlan", "FaultyKernel"]
+__all__ = [
+    "FaultPlan",
+    "FaultyKernel",
+    "CrashPlan",
+    "SimulatedCrash",
+    "CRASH_POINTS",
+]
+
+CRASH_POINTS = (
+    "kill-after-journal",
+    "kill-before-response",
+    "kill-mid-drain",
+)
+
+
+class SimulatedCrash(BaseException):
+    """Stand-in for ``SIGKILL``: unwinds through *every* ``except
+    Exception`` fault-isolation layer, exactly as sudden process death
+    would bypass them.  Only the chaos harness raises or catches it."""
+
+
+@dataclass
+class CrashPlan:
+    """Deterministic process-death schedule for the durability layer.
+
+    Fires :class:`SimulatedCrash` on the ``(after + 1)``-th time the
+    service passes the configured crash ``point`` (see
+    :data:`CRASH_POINTS`); fires at most once, so a recovered service
+    carrying the same plan object is not re-killed.
+    """
+
+    point: str
+    after: int = 0
+    fired: bool = False
+    hits: int = 0
+
+    def __post_init__(self) -> None:
+        if self.point not in CRASH_POINTS:
+            raise ValueError(
+                f"unknown crash point {self.point!r}; "
+                f"expected one of {CRASH_POINTS}"
+            )
+        if self.after < 0:
+            raise ValueError("after must be >= 0")
+
+    def observe(self, point: str) -> None:
+        """Called by the service at each crash point; raises when armed."""
+        if self.fired or point != self.point:
+            return
+        self.hits += 1
+        if self.hits > self.after:
+            self.fired = True
+            raise SimulatedCrash(
+                f"injected process death at {self.point} "
+                f"(occurrence {self.hits})"
+            )
 
 
 @dataclass

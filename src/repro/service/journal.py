@@ -1,0 +1,324 @@
+"""Write-ahead journal: crash-safe, exactly-once request accounting.
+
+The durability contract of :class:`~repro.service.service.SolveService`
+rests on one invariant: **a request is journaled before it is solved,
+and its response is journaled before it is delivered**.  The journal is
+a JSONL file of two record types::
+
+    {"type": "request",  "id": "r1", "seq": 0, "request":  {...}}
+    {"type": "response", "id": "r1", "response": {...}}
+
+so at any instant the set of *unanswered* requests (request record, no
+response record) is exactly the work a crashed service lost, and the
+set of answered ones carries the full responses — duals included — at
+bit-exact float fidelity (Python's ``json`` round-trips ``float64``
+through ``repr``, and non-finite values are written as the JSON
+extensions ``NaN``/``Infinity`` the stdlib parses back).
+
+Recovery (:func:`replay`, used by ``SolveService.recover``) returns the
+unanswered requests in their original submission order plus the
+recorded responses by id, enabling exactly-once semantics across
+process death: re-solve what was never answered, return what was
+answered verbatim, never answer anything twice.  A torn tail — the
+partial line a crash mid-``write`` leaves behind — is detected on open
+and truncated, so a restarted journal is always append-consistent.
+
+``fsync`` policy is an integer interval: ``0`` never fsyncs (the OS
+flushes; fastest, loses the tail on *machine* crash but never on mere
+process death since every record is flushed to the kernel), ``1``
+fsyncs every record (classic WAL durability), ``N`` every ``N``
+records.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+
+import numpy as np
+
+from repro.core.result import SolveResult
+from repro.errors import DuplicateRequestError
+from repro.service.request import SolveRequest, SolveResponse
+from repro.service.wire import request_from_jsonable, request_to_jsonable
+
+__all__ = [
+    "Journal",
+    "replay",
+    "derive_request_id",
+    "response_to_record",
+    "response_from_record",
+]
+
+
+def derive_request_id(request: SolveRequest, seq: int) -> str:
+    """Stable id for a request the client did not name.
+
+    The payload digest makes the id content-addressed (a resubmitted
+    identical payload is *visible* as such in the journal) while the
+    journal-global ``seq`` suffix keeps legitimately repeated payloads
+    distinct — dedup is only *enforced* for client-supplied ids, which
+    are the ones a retrying client reuses on purpose.
+    """
+    payload = json.dumps(request_to_jsonable(request), sort_keys=True)
+    digest = hashlib.sha1(payload.encode()).hexdigest()[:12]
+    return f"{digest}-{seq}"
+
+
+def _maybe_list(arr) -> list | None:
+    return None if arr is None else np.asarray(arr).tolist()
+
+
+def _maybe_array(obj, ndmin: int = 1) -> np.ndarray | None:
+    return None if obj is None else np.array(obj, dtype=np.float64, ndmin=ndmin)
+
+
+def _result_to_record(result: SolveResult) -> dict:
+    return {
+        "algorithm": result.algorithm,
+        "converged": bool(result.converged),
+        "iterations": int(result.iterations),
+        "inner_iterations": int(result.inner_iterations),
+        "residual": float(result.residual),
+        "objective": float(result.objective),
+        "elapsed": float(result.elapsed),
+        "x": _maybe_list(result.x),
+        "s": _maybe_list(result.s),
+        "d": _maybe_list(result.d),
+        "lam": _maybe_list(result.lam),
+        "mu": _maybe_list(result.mu),
+    }
+
+
+def _result_from_record(rec: dict) -> SolveResult:
+    return SolveResult(
+        x=_maybe_array(rec["x"], ndmin=2),
+        s=_maybe_array(rec["s"]),
+        d=_maybe_array(rec["d"]),
+        lam=_maybe_array(rec["lam"]),
+        mu=_maybe_array(rec["mu"]),
+        converged=rec["converged"],
+        iterations=rec["iterations"],
+        inner_iterations=rec.get("inner_iterations", 0),
+        residual=rec["residual"],
+        objective=rec["objective"],
+        elapsed=rec["elapsed"],
+        algorithm=rec["algorithm"],
+    )
+
+
+def response_to_record(response: SolveResponse) -> dict:
+    """Full-fidelity response encoding (duals included, floats exact).
+
+    Unlike the wire codec (:func:`repro.service.wire
+    .response_to_jsonable`) nothing is rounded or nulled: the journal
+    must reproduce the response *bit-identically* on replay.
+    """
+    rec: dict = {
+        "id": response.id,
+        "kind": response.kind,
+        "elapsed": response.elapsed,
+        "warm_started": response.warm_started,
+        "cache_exact": response.cache_exact,
+        "batched": response.batched,
+        "retries": response.retries,
+        "submitted_at": response.submitted_at,
+    }
+    if response.result is not None:
+        rec["result"] = _result_to_record(response.result)
+    if response.error is not None:
+        rec["error"] = response.error
+        rec["error_kind"] = response.error_kind
+    return rec
+
+
+def response_from_record(rec: dict) -> SolveResponse:
+    """Inverse of :func:`response_to_record`."""
+    return SolveResponse(
+        id=rec["id"],
+        result=(
+            _result_from_record(rec["result"]) if "result" in rec else None
+        ),
+        error=rec.get("error"),
+        error_kind=rec.get("error_kind"),
+        kind=rec.get("kind", ""),
+        elapsed=rec.get("elapsed", 0.0),
+        warm_started=rec.get("warm_started", False),
+        cache_exact=rec.get("cache_exact", False),
+        batched=rec.get("batched", False),
+        retries=rec.get("retries", 0),
+        submitted_at=rec.get("submitted_at", 0),
+    )
+
+
+def _scan(path: pathlib.Path):
+    """Yield ``(record, end_offset)`` for every intact record.
+
+    Stops (without raising) at the first torn or undecodable line — by
+    construction only the *last* line can be torn, so everything before
+    a decode failure is trusted and everything from it on is garbage a
+    crash left behind.
+    """
+    offset = 0
+    with path.open("rb") as fh:
+        for raw in fh:
+            end = offset + len(raw)
+            if not raw.endswith(b"\n"):
+                return  # torn tail: the crash interrupted this write
+            try:
+                obj = json.loads(raw)
+            except json.JSONDecodeError:
+                return
+            if not isinstance(obj, dict) or "type" not in obj:
+                return
+            yield obj, end
+            offset = end
+
+
+class Journal:
+    """Append-only write-ahead log of requests and responses.
+
+    Opening an existing path replays its index (which ids are pending
+    vs answered, how many request records exist) and truncates any torn
+    tail, so the same ``Journal`` object serves both a fresh service
+    and a restarted one.
+
+    Parameters
+    ----------
+    path:
+        JSONL file; created (with parents) when missing.
+    fsync:
+        ``0`` = never fsync (flush only), ``1`` = fsync every record,
+        ``N`` = fsync every ``N`` records.
+    """
+
+    def __init__(self, path, fsync: int = 0) -> None:
+        if fsync < 0:
+            raise ValueError("fsync must be >= 0")
+        self.path = pathlib.Path(path)
+        self.fsync = int(fsync)
+        # id -> answered?  (False = request journaled, response pending)
+        self._seen: dict[str, bool] = {}
+        self.request_records = 0  # total request records ever journaled
+        self.appended = 0         # records appended by *this* process
+        self._unsynced = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        good_end = 0
+        if self.path.exists():
+            for obj, end in _scan(self.path):
+                good_end = end
+                rid = obj.get("id")
+                if obj["type"] == "request":
+                    self._seen[rid] = False
+                    self.request_records += 1
+                elif obj["type"] == "response":
+                    self._seen[rid] = True
+            if good_end < self.path.stat().st_size:
+                with self.path.open("rb+") as fh:
+                    fh.truncate(good_end)
+        self._fh = self.path.open("a", encoding="utf-8")
+
+    # -- index ---------------------------------------------------------------
+
+    def __contains__(self, request_id: str) -> bool:
+        return request_id in self._seen
+
+    def answered(self, request_id: str) -> bool:
+        return self._seen.get(request_id) is True
+
+    def pending_ids(self) -> list[str]:
+        """Ids journaled as requests but never answered."""
+        return [rid for rid, done in self._seen.items() if not done]
+
+    # -- appends -------------------------------------------------------------
+
+    def append_request(self, request: SolveRequest) -> None:
+        """Journal an accepted request; must precede its solve.
+
+        Raises :class:`~repro.errors.DuplicateRequestError` when the id
+        was already accepted — the caller never gets to double-journal.
+        """
+        if request.id is None:
+            raise ValueError("journaled requests need an id")
+        if request.id in self._seen:
+            raise DuplicateRequestError(
+                f"request id {request.id!r} already journaled "
+                f"({'answered' if self._seen[request.id] else 'pending'})"
+            )
+        self._write({
+            "type": "request",
+            "id": request.id,
+            "seq": getattr(request, "_order", self.request_records),
+            "request": request_to_jsonable(request),
+        })
+        self._seen[request.id] = False
+        self.request_records += 1
+
+    def append_response(self, response: SolveResponse) -> None:
+        """Journal a response; must precede its delivery."""
+        self._write({
+            "type": "response",
+            "id": response.id,
+            "response": response_to_record(response),
+        })
+        self._seen[response.id] = True
+
+    def _write(self, obj: dict) -> None:
+        self._fh.write(json.dumps(obj, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        self.appended += 1
+        self._unsynced += 1
+        if self.fsync and self._unsynced >= self.fsync:
+            self.sync()
+
+    def sync(self) -> None:
+        """Force the appended records onto stable storage."""
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._unsynced = 0
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            if self.fsync:
+                os.fsync(self._fh.fileno())
+            self._fh.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def replay(path) -> tuple[list[SolveRequest], dict[str, SolveResponse]]:
+    """Read a journal into recovery inputs.
+
+    Returns ``(unanswered, recorded)``: the requests that were accepted
+    but never answered (original submission order preserved via their
+    journaled ``seq``, re-attached as ``_order``), and the recorded
+    responses of answered ids, decoded verbatim.  A request answered
+    *after* a duplicate-looking crash replay appears only once — the
+    index keeps the latest state per id.
+    """
+    path = pathlib.Path(path)
+    requests: dict[str, SolveRequest] = {}
+    responses: dict[str, SolveResponse] = {}
+    if not path.exists():
+        return [], {}
+    for obj, _ in _scan(path):
+        rid = obj.get("id")
+        if obj["type"] == "request":
+            request = request_from_jsonable(obj["request"])
+            request.id = rid
+            request._order = obj.get("seq", len(requests))
+            requests[rid] = request
+        elif obj["type"] == "response":
+            responses[rid] = response_from_record(obj["response"])
+    unanswered = [
+        requests[rid] for rid in requests if rid not in responses
+    ]
+    unanswered.sort(key=lambda r: r._order)
+    return unanswered, responses

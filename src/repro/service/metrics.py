@@ -8,7 +8,7 @@ for the JSONL stats line of ``python -m repro serve``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 
 __all__ = ["ServiceStats"]
 
@@ -37,6 +37,20 @@ class ServiceStats:
     kernel's per-block workspaces *and* the service-owned workspace
     pairs (disjoint sources: a kernel never counts a caller-provided
     workspace).  :attr:`sort_reuse_rate` is their ratio.
+
+    The durability/overload block: ``overload_rejections`` counts
+    requests refused at admission (``reject-newest`` or a draining
+    service), ``overload_sheds`` counts queued requests evicted by
+    ``shed-oldest``, ``admission_blocks`` counts backpressure drains
+    the ``block`` policy forced, ``duplicate_rejections`` counts
+    resubmissions of an already-journaled id, ``completed_evictions``
+    counts responses dropped from the bounded completed buffer,
+    ``journal_records`` mirrors the write-ahead journal's appended
+    record count, ``journal_replayed`` / ``journal_recovered`` count
+    recovery's re-enqueued unanswered requests and verbatim-returned
+    recorded responses, ``snapshots_written`` counts warm-state sidecar
+    writes, and ``drained_on_shutdown`` counts requests answered during
+    a graceful drain.
     """
 
     requests: int = 0
@@ -66,6 +80,16 @@ class ServiceStats:
     sort_sweeps: int = 0
     sort_rows_reused: int = 0
     sort_rows_resorted: int = 0
+    overload_rejections: int = 0
+    overload_sheds: int = 0
+    admission_blocks: int = 0
+    duplicate_rejections: int = 0
+    completed_evictions: int = 0
+    journal_records: int = 0
+    journal_replayed: int = 0
+    journal_recovered: int = 0
+    snapshots_written: int = 0
+    drained_on_shutdown: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -102,47 +126,34 @@ class ServiceStats:
         )
 
     def snapshot(self) -> "ServiceStats":
-        """Independent copy (safe to keep across further service work)."""
-        return replace(
-            self,
-            per_kind=dict(self.per_kind),
-            batches_by_kind=dict(self.batches_by_kind),
-            batched_requests_by_kind=dict(self.batched_requests_by_kind),
-            errors_by_kind=dict(self.errors_by_kind),
-        )
+        """Independent copy (safe to keep across further service work).
+
+        Field-driven so a newly added counter can never be shared by
+        reference or dropped: every dict field is shallow-copied,
+        everything else rides through ``dataclasses.replace``.
+        """
+        overrides = {
+            f.name: dict(getattr(self, f.name))
+            for f in fields(self)
+            if isinstance(getattr(self, f.name), dict)
+        }
+        return replace(self, **overrides)
 
     def as_dict(self) -> dict:
-        """Flat JSON-ready view including the derived rates."""
-        return {
-            "requests": self.requests,
-            "completed": self.completed,
-            "errors": self.errors,
-            "batches": self.batches,
-            "batched_requests": self.batched_requests,
-            "batch_fallbacks": self.batch_fallbacks,
-            "batches_by_kind": dict(self.batches_by_kind),
-            "batched_requests_by_kind": dict(self.batched_requests_by_kind),
-            "cache_hits": self.cache_hits,
-            "cache_exact_hits": self.cache_exact_hits,
-            "cache_misses": self.cache_misses,
-            "cache_hit_rate": round(self.hit_rate, 6),
-            "cache_size": self.cache_size,
-            "queue_depth": self.queue_depth,
-            "total_solve_time": round(self.total_solve_time, 6),
-            "mean_solve_time": round(self.mean_solve_time, 6),
-            "total_iterations": self.total_iterations,
-            "mean_iterations": round(self.mean_iterations, 3),
-            "per_kind": dict(self.per_kind),
-            "retries": self.retries,
-            "deadline_exceeded": self.deadline_exceeded,
-            "worker_crashes": self.worker_crashes,
-            "pool_rebuilds": self.pool_rebuilds,
-            "degraded_dispatches": self.degraded_dispatches,
-            "breaker_trips": self.breaker_trips,
-            "breaker_rejections": self.breaker_rejections,
-            "errors_by_kind": dict(self.errors_by_kind),
-            "sort_sweeps": self.sort_sweeps,
-            "sort_rows_reused": self.sort_rows_reused,
-            "sort_rows_resorted": self.sort_rows_resorted,
-            "sort_reuse_rate": round(self.sort_reuse_rate, 6),
-        }
+        """Flat JSON-ready view including the derived rates.
+
+        Enumerates the dataclass fields rather than hand-listing keys,
+        so adding a counter automatically adds it to the JSONL stats
+        line — a field can go stale in the docs but never silently
+        vanish from the output (asserted by the round-trip test).
+        """
+        out: dict = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = dict(value) if isinstance(value, dict) else value
+        out["total_solve_time"] = round(self.total_solve_time, 6)
+        out["cache_hit_rate"] = round(self.hit_rate, 6)
+        out["mean_solve_time"] = round(self.mean_solve_time, 6)
+        out["mean_iterations"] = round(self.mean_iterations, 3)
+        out["sort_reuse_rate"] = round(self.sort_reuse_rate, 6)
+        return out

@@ -42,13 +42,39 @@ Delivery semantics: :meth:`SolveService.drain` returns the responses of
 *everything* it processed — including requests enqueued earlier via
 :meth:`SolveService.submit`.  :meth:`SolveService.solve` also drains the
 whole queue but returns only its own response; the responses of other
-pending requests are retained in a completed-response buffer that
-:meth:`SolveService.collect` hands out (in submission order), so no
-response is ever silently dropped.
+pending requests are retained in a *bounded* completed-response buffer
+that :meth:`SolveService.collect` hands out (in submission order) —
+nothing is silently dropped until the buffer cap forces the oldest out
+(counted in ``ServiceStats.completed_evictions``).
+
+Durability (all opt-in):
+
+* ``journal=`` attaches a write-ahead log
+  (:class:`~repro.service.journal.Journal`): every accepted request is
+  journaled *before* it can be solved, every response *before* it can
+  be delivered, so :meth:`SolveService.recover` can rebuild a crashed
+  service with exactly-once semantics — unanswered requests are
+  re-enqueued and re-solved once, answered ids return their recorded
+  responses verbatim;
+* ``snapshot_path=`` persists the warm state (warm-start cache with
+  its duals and sort permutations, circuit-breaker states) on
+  :meth:`close` — and every ``snapshot_every`` processed requests — so
+  a restarted service solves warm from sweep one;
+* ``max_queue`` / ``max_per_kind`` bound the queue under an admission
+  policy (:mod:`repro.service.admission`): ``reject-newest`` refuses
+  excess work with ``error.kind: "overloaded"``, ``shed-oldest``
+  evicts (and answers) the stalest queued request, ``block`` applies
+  synchronous backpressure;
+* :meth:`shutdown` drains gracefully: admission stops, queued work is
+  answered until the shutdown deadline, the remainder stays journaled
+  for the next :meth:`recover`.
 """
 
 from __future__ import annotations
 
+import os
+import pathlib
+import pickle
 import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass
@@ -63,19 +89,26 @@ from repro.core.problems import (
 from repro.errors import (
     CircuitOpenError,
     DeadlineExceededError,
+    DuplicateRequestError,
     NonConvergenceError,
+    OverloadedError,
     ReproError,
     error_kind,
     is_transient,
 )
 from repro.equilibration.workspace import SweepWorkspace
 from repro.parallel.executor import ParallelKernel
+from repro.service.admission import AdmissionConfig, AdmissionController
 from repro.service.batching import solve_batch
 from repro.service.cache import WarmStartCache
+from repro.service.journal import Journal, derive_request_id
+from repro.service.journal import replay as journal_replay
 from repro.service.metrics import ServiceStats
 from repro.service.request import SolveRequest, SolveResponse, resolve_stop
 
 __all__ = ["SolveService"]
+
+_SNAPSHOT_VERSION = 1
 
 _CORE_KINDS = (FixedTotalsProblem, ElasticProblem, SAMProblem, GeneralProblem)
 _BATCH_KINDS = (FixedTotalsProblem, ElasticProblem, SAMProblem)
@@ -165,6 +198,29 @@ class SolveService:
         Pre-built kernel to use instead of constructing one from
         ``workers``/``backend`` — the hook the fault-injection harness
         (:mod:`repro.service.faults`) uses to wrap the pool.
+    journal, fsync:
+        Write-ahead journal path (or a pre-built
+        :class:`~repro.service.journal.Journal`) and its fsync
+        interval (``0`` never, ``1`` every record, ``N`` every ``N``).
+        With a journal attached, requests without a client id get a
+        stable derived id, duplicate ids are refused
+        (``duplicate-request``), and :meth:`recover` can rebuild the
+        service after a crash.
+    snapshot_path, snapshot_every:
+        Warm-state sidecar: cache + breaker state written on
+        :meth:`close` (and every ``snapshot_every`` processed requests
+        when set).  An existing sidecar is restored at construction,
+        so a restarted service warm-starts from sweep one.
+    max_queue, admission_policy, max_per_kind:
+        Admission control (:mod:`repro.service.admission`): total and
+        per-kind queue bounds, and the overload policy (``block`` /
+        ``reject-newest`` / ``shed-oldest``) applied at a full bound.
+    completed_buffer:
+        Cap of the undelivered completed-response buffer; the oldest
+        response is evicted beyond it
+        (``ServiceStats.completed_evictions``), so fire-and-forget
+        traffic that never :meth:`collect`\\ s cannot grow memory
+        without bound.
     """
 
     def __init__(
@@ -180,6 +236,14 @@ class SolveService:
         breaker_threshold: int = 5,
         breaker_cooldown: int = 16,
         kernel=None,
+        journal: Journal | str | pathlib.Path | None = None,
+        fsync: int = 0,
+        snapshot_path: str | pathlib.Path | None = None,
+        snapshot_every: int | None = None,
+        max_queue: int | None = None,
+        admission_policy: str = "reject-newest",
+        max_per_kind: int | None = None,
+        completed_buffer: int = 1024,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -189,6 +253,10 @@ class SolveService:
             raise ValueError("breaker_threshold must be >= 1")
         if breaker_cooldown < 1:
             raise ValueError("breaker_cooldown must be >= 1")
+        if completed_buffer < 1:
+            raise ValueError("completed_buffer must be >= 1")
+        if snapshot_every is not None and snapshot_every < 1:
+            raise ValueError("snapshot_every must be >= 1")
         self.kernel = kernel if kernel is not None else ParallelKernel(
             workers=workers, backend=backend
         )
@@ -199,6 +267,7 @@ class SolveService:
         self.default_retries = default_retries
         self.breaker_threshold = breaker_threshold
         self.breaker_cooldown = breaker_cooldown
+        self.completed_buffer = completed_buffer
         self.cache = WarmStartCache(maxsize=cache_size)
         self._queue: deque[SolveRequest] = deque()
         self._completed: list[SolveResponse] = []
@@ -206,6 +275,28 @@ class SolveService:
         self._seq = 0
         self._processed = 0
         self._breakers: dict[tuple, _Breaker] = {}
+        self._accepting = True
+        if journal is None or isinstance(journal, Journal):
+            self._journal = journal
+        else:
+            self._journal = Journal(journal, fsync=fsync)
+        self._admission = AdmissionController(AdmissionConfig(
+            max_queue=max_queue,
+            policy=admission_policy,
+            max_per_kind=max_per_kind,
+        ))
+        self.snapshot_path = (
+            None if snapshot_path is None else pathlib.Path(snapshot_path)
+        )
+        self.snapshot_every = snapshot_every
+        # Responses recovered verbatim from the journal by recover().
+        self.recovered: dict[str, SolveResponse] = {}
+        # Fault-injection hook: a faults.CrashPlan (or any object with
+        # an observe(point) method) simulating process death at the
+        # durability layer's crash points.
+        self.crash_plan = None
+        if self.snapshot_path is not None and self.snapshot_path.exists():
+            self.restore_snapshot()
         # Long-lived SweepWorkspace pairs, keyed (kind tag, shape, k):
         # k=1 entries serve single dispatches, k>1 entries serve fused
         # batches of exactly k problems.  Bounded LRU — a pair is just
@@ -217,19 +308,120 @@ class SolveService:
     # -- job intake ---------------------------------------------------------
 
     def submit(self, request, **options) -> str:
-        """Enqueue a request (or bare problem) and return its id."""
+        """Enqueue a request (or bare problem) and return its id.
+
+        With admission control configured, a full queue is handled per
+        the policy *before* the request is accepted: ``reject-newest``
+        raises :class:`~repro.errors.OverloadedError` (the request is
+        never journaled), ``shed-oldest`` answers the stalest queued
+        request with an overloaded error and accepts this one,
+        ``block`` synchronously drains the queue to make room (the
+        drained responses land in the :meth:`collect` buffer).  A
+        draining service (:meth:`shutdown`) rejects everything.
+
+        With a journal attached, the request is journaled under its
+        stable id before it is enqueued — a crash after this point can
+        never lose it — and a duplicate id raises
+        :class:`~repro.errors.DuplicateRequestError`.
+        """
         if not isinstance(request, SolveRequest):
             request = SolveRequest(problem=request, **options)
         elif options:
             raise TypeError("options only apply when submitting a bare problem")
+        if not self._accepting:
+            self._stats.overload_rejections += 1
+            raise OverloadedError(
+                "service is draining for shutdown; no new work accepted"
+            )
+        if self._admission.config.bounded:
+            self._admit(request)
         if request.id is None:
-            request.id = f"req-{self._seq}"
+            # Journaled ids must stay unique across restarts; req-N
+            # would restart at req-0 and collide with journaled history.
+            if self._journal is not None:
+                request.id = derive_request_id(
+                    request, self._journal.request_records
+                )
+            else:
+                request.id = f"req-{self._seq}"
+        if self._journal is not None and request.id in self._journal:
+            self._stats.duplicate_rejections += 1
+            raise DuplicateRequestError(
+                f"request id {request.id!r} already "
+                f"{'answered' if self._journal.answered(request.id) else 'pending'}"
+                " in the journal; it will not be answered twice"
+            )
         request._order = self._seq  # type: ignore[attr-defined]
         self._seq += 1
+        if self._journal is not None:
+            self._journal.append_request(request)
+            self._maybe_crash("kill-after-journal")
         self._queue.append(request)
         self._stats.requests += 1
         self._stats.queue_depth = len(self._queue)
         return request.id
+
+    def _admit(self, request: SolveRequest) -> None:
+        """Apply the admission policy ahead of accepting ``request``."""
+        kind = self._kind_tag(request)
+        kind_count = sum(1 for r in self._queue if self._kind_tag(r) == kind)
+        action, scope = self._admission.decide(
+            kind, len(self._queue), kind_count
+        )
+        if action == "accept":
+            return
+        if action == "reject":
+            self._stats.overload_rejections += 1
+            raise OverloadedError(
+                f"bounded queue full ({scope} limit, policy "
+                "'reject-newest'); back off and resubmit"
+            )
+        if action == "block":
+            # Backpressure: drain synchronously; the caller pays the
+            # latency instead of losing work.
+            self._stats.admission_blocks += 1
+            for response in self.drain():
+                self._retain(response)
+            return
+        # shed-oldest: evict (and answer) the stalest queued request of
+        # the population whose limit fired.
+        self._shed(kind if scope == "kind" else None)
+
+    def _shed(self, kind: str | None) -> None:
+        victim = None
+        if kind is None and self._queue:
+            victim = self._queue.popleft()
+        else:
+            for queued in self._queue:
+                if self._kind_tag(queued) == kind:
+                    victim = queued
+                    self._queue.remove(queued)
+                    break
+        if victim is None:  # pragma: no cover — decide() implies non-empty
+            return
+        self._stats.overload_sheds += 1
+        response = SolveResponse(
+            id=victim.id, kind=self._kind_tag(victim),
+            submitted_at=getattr(victim, "_order", 0),
+        )
+        self._set_error(response, OverloadedError(
+            "request shed from the bounded queue (policy 'shed-oldest') "
+            "to admit newer work"
+        ))
+        self._stats.errors += 1
+        self._stats.count_error_kind(response.error_kind or "overloaded")
+        # The shed is an *answer*: journal it so recovery never replays
+        # (and re-solves) a request the service decided to drop.
+        self._journal_response(response)
+        self._retain(response)
+        self._stats.queue_depth = len(self._queue)
+
+    def _retain(self, response: SolveResponse) -> None:
+        """Buffer an undelivered response for :meth:`collect`, bounded."""
+        self._completed.append(response)
+        while len(self._completed) > self.completed_buffer:
+            self._completed.pop(0)
+            self._stats.completed_evictions += 1
 
     @property
     def pending(self) -> int:
@@ -248,7 +440,7 @@ class SolveService:
             if mine is None and response.id == rid:
                 mine = response
             else:
-                self._completed.append(response)
+                self._retain(response)
         if mine is None:  # pragma: no cover — drain always answers rid
             raise RuntimeError(f"no response produced for request {rid!r}")
         return mine
@@ -406,10 +598,22 @@ class SolveService:
             self._stats.cache_exact_hits += 1
         return (mu0, True, exact, fp, totals, perms)
 
+    def _maybe_crash(self, point: str) -> None:
+        """Fault-injection hook: simulate process death at ``point``."""
+        if self.crash_plan is not None:
+            self.crash_plan.observe(point)
+
+    def _journal_response(self, response: SolveResponse) -> None:
+        """Durability barrier: the response record precedes delivery."""
+        self._maybe_crash("kill-before-response")
+        if self._journal is not None:
+            self._journal.append_response(response)
+
     def _record(
         self, req: SolveRequest, response: SolveResponse, fp, totals,
         perms=None,
     ) -> None:
+        self._journal_response(response)
         self._processed += 1
         if response.ok:
             self._stats.completed += 1
@@ -434,6 +638,12 @@ class SolveService:
         # its output, not new evidence about the workload).
         if response.error_kind != CircuitOpenError.kind:
             self._breaker_report(self._group_key(req), ok=response.ok)
+        if (
+            self.snapshot_every is not None
+            and self.snapshot_path is not None
+            and self._processed % self.snapshot_every == 0
+        ):
+            self.save_snapshot()
 
     def _kind_tag(self, req: SolveRequest) -> str:
         if type(req.problem) in _CORE_KINDS:
@@ -654,11 +864,139 @@ class SolveService:
         self._stats.sort_sweeps = sweeps
         self._stats.sort_rows_reused = reused
         self._stats.sort_rows_resorted = resorted
+        if self._journal is not None:
+            self._stats.journal_records = self._journal.appended
         return self._stats.snapshot()
 
+    # -- durability ----------------------------------------------------------
+
+    @property
+    def journal(self) -> Journal | None:
+        return self._journal
+
+    def save_snapshot(self, path=None) -> pathlib.Path:
+        """Write the warm state (cache duals + sort permutations,
+        breaker states) to the sidecar file, atomically (tmp +
+        ``os.replace``), fsynced — a crash mid-write leaves the
+        previous snapshot intact."""
+        path = pathlib.Path(path if path is not None else self.snapshot_path)
+        breakers = [
+            (
+                key,
+                b.failures,
+                # open_until is a processed-counter tick; persist the
+                # *remaining* cooldown so it survives the counter reset.
+                None if b.open_until is None
+                else max(0, b.open_until - self._processed),
+                b.half_open,
+            )
+            for key, b in self._breakers.items()
+        ]
+        state = {
+            "version": _SNAPSHOT_VERSION,
+            "cache": self.cache.state(),
+            "breakers": breakers,
+        }
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        with tmp.open("wb") as fh:
+            pickle.dump(state, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        self._stats.snapshots_written += 1
+        return path
+
+    def restore_snapshot(self, path=None) -> bool:
+        """Load a :meth:`save_snapshot` sidecar; ``False`` when absent
+        or from an unknown snapshot version (never an exception — a
+        stale sidecar must not stop a recovery)."""
+        path = pathlib.Path(path if path is not None else self.snapshot_path)
+        if not path.exists():
+            return False
+        with path.open("rb") as fh:
+            state = pickle.load(fh)
+        if state.get("version") != _SNAPSHOT_VERSION:
+            return False
+        self.cache.restore(state["cache"])
+        self._breakers = {
+            key: _Breaker(
+                failures=failures,
+                open_until=(
+                    None if remaining is None else self._processed + remaining
+                ),
+                half_open=half_open,
+            )
+            for key, failures, remaining, half_open in state["breakers"]
+        }
+        self._stats.cache_size = len(self.cache)
+        return True
+
+    @classmethod
+    def recover(cls, journal_path, **kwargs) -> "SolveService":
+        """Rebuild a service from its write-ahead journal after a crash.
+
+        Unanswered requests are re-enqueued in their original
+        submission order (solve them with :meth:`drain`); answered ids
+        are **not** re-solved — their recorded responses are decoded
+        verbatim into :attr:`recovered`.  Together that is exactly-once
+        replay: no request lost, none answered twice, and (warm starts
+        aside) the replayed solutions are bit-identical to an
+        uninterrupted run.  Pass ``snapshot_path=`` (plus the usual
+        constructor options) to also restore the warm state.
+        """
+        unanswered, recorded = journal_replay(journal_path)
+        service = cls(journal=journal_path, **kwargs)
+        service.recovered = recorded
+        service._stats.journal_recovered = len(recorded)
+        for request in unanswered:
+            service._seq = max(
+                service._seq, getattr(request, "_order", 0) + 1
+            )
+            service._queue.append(request)
+            service._stats.requests += 1
+            service._stats.journal_replayed += 1
+        service._stats.queue_depth = len(service._queue)
+        return service
+
+    def shutdown(
+        self, deadline_s: float | None = None
+    ) -> list[SolveResponse]:
+        """Graceful drain: stop admission, answer queued work until the
+        shutdown deadline, leave the rest journaled, release resources.
+
+        Requests answered within the budget are returned (and
+        journaled as usual); requests the deadline cuts off stay in
+        the journal as pending — the next :meth:`recover` replays
+        them.  The deadline is checked *between* requests; bound
+        individual solves with ``default_deadline_s`` if a single hung
+        request must not overrun the drain.
+        """
+        self._accepting = False
+        deadline = (
+            None if deadline_s is None else time.monotonic() + deadline_s
+        )
+        responses: list[SolveResponse] = []
+        while self._queue:
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            self._maybe_crash("kill-mid-drain")
+            request = self._queue.popleft()
+            self._stats.queue_depth = len(self._queue)
+            responses.append(self._run_single(request, self._lookup(request)))
+            self._stats.drained_on_shutdown += 1
+        self.close()
+        return responses
+
+    # -- lifecycle (continued) ----------------------------------------------
+
     def close(self) -> None:
-        """Release the worker pool (the service stays usable; the pool
-        re-forks lazily on the next dispatch)."""
+        """Flush durability state and release the worker pool (the
+        service stays usable; the pool re-forks lazily on the next
+        dispatch)."""
+        if self.snapshot_path is not None:
+            self.save_snapshot()
+        if self._journal is not None:
+            self._journal.sync()
         self.kernel.close()
 
     def __enter__(self) -> "SolveService":

@@ -137,6 +137,102 @@ class TestWarmStartCache:
         mu, exact = cache.lookup(fingerprint(v0), totals_vector(v0))
         assert not exact
 
+    def test_eviction_empties_bucket_and_misses_cleanly(self, rng):
+        """Evicting a bucket's last entry must clean its index: a
+        later ``lookup_with_perms`` misses with ``None``, it does not
+        crash on a dangling key."""
+        a = random_fixed_problem(rng, 4, 4)
+        b = random_fixed_problem(rng, 5, 3)  # different bucket
+        cache = WarmStartCache(maxsize=1)
+        cache.store(fingerprint(a), totals_vector(a), np.zeros(4),
+                    perms=(np.arange(4), None))
+        cache.store(fingerprint(b), totals_vector(b), np.zeros(5))  # evicts a
+        assert len(cache) == 1
+        assert cache.lookup_with_perms(fingerprint(a), totals_vector(a)) is None
+        hit = cache.lookup_with_perms(fingerprint(b), totals_vector(b))
+        assert hit is not None and hit[1] is True and hit[2] is None
+
+    def test_store_refresh_reorders_recency(self, rng):
+        """Re-storing (or looking up) an entry makes it most recently
+        used, so the *other* entry is the next eviction victim."""
+        p = random_fixed_problem(rng, 4, 4)
+        v0, v1, v2 = (perturbed(p, rng) for _ in range(3))
+        cache = WarmStartCache(maxsize=2)
+        cache.store(fingerprint(v0), totals_vector(v0), np.zeros(4))
+        cache.store(fingerprint(v1), totals_vector(v1), np.ones(4))
+        # refresh v0: it becomes MRU, v1 becomes the eviction victim
+        cache.store(fingerprint(v0), totals_vector(v0), np.full(4, 9.0))
+        cache.store(fingerprint(v2), totals_vector(v2), np.full(4, 2.0))
+        assert cache.lookup(fingerprint(v0), totals_vector(v0))[1] is True
+        assert cache.lookup(fingerprint(v1), totals_vector(v1))[1] is False
+
+    def test_state_restore_round_trip_preserves_lru(self, rng):
+        p = random_fixed_problem(rng, 4, 4)
+        variants = [perturbed(p, rng) for _ in range(3)]
+        cache = WarmStartCache(maxsize=4)
+        for i, v in enumerate(variants):
+            cache.store(fingerprint(v), totals_vector(v),
+                        np.full(4, float(i)), perms=(np.arange(4), None))
+        restored = WarmStartCache(maxsize=2)
+        restored.restore(cache.state())
+        # beyond-maxsize states keep the most recently used tail
+        assert len(restored) == 2
+        assert restored.lookup(fingerprint(variants[0]),
+                               totals_vector(variants[0]))[1] is False
+        mu, exact, perms = restored.lookup_with_perms(
+            fingerprint(variants[2]), totals_vector(variants[2])
+        )
+        assert exact and perms is not None
+        np.testing.assert_array_equal(mu, np.full(4, 2.0))
+
+
+class TestServiceStats:
+    def test_every_field_round_trips(self):
+        """Field-driven guarantee: any counter added to ServiceStats
+        shows up in snapshot() (independently copied) and as_dict()
+        (JSON-serializable) without touching either method."""
+        import dataclasses
+        import json
+
+        from repro.service import ServiceStats
+
+        stats = ServiceStats()
+        for i, f in enumerate(dataclasses.fields(ServiceStats), start=1):
+            current = getattr(stats, f.name)
+            if isinstance(current, dict):
+                setattr(stats, f.name, {"probe": i})
+            elif isinstance(current, float):
+                setattr(stats, f.name, float(i))
+            else:
+                setattr(stats, f.name, i)
+        snap = stats.snapshot()
+        out = snap.as_dict()
+        for i, f in enumerate(dataclasses.fields(ServiceStats), start=1):
+            expected = {"probe": i} if isinstance(
+                getattr(stats, f.name), dict) else type(
+                getattr(stats, f.name))(i)
+            assert getattr(snap, f.name) == expected, f.name
+            assert out[f.name] == expected, f.name
+        # derived rates ride along and the whole thing is JSON-clean
+        for key in ("cache_hit_rate", "mean_solve_time", "mean_iterations",
+                    "sort_reuse_rate", "total_solve_time"):
+            assert key in out
+        json.dumps(out)
+
+    def test_snapshot_is_independent(self):
+        from repro.service import ServiceStats
+
+        stats = ServiceStats()
+        stats.count_kind("fixed")
+        stats.count_error_kind("overloaded")
+        snap = stats.snapshot()
+        stats.requests = 7
+        stats.per_kind["fixed"] = 99
+        stats.errors_by_kind["overloaded"] = 99
+        assert snap.requests == 0
+        assert snap.per_kind == {"fixed": 1}
+        assert snap.errors_by_kind == {"overloaded": 1}
+
 
 class TestBatch:
     def test_bit_identical_to_solo(self, rng):
