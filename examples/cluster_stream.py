@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Scaling the revision stream out: `repro.cluster`'s sharded tier.
+
+`examples/service_stream.py` shows one `SolveService` exploiting
+revision traffic with batching and warm starts.  This example shows
+what happens when the traffic outgrows one service's caches: a
+`ClusterService` routes each request by its *fingerprint* (kind +
+shape + structure digest) over a consistent-hash ring, so every
+revision of the same table keeps landing on the same shard — and each
+shard's warm-start cache holds its slice of the keyspace instead of
+thrashing on all of it.
+
+The traffic here is deliberately mixed: several fixed-totals trade
+tables, an elastic migration family and a SAM family, all revised
+round-robin with drifting totals.  After the stream drains, the
+cluster's merged stats show the routing: every shard reports a high
+warm-cache hit rate on *its* families, and the aggregate matches what
+a single service could only achieve with an unbounded cache.
+
+Run:  python examples/cluster_stream.py
+"""
+
+import numpy as np
+
+from repro.cluster import ClusterService, route_key
+from repro.core.problems import ElasticProblem, FixedTotalsProblem, SAMProblem
+
+SIZE = 16
+SHARDS = 4
+CYCLES = 8
+DRIFT = 1e-4  # tiny totals drift: revisions, not new problems
+
+
+def fixed_family(seed):
+    """One trade table; each call with drift yields a revision of it."""
+    rng = np.random.default_rng(seed)
+    x0 = rng.uniform(1.0, 20.0, (SIZE, SIZE))
+    gamma = np.where(rng.random((SIZE, SIZE)) < 0.5,
+                     rng.uniform(0.5, 5.0, (SIZE, SIZE)), 1.0)
+    w = x0 * rng.uniform(0.8, 1.2, x0.shape)
+    return x0, gamma, w.sum(axis=1), w.sum(axis=0)
+
+
+def revision(family, drift_rng):
+    x0, gamma, s0, d0 = family
+    s = s0 * (1.0 + drift_rng.uniform(-DRIFT, DRIFT, SIZE))
+    d = d0 * (s.sum() / d0.sum())
+    return FixedTotalsProblem(x0=x0, gamma=gamma, s0=s, d0=d)
+
+
+def elastic_revision(drift_rng):
+    rng = np.random.default_rng(99)
+    x0 = rng.uniform(1.0, 10.0, (SIZE, SIZE))
+    f = 1.0 + drift_rng.uniform(-DRIFT, DRIFT, SIZE)
+    return ElasticProblem(
+        x0=x0, gamma=1.0 / x0, s0=x0.sum(axis=1) * f, d0=x0.sum(axis=0),
+        alpha=np.ones(SIZE), beta=np.ones(SIZE),
+    )
+
+
+def sam_revision(drift_rng):
+    rng = np.random.default_rng(7)
+    x0 = rng.uniform(1.0, 10.0, (SIZE, SIZE))
+    f = 1.0 + drift_rng.uniform(-DRIFT, DRIFT, SIZE)
+    s0 = 0.5 * (x0.sum(axis=1) + x0.sum(axis=0)) * f
+    return SAMProblem(x0=x0, gamma=1.0 / x0, s0=s0, alpha=np.ones(SIZE))
+
+
+def main() -> None:
+    families = [fixed_family(seed) for seed in range(6)]
+    drift = np.random.default_rng(0)
+
+    print(f"{SHARDS}-shard cluster, mixed-kind revision stream "
+          f"({len(families)} fixed families + elastic + SAM, "
+          f"{CYCLES} cycles)\n")
+
+    with ClusterService(
+        shards=SHARDS, shard_backend="inline",
+        warm_start=True, batching=False, cache_size=8,
+    ) as svc:
+        # Where will each family land?  The routing key is the warm-start
+        # bucket, so the answer is stable across revisions *and* restarts.
+        for i, family in enumerate(families):
+            problem = revision(family, drift)
+            print(f"  fixed family {i}: key {route_key(problem)!r} "
+                  f"-> {svc.shard_of(problem)}")
+        print(f"  elastic family:  -> {svc.shard_of(elastic_revision(drift))}")
+        print(f"  sam family:      -> {svc.shard_of(sam_revision(drift))}\n")
+
+        answered = 0
+        for _ in range(CYCLES):
+            for family in families:
+                svc.submit(revision(family, drift))
+            svc.submit(elastic_revision(drift))
+            svc.submit(sam_revision(drift))
+            responses = svc.drain()
+            assert all(r.ok and r.converged for r in responses)
+            answered += len(responses)
+
+        stats = svc.stats()
+
+    print(f"answered {answered} requests, all converged\n")
+    print("per-shard warm-cache hit rates:")
+    for sid, shard_stats in sorted(stats.shards.items()):
+        kinds = ", ".join(
+            f"{kind} x{count}"
+            for kind, count in sorted(shard_stats.per_kind.items())
+        )
+        print(f"  {sid}: hit rate {shard_stats.hit_rate:5.1%}  "
+              f"(completed {shard_stats.completed:3d}: {kinds})")
+    print(f"\naggregate: hit rate {stats.aggregate.hit_rate:.1%}, "
+          f"mean {stats.aggregate.mean_iterations:.1f} sweeps/solve "
+          f"(first visit of a family solves cold; every revision after "
+          f"warm-starts on its home shard)")
+
+
+if __name__ == "__main__":
+    main()

@@ -132,7 +132,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--snapshot",
                        help="warm-state sidecar path: warm-start cache "
                             "(duals + sort permutations) and breaker state "
-                            "saved on exit, restored on start")
+                            "saved on exit, restored on start (a directory "
+                            "of per-shard sidecars under --cluster)")
+    serve.add_argument("--snapshot-every", type=int, default=None,
+                       help="also write the warm-state sidecar every N "
+                            "processed requests (requires --snapshot)")
     serve.add_argument("--max-queue", type=int, default=None,
                        help="bound the request queue; excess handled per "
                             "--admission (default: unbounded)")
@@ -152,6 +156,21 @@ def build_parser() -> argparse.ArgumentParser:
                             "SIGTERM/SIGINT stop admission, drain queued "
                             "work up to this long, leave the rest "
                             "journaled, exit 0 (default 30)")
+    serve.add_argument("--cluster", type=int, default=None, metavar="N",
+                       help="serve through a sharded cluster of N replica "
+                            "services, consistent-hash routed on the "
+                            "problem fingerprint; --journal/--snapshot "
+                            "become per-shard directories and admission "
+                            "applies at the router edge")
+    serve.add_argument("--max-per-shard", type=int, default=None,
+                       help="fair-share bound on any one shard's in-flight "
+                            "requests (--cluster only; pairs with "
+                            "--max-queue like --max-per-kind does)")
+    serve.add_argument("--shard-backend", choices=("process", "inline"),
+                       default="process",
+                       help="cluster replica isolation: child processes "
+                            "over pipes (default) or in-process shards "
+                            "(deterministic, zero IPC)")
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate a paper table/figure")
@@ -262,6 +281,51 @@ def _cmd_solve(args) -> int:
     return 0 if result.converged else 2
 
 
+def _validate_serve_args(args) -> None:
+    """Reject inconsistent serve flags up front, with actionable errors,
+    instead of letting them silently misbehave at runtime."""
+    if args.max_per_kind is not None and args.max_queue is None:
+        raise SystemExit(
+            "--max-per-kind is a fair share of the bounded queue; it "
+            "requires --max-queue"
+        )
+    if args.max_per_shard is not None and args.max_queue is None:
+        raise SystemExit(
+            "--max-per-shard is a fair share of the bounded cluster "
+            "queue; it requires --max-queue"
+        )
+    if args.max_per_shard is not None and args.cluster is None:
+        raise SystemExit("--max-per-shard only applies with --cluster")
+    if args.drain_deadline < 0:
+        raise SystemExit(
+            f"--drain-deadline must be >= 0 seconds, got "
+            f"{args.drain_deadline}"
+        )
+    if args.snapshot_every is not None and args.snapshot_every < 1:
+        raise SystemExit(
+            f"--snapshot-every must be >= 1 request, got "
+            f"{args.snapshot_every}"
+        )
+    if args.snapshot_every is not None and not args.snapshot:
+        raise SystemExit("--snapshot-every requires --snapshot")
+    if args.max_queue is not None and args.max_queue < 1:
+        raise SystemExit(f"--max-queue must be >= 1, got {args.max_queue}")
+    if args.max_per_kind is not None and args.max_per_kind < 1:
+        raise SystemExit(
+            f"--max-per-kind must be >= 1, got {args.max_per_kind}"
+        )
+    if args.max_per_shard is not None and args.max_per_shard < 1:
+        raise SystemExit(
+            f"--max-per-shard must be >= 1, got {args.max_per_shard}"
+        )
+    if args.cluster is not None and args.cluster < 1:
+        raise SystemExit(f"--cluster must be >= 1 shard, got {args.cluster}")
+    if args.fsync < 0:
+        raise SystemExit(f"--fsync must be >= 0, got {args.fsync}")
+    if args.window < 1:
+        raise SystemExit(f"--window must be >= 1, got {args.window}")
+
+
 def _cmd_serve(args) -> int:
     import contextlib
     import json
@@ -276,6 +340,8 @@ def _cmd_serve(args) -> int:
         error_line,
         read_requests,
     )
+
+    _validate_serve_args(args)
 
     class _GracefulShutdown(Exception):
         """Raised by the signal handler to unwind into the drain path."""
@@ -342,17 +408,43 @@ def _cmd_serve(args) -> int:
                 default_deadline_s=args.deadline,
                 default_retries=max(args.retries, 0),
                 fsync=max(args.fsync, 0),
-                snapshot_path=args.snapshot,
-                max_queue=args.max_queue,
-                admission_policy=args.admission,
-                max_per_kind=args.max_per_kind,
             )
-            if args.recover:
-                if not args.journal:
-                    raise SystemExit("--recover requires --journal")
-                svc = SolveService.recover(args.journal, **kwargs)
+            if args.recover and not args.journal:
+                raise SystemExit("--recover requires --journal")
+            if args.cluster is not None:
+                # Sharded tier: --journal/--snapshot are directories of
+                # per-shard files; admission moves to the router edge.
+                from repro.cluster import ClusterService
+
+                kwargs.update(
+                    shard_backend=args.shard_backend,
+                    snapshot_dir=args.snapshot,
+                    snapshot_every=args.snapshot_every,
+                    max_queue=args.max_queue,
+                    admission_policy=args.admission,
+                    max_per_shard=args.max_per_shard,
+                )
+                if args.recover:
+                    svc = ClusterService.recover(
+                        args.journal, shards=args.cluster, **kwargs
+                    )
+                else:
+                    svc = ClusterService(
+                        shards=args.cluster, journal_dir=args.journal,
+                        **kwargs,
+                    )
             else:
-                svc = SolveService(journal=args.journal, **kwargs)
+                kwargs.update(
+                    snapshot_path=args.snapshot,
+                    snapshot_every=args.snapshot_every,
+                    max_queue=args.max_queue,
+                    admission_policy=args.admission,
+                    max_per_kind=args.max_per_kind,
+                )
+                if args.recover:
+                    svc = SolveService.recover(args.journal, **kwargs)
+                else:
+                    svc = SolveService(journal=args.journal, **kwargs)
             stack.enter_context(svc)
             try:
                 if args.recover and svc.pending:

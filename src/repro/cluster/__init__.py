@@ -1,0 +1,32 @@
+"""``repro.cluster`` — sharded multi-replica solve tier.
+
+The scale-out layer over :mod:`repro.service`: a
+:class:`~repro.cluster.cluster.ClusterService` consistent-hash routes
+requests on their warm-start fingerprint to N shard replicas (each a
+full ``SolveService`` with its own kernel, caches and write-ahead
+journal), sheds load at the edge, respawns dead replicas from their
+journals, and — via the
+:class:`~repro.cluster.recovery.RecoveryCoordinator` — replays a whole
+journal directory exactly-once even when the shard count changed.
+"""
+
+from repro.cluster.cluster import ClusterService, ClusterStats
+from repro.cluster.recovery import RecoveryCoordinator
+from repro.cluster.ring import HashRing, request_route_key, route_key
+from repro.cluster.worker import (
+    InlineShard,
+    ProcessShard,
+    ShardCrashedError,
+)
+
+__all__ = [
+    "ClusterService",
+    "ClusterStats",
+    "RecoveryCoordinator",
+    "HashRing",
+    "route_key",
+    "request_route_key",
+    "ProcessShard",
+    "InlineShard",
+    "ShardCrashedError",
+]

@@ -1,0 +1,590 @@
+"""The cluster router: N sharded solve services behind one front door.
+
+``ClusterService`` implements the paper's §3.1.3 split (``N_p = N/p``:
+independent equilibration subproblems distributed over processors) as a
+service tier: requests are consistent-hash routed on their warm-start
+fingerprint (:func:`repro.cluster.ring.request_route_key`) to one of N
+replicas, each a complete :class:`~repro.service.service.SolveService`
+with its own kernel, warm-start cache, workspace LRU and write-ahead
+journal.  Fingerprint routing is what makes the split *better* than
+round-robin: one problem family always lands on one shard, so its warm
+duals and sort permutations stay hot there while the aggregate cache
+capacity grows N-fold.
+
+The router is deliberately thin.  It owns exactly four things:
+
+* **placement** — the :class:`~repro.cluster.ring.HashRing`;
+* **edge admission** — the shared
+  :class:`~repro.service.admission.AdmissionController` vocabulary
+  reused with *shard id* as the kind: ``max_queue`` bounds the
+  cluster-wide in-flight total, ``max_per_shard`` bounds any one
+  shard's share, and the ``shed-oldest`` policy evicts at the router
+  (the victim's overloaded answer is journaled by its shard, exactly
+  once) before a hot shard's queue can overflow;
+* **an in-flight map** — every submitted id with its shard and request
+  object, which is what makes replica death survivable *mid-traffic*:
+  on respawn the shard's hello is reconciled against the map
+  (journal-answered → deliver the recorded response; journal-replayed →
+  still queued, the next drain answers it; in neither → the kill landed
+  between pipe-send and journal append, so the router re-submits the
+  request it kept);
+* **the respawn ladder** — a crashed replica is respawned from its
+  journal up to ``max_respawns`` times, then degraded to an in-process
+  :class:`~repro.cluster.worker.InlineShard` (the same
+  process → inline step the parallel kernel's backend ladder takes), so
+  a poisonous replica can never take its keyspace slice down with it.
+
+Delivery mirrors the single service: :meth:`drain` answers everything
+queued, merged across shards into cluster submission order;
+:meth:`collect` hands out responses produced out-of-band (shed victims,
+responses recovered during a revive).  Cluster-wide observability is
+:meth:`stats`: per-shard :class:`~repro.service.metrics.ServiceStats`
+plus their :meth:`~repro.service.metrics.ServiceStats.merge`-reduced
+aggregate and the router's own counters.
+"""
+
+from __future__ import annotations
+
+import functools
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.cluster.ring import HashRing, request_route_key
+from repro.cluster.worker import (
+    InlineShard,
+    ProcessShard,
+    ShardCrashedError,
+    journal_seq_base,
+    shard_journal,
+)
+from repro.errors import DuplicateRequestError, OverloadedError
+from repro.service.admission import AdmissionConfig, AdmissionController
+from repro.service.journal import derive_request_id
+from repro.service.metrics import ServiceStats
+from repro.service.request import SolveRequest, SolveResponse
+
+__all__ = ["ClusterService", "ClusterStats"]
+
+_SHARD_BACKENDS = ("process", "inline")
+
+
+@dataclass
+class ClusterStats:
+    """Cluster-wide observability: per-shard stats + aggregate + router.
+
+    ``shards`` maps shard id to its :class:`ServiceStats` snapshot
+    (per-shard ``sort_reuse_rate``/``hit_rate`` are the snapshot's
+    properties); ``aggregate`` is their
+    :meth:`~ServiceStats.merge`-reduction, so its derived rates are the
+    correctly pooled cluster values; ``router`` carries the counters
+    only the front tier can know (edge rejections and sheds, respawns,
+    degraded shards, in-flight total).
+    """
+
+    shards: dict[str, ServiceStats] = field(default_factory=dict)
+    aggregate: ServiceStats = field(default_factory=ServiceStats)
+    router: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """Flat JSON view: the aggregate's fields at top level (so
+        single-service stats readers keep working against a cluster),
+        the per-shard and router detail under ``"cluster"``."""
+        out = self.aggregate.as_dict()
+        out["cluster"] = {
+            "shards": {sid: st.as_dict() for sid, st in self.shards.items()},
+            "router": dict(self.router),
+        }
+        return out
+
+
+@dataclass
+class _Pending:
+    """One in-flight request the router has forwarded but not delivered."""
+
+    shard: str
+    request: SolveRequest | None  # None for journal-replayed ids (the
+    #                               journal holds them; never lost)
+
+
+class ClusterService:
+    """Sharded multi-replica solve tier with fingerprint routing.
+
+    Duck-types the :class:`~repro.service.service.SolveService` surface
+    the CLI and clients use — ``submit`` / ``drain`` / ``collect`` /
+    ``shutdown`` / ``stats`` / ``pending`` / context manager — so
+    ``serve --cluster N`` is a drop-in swap.
+
+    Parameters
+    ----------
+    shards:
+        Replica count; shard ids are ``shard-0 .. shard-{N-1}``.
+    journal_dir:
+        Directory of per-shard write-ahead journals
+        (``shard-i.journal``).  ``None`` disables durability.
+    snapshot_dir:
+        Directory of per-shard warm-state sidecars.
+    recover:
+        Replay each shard's journal at construction (see
+        :meth:`recover` for the classmethod that also remaps journals
+        when the shard count changed).
+    shard_backend:
+        ``"process"`` (default): each replica is a child process over a
+        pipe.  ``"inline"``: replicas live in-process — deterministic
+        for tests, zero IPC for single-core cache-affinity serving.
+    max_queue, admission_policy, max_per_shard:
+        Edge admission: cluster-wide and per-shard bounds on in-flight
+        requests, applied *at the router* with shard id as the
+        admission kind.
+    max_respawns:
+        Process respawns per shard before degrading it to inline.
+    vnodes:
+        Ring points per shard (see :class:`~repro.cluster.ring.HashRing`).
+    **service_kwargs:
+        Forwarded to every shard's ``SolveService`` (``workers``,
+        ``backend``, ``warm_start``, ``cache_size``, ``fsync``, ...).
+    """
+
+    def __init__(
+        self,
+        shards: int = 4,
+        *,
+        journal_dir=None,
+        snapshot_dir=None,
+        recover: bool = False,
+        shard_backend: str = "process",
+        max_queue: int | None = None,
+        admission_policy: str = "reject-newest",
+        max_per_shard: int | None = None,
+        max_respawns: int = 2,
+        vnodes: int = 64,
+        **service_kwargs,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if shard_backend not in _SHARD_BACKENDS:
+            raise ValueError(
+                f"shard_backend must be one of {_SHARD_BACKENDS}"
+            )
+        if max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0")
+        self.shard_ids = [f"shard-{i}" for i in range(shards)]
+        self.ring = HashRing(self.shard_ids, vnodes=vnodes)
+        self.shard_backend = shard_backend
+        self.max_respawns = max_respawns
+        self.journal_dir = (
+            None if journal_dir is None else pathlib.Path(journal_dir)
+        )
+        self.snapshot_dir = (
+            None if snapshot_dir is None else pathlib.Path(snapshot_dir)
+        )
+        if self.journal_dir is not None:
+            self.journal_dir.mkdir(parents=True, exist_ok=True)
+        if self.snapshot_dir is not None:
+            self.snapshot_dir.mkdir(parents=True, exist_ok=True)
+        self._service_kwargs = dict(service_kwargs)
+        self._admission = AdmissionController(AdmissionConfig(
+            max_queue=max_queue,
+            policy=admission_policy,
+            max_per_kind=max_per_shard,
+        ))
+        self._pending: dict[str, _Pending] = {}
+        self._buffer: list[SolveResponse] = []
+        self._accepting = True
+        self._closed = False
+        self._seq = 0
+        self._seq_base = (
+            journal_seq_base(self.journal_dir)
+            if recover and self.journal_dir is not None
+            else 0
+        )
+        self._respawns = {sid: 0 for sid in self.shard_ids}
+        self._degraded: set[str] = set()
+        # Router-only counters (shard stats can't see edge decisions).
+        self.router_rejections = 0
+        self.router_sheds = 0
+        self.router_resubmitted = 0
+        self.router_recovered_in_flight = 0
+        # Responses recovered verbatim on a full-cluster recover (the
+        # SolveService.recover contract, cluster-wide).
+        self.recovered: dict[str, SolveResponse] = {}
+        self.remap_summary: dict | None = None
+        self._shards = {
+            sid: self._spawn(sid, recover=recover) for sid in self.shard_ids
+        }
+        if recover:
+            high = self._seq - 1
+            for shard in self._shards.values():
+                for resp in shard.hello["recovered"]:
+                    self.recovered[resp.id] = resp
+                    high = max(high, resp.submitted_at)
+                for rid, order in shard.hello["replayed"]:
+                    self._pending[rid] = _Pending(shard.id, None)
+                    high = max(high, order)
+            self._seq = high + 1
+
+    # -- placement & replica lifecycle ---------------------------------------
+
+    def _spawn(self, shard_id: str, recover: bool = False):
+        cls = (
+            ProcessShard if self.shard_backend == "process"
+            and shard_id not in self._degraded else InlineShard
+        )
+        journal_path = (
+            None if self.journal_dir is None
+            else shard_journal(self.journal_dir, shard_id)
+        )
+        snapshot_path = (
+            None if self.snapshot_dir is None
+            else self.snapshot_dir / f"{shard_id}.snapshot"
+        )
+        return cls(
+            shard_id, self._service_kwargs,
+            journal_path=journal_path, snapshot_path=snapshot_path,
+            recover=recover,
+        )
+
+    def shard_of(self, request) -> str:
+        """Which shard a request (or bare problem) routes to."""
+        if not isinstance(request, SolveRequest):
+            request = SolveRequest(problem=request)
+        return self.ring.lookup(request_route_key(request))
+
+    def _revive(self, shard_id: str) -> dict:
+        """Respawn a dead replica from its journal and reconcile the
+        in-flight map against its hello.  Returns the hello."""
+        old = self._shards.get(shard_id)
+        if old is not None and isinstance(old, ProcessShard):
+            old.kill()  # reap the corpse; idempotent on a dead child
+        self._respawns[shard_id] += 1
+        if (
+            self._respawns[shard_id] > self.max_respawns
+            and shard_id not in self._degraded
+        ):
+            # Ladder exhausted: keep the keyspace slice served from an
+            # in-process replica instead of crash-looping.
+            self._degraded.add(shard_id)
+        shard = self._spawn(shard_id, recover=self.journal_dir is not None)
+        self._shards[shard_id] = shard
+        hello = shard.hello
+        recovered = {r.id: r for r in hello["recovered"]}
+        replayed = {rid for rid, _ in hello["replayed"]}
+        for rid, entry in list(self._pending.items()):
+            if entry.shard != shard_id:
+                continue
+            if rid in recovered:
+                # Answered before the crash; response journaled, never
+                # delivered.  Deliver the recorded one — exactly once.
+                self._buffer.append(recovered[rid])
+                del self._pending[rid]
+                self.router_recovered_in_flight += 1
+            elif rid in replayed:
+                pass  # still queued; the next drain answers it
+            elif entry.request is not None:
+                # The kill landed between pipe-send and journal append:
+                # no journal record exists, so re-submitting is safe
+                # (and the only way not to lose the request).
+                shard.call("submit", entry.request)
+                self.router_resubmitted += 1
+        return hello
+
+    def _revive_loop(self, shard_id: str) -> dict:
+        """Revive until a replica survives its own startup; terminates
+        because the ladder bottoms out at InlineShard (cannot crash)."""
+        while True:
+            try:
+                return self._revive(shard_id)
+            except ShardCrashedError:
+                continue
+
+    def _call(self, shard_id: str, op: str, *args):
+        """One shard op with crash-revive-retry (idempotent ops only —
+        ``submit`` has its own loop in :meth:`submit`)."""
+        while True:
+            try:
+                return self._shards[shard_id].call(op, *args)
+            except ShardCrashedError:
+                self._revive_loop(shard_id)
+
+    # -- intake --------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """In-flight requests across the whole cluster."""
+        return len(self._pending)
+
+    def _pending_on(self, shard_id: str) -> int:
+        return sum(
+            1 for entry in self._pending.values() if entry.shard == shard_id
+        )
+
+    def _admit(self, shard_id: str) -> None:
+        """Edge admission with shard id as the kind: shed/reject at the
+        router before a hot shard's queue can overflow."""
+        action, scope = self._admission.decide(
+            shard_id, len(self._pending), self._pending_on(shard_id)
+        )
+        if action == "accept":
+            return
+        if action == "reject":
+            self.router_rejections += 1
+            limit = (
+                "cluster-wide in-flight limit" if scope == "queue"
+                else f"{shard_id}'s fair share"
+            )
+            raise OverloadedError(
+                f"cluster queue full ({limit}, policy 'reject-newest'); "
+                "back off and resubmit"
+            )
+        if action == "block":
+            # Backpressure: drain the cluster; responses land in the
+            # collect buffer, the caller pays the latency.
+            self._buffer.extend(self._drain_shards())
+            return
+        # shed-oldest: evict from the population whose limit fired —
+        # the routed shard when its share is full, else the hottest.
+        victim_shard = shard_id if scope == "kind" else max(
+            self.shard_ids, key=self._pending_on
+        )
+        response = self._call(victim_shard, "shed")
+        if response is not None:
+            self.router_sheds += 1
+            self._pending.pop(response.id, None)
+            self._buffer.append(response)
+
+    def submit(self, request, **options) -> str:
+        """Route a request (or bare problem) to its shard; returns its id.
+
+        The router assigns the id — content-derived with a
+        cluster-global sequence when journaling, ``req-N`` otherwise —
+        and stamps the cluster-global submission order, so responses
+        merged across shards come back in one submission-ordered
+        stream.  Once ``submit`` returns, the request is journaled on
+        its shard (when durability is on): a shard crash after this
+        point can never lose it.
+        """
+        if not isinstance(request, SolveRequest):
+            request = SolveRequest(problem=request, **options)
+        elif options:
+            raise TypeError("options only apply when submitting a bare problem")
+        if not self._accepting:
+            self.router_rejections += 1
+            raise OverloadedError(
+                "cluster is draining for shutdown; no new work accepted"
+            )
+        shard_id = self.ring.lookup(request_route_key(request))
+        if self._admission.config.bounded:
+            self._admit(shard_id)
+        if request.id is None:
+            if self.journal_dir is not None:
+                request.id = derive_request_id(
+                    request, self._seq_base + self._seq
+                )
+            else:
+                request.id = f"req-{self._seq}"
+        if request.id in self._pending:
+            raise DuplicateRequestError(
+                f"request id {request.id!r} is already in flight on "
+                f"{self._pending[request.id].shard}"
+            )
+        request._order = self._seq  # type: ignore[attr-defined]
+        self._seq += 1
+        while True:
+            try:
+                rid = self._shards[shard_id].call("submit", request)
+                break
+            except ShardCrashedError:
+                # The shard died with our submit in the pipe.  Its
+                # revival hello is ground truth: journaled → accepted
+                # (queued again), not journaled → retry the send.
+                hello = self._revive_loop(shard_id)
+                if request.id in {r for r, _ in hello["replayed"]}:
+                    rid = request.id
+                    break
+        self._pending[rid] = _Pending(shard_id, request)
+        return rid
+
+    # -- delivery ------------------------------------------------------------
+
+    def _take_buffer(self) -> list[SolveResponse]:
+        out = self._buffer
+        self._buffer = []
+        return out
+
+    def _broadcast(self, op: str, *args) -> list[SolveResponse]:
+        """Run a response-list op on every shard, overlapped: send to
+        all, then gather — process replicas compute concurrently.
+        Crashed shards are revived and retried (their journals make the
+        retry exactly-once)."""
+        started: list[str] = []
+        crashed: list[str] = []
+        for sid in self.shard_ids:
+            try:
+                self._shards[sid].start(op, *args)
+                started.append(sid)
+            except ShardCrashedError:
+                crashed.append(sid)
+        responses: list[SolveResponse] = []
+        for sid in started:
+            try:
+                responses.extend(self._shards[sid].finish())
+            except ShardCrashedError:
+                crashed.append(sid)
+        for sid in crashed:
+            self._revive_loop(sid)
+            responses.extend(self._call(sid, op, *args))
+        return responses
+
+    def _drain_shards(self) -> list[SolveResponse]:
+        responses = self._broadcast("drain")
+        for resp in responses:
+            self._pending.pop(resp.id, None)
+        return responses
+
+    def drain(self) -> list[SolveResponse]:
+        """Answer everything queued on every shard; responses merged
+        into cluster submission order (buffered out-of-band responses —
+        shed victims, revive-recovered answers — included)."""
+        # Shard drains run first: a revive inside the broadcast buffers
+        # journal-recovered answers, and taking the buffer afterwards
+        # delivers them in *this* drain, not the next one.
+        responses = self._drain_shards()
+        out = self._take_buffer() + responses
+        out.sort(key=lambda r: r.submitted_at)
+        return out
+
+    def collect(self) -> list[SolveResponse]:
+        """Undelivered completed responses from every shard plus the
+        router's own buffer, in submission order."""
+        responses = self._broadcast("collect")
+        out = self._take_buffer() + responses
+        for resp in out:
+            self._pending.pop(resp.id, None)
+        out.sort(key=lambda r: r.submitted_at)
+        return out
+
+    def solve(self, request, **options) -> SolveResponse:
+        """Submit one job and drain its shard; other completions are
+        retained for :meth:`collect` (single-service semantics)."""
+        rid = self.submit(request, **options)
+        mine: SolveResponse | None = None
+        for response in self.drain():
+            if mine is None and response.id == rid:
+                mine = response
+            else:
+                self._buffer.append(response)
+        if mine is None:  # pragma: no cover — drain always answers rid
+            raise RuntimeError(f"no response produced for request {rid!r}")
+        return mine
+
+    # -- health --------------------------------------------------------------
+
+    def ping(self) -> dict[str, str]:
+        """Probe every replica; dead ones are respawned from their
+        journals (degrading to inline past ``max_respawns``).  Returns
+        shard id → ``"ok"`` / ``"respawned"``."""
+        health: dict[str, str] = {}
+        for sid in self.shard_ids:
+            shard = self._shards[sid]
+            if shard.alive:
+                try:
+                    shard.call("ping", timeout=30.0)
+                    health[sid] = "ok"
+                    continue
+                except ShardCrashedError:
+                    pass
+            self._revive_loop(sid)
+            health[sid] = "respawned"
+        return health
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> ClusterStats:
+        per_shard = {
+            sid: self._call(sid, "stats") for sid in self.shard_ids
+        }
+        aggregate = functools.reduce(
+            ServiceStats.merge, per_shard.values()
+        )
+        router = {
+            "shards": len(self.shard_ids),
+            "backend": self.shard_backend,
+            "vnodes": self.ring.vnodes,
+            "pending": len(self._pending),
+            "pending_by_shard": {
+                sid: self._pending_on(sid) for sid in self.shard_ids
+            },
+            "rejections": self.router_rejections,
+            "sheds": self.router_sheds,
+            "respawns": dict(self._respawns),
+            "degraded": sorted(self._degraded),
+            "resubmitted_in_flight": self.router_resubmitted,
+            "recovered_in_flight": self.router_recovered_in_flight,
+        }
+        return ClusterStats(
+            shards=per_shard, aggregate=aggregate, router=router
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    def recover(cls, journal_dir, shards: int = 4, **kwargs) -> "ClusterService":
+        """Rebuild a cluster from its journal directory after a crash.
+
+        Runs the :class:`~repro.cluster.recovery.RecoveryCoordinator`
+        first: when the journals were written by a *different* shard
+        count (or layout), every record is re-routed through the new
+        hash ring and rewritten into per-shard journals — answered ids
+        move as request+response pairs (a later crash still finds them
+        answered), unanswered ones as requests in their original
+        submission order.  Each shard then recovers its own journal
+        exactly like a single service: re-solve the unanswered, return
+        the answered verbatim via :attr:`recovered`, answer nothing
+        twice.
+        """
+        from repro.cluster.recovery import RecoveryCoordinator
+
+        shard_ids = [f"shard-{i}" for i in range(shards)]
+        coordinator = RecoveryCoordinator(
+            journal_dir, shard_ids, vnodes=kwargs.get("vnodes", 64)
+        )
+        summary = coordinator.apply()
+        service = cls(
+            shards=shards, journal_dir=journal_dir, recover=True, **kwargs
+        )
+        service.remap_summary = summary
+        return service
+
+    def shutdown(self, deadline_s: float | None = None) -> list[SolveResponse]:
+        """Graceful cluster drain: admission stops, every shard answers
+        queued work under the deadline, the rest stays journaled for
+        the next :meth:`recover`.  Returns the merged answered
+        responses in submission order."""
+        self._accepting = False
+        responses = self._broadcast("shutdown", deadline_s)
+        responses += self._take_buffer()
+        for resp in responses:
+            self._pending.pop(resp.id, None)
+        responses.sort(key=lambda r: r.submitted_at)
+        for shard in self._shards.values():  # reap exited replicas
+            try:
+                shard.close()
+            except ShardCrashedError:  # pragma: no cover — dying replica
+                pass
+        self._closed = True
+        return responses
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        for shard in self._shards.values():
+            try:
+                shard.close()
+            except ShardCrashedError:  # pragma: no cover — dying replica
+                pass
+        self._closed = True
+
+    def __enter__(self) -> "ClusterService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

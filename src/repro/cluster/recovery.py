@@ -1,0 +1,151 @@
+"""The recovery coordinator: journal replay across a shard-count change.
+
+A cluster restart with the *same* shard count needs no coordination —
+each shard recovers its own journal exactly like a single service,
+because the hash ring is deterministic and every journaled request
+still routes to the journal it sits in.  The coordinator exists for the
+other case: the journals on disk were written by a different ring
+(scale-out from 3 shards to 5, scale-in after a capacity change).  Then
+a journaled request may now route to a shard whose journal has never
+heard of it, and naive per-shard recovery would violate exactly-once in
+both directions — an unanswered request on a decommissioned shard's
+journal would never be replayed, and an answered id re-routed to a
+fresh shard would be re-solved on the *next* crash.
+
+:meth:`RecoveryCoordinator.apply` closes both holes by rewriting the
+journal directory under the new ring before any shard starts:
+
+1. every ``shard-*.journal`` is replayed in full
+   (:func:`repro.service.journal.replay_full` — request *and* response
+   records, answered or not);
+2. every request is re-routed through the new
+   :class:`~repro.cluster.ring.HashRing` on the same fingerprint key
+   the live router uses — consistent hashing moves only ``~1/N`` of
+   the keyspace, so most records land back in the journal (and warm
+   history) they came from;
+3. the old journals are archived (``remap-NNN/``, never deleted — they
+   remain the audit trail), and fresh per-shard journals are written:
+   unanswered requests as request records in original submission
+   order, answered ids as request **and** response pairs, so a crash
+   *after* the remap still finds them answered.
+
+The rewrite itself is crash-safe in the write-ahead sense: old journals
+are archived only after every new journal is fully written and synced,
+so a crash mid-remap leaves either the old layout (remap reruns) or the
+new one (remap is a no-op) — never a half-and-half.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.cluster.ring import HashRing, request_route_key
+from repro.cluster.worker import shard_journal
+from repro.service.journal import Journal, replay_full
+
+__all__ = ["RecoveryCoordinator"]
+
+
+class RecoveryCoordinator:
+    """Re-route a cluster journal directory onto a (possibly new) ring.
+
+    Parameters
+    ----------
+    journal_dir:
+        Directory holding ``shard-*.journal`` files from the previous
+        incarnation (possibly empty or nonexistent — both are valid,
+        the coordinator is then a no-op).
+    shard_ids:
+        The *new* shard layout.
+    vnodes:
+        Ring points per shard; must match the live router's so the
+        coordinator and the router agree on every placement.
+    """
+
+    def __init__(self, journal_dir, shard_ids, vnodes: int = 64) -> None:
+        self.journal_dir = pathlib.Path(journal_dir)
+        self.shard_ids = list(shard_ids)
+        self.ring = HashRing(self.shard_ids, vnodes=vnodes)
+
+    def _old_journals(self) -> dict[str, pathlib.Path]:
+        if not self.journal_dir.exists():
+            return {}
+        return {
+            path.stem: path
+            for path in sorted(self.journal_dir.glob("shard-*.journal"))
+        }
+
+    def plan(self) -> dict:
+        """Dry run: read every journal, route every record, report what
+        a remap would move.  ``entries`` (internal) carries the decoded
+        records for :meth:`apply`."""
+        old = self._old_journals()
+        entries = []  # (order, rid, request, response | None, old_sid, new_sid)
+        orphans = 0
+        for old_sid, path in old.items():
+            requests, responses = replay_full(path)
+            orphans += sum(1 for rid in responses if rid not in requests)
+            for rid, request in requests.items():
+                new_sid = self.ring.lookup(request_route_key(request))
+                entries.append((
+                    getattr(request, "_order", 0), rid, request,
+                    responses.get(rid), old_sid, new_sid,
+                ))
+        entries.sort(key=lambda e: e[0])
+        moved = [e for e in entries if e[4] != e[5]]
+        return {
+            "shards_before": sorted(old),
+            "shards_after": list(self.shard_ids),
+            "records": len(entries),
+            "answered": sum(1 for e in entries if e[3] is not None),
+            "unanswered": sum(1 for e in entries if e[3] is None),
+            "moved": len(moved),
+            "orphan_responses": orphans,
+            "_entries": entries,
+        }
+
+    def apply(self) -> dict:
+        """Execute the remap (no-op when the layout already matches).
+
+        Returns the :meth:`plan` summary plus ``"rewritten"`` and, when
+        rewritten, ``"archive"`` (where the old journals went).
+        """
+        summary = self.plan()
+        entries = summary.pop("_entries")
+        old = self._old_journals()
+        same_layout = set(old) == set(self.shard_ids)
+        if not old or (same_layout and not summary["moved"]):
+            # Per-shard recovery suffices; journals stay byte-identical.
+            summary["rewritten"] = False
+            return summary
+
+        # Write the new layout to the side first; swap in only when
+        # every new journal is complete, then archive the old files.
+        tmp_dir = self.journal_dir / ".remap-tmp"
+        if tmp_dir.exists():
+            for stale in tmp_dir.iterdir():
+                stale.unlink()
+        tmp_dir.mkdir(parents=True, exist_ok=True)
+        by_shard: dict[str, list] = {sid: [] for sid in self.shard_ids}
+        for entry in entries:
+            by_shard[entry[5]].append(entry)
+        for sid in self.shard_ids:
+            with Journal(tmp_dir / f"{sid}.journal", fsync=1) as journal:
+                for _, _, request, response, _, _ in by_shard[sid]:
+                    journal.append_request(request)
+                    if response is not None:
+                        journal.append_response(response)
+
+        generation = len(list(self.journal_dir.glob("remap-*")))
+        archive = self.journal_dir / f"remap-{generation:03d}"
+        archive.mkdir(parents=True, exist_ok=True)
+        for old_sid, path in old.items():
+            path.rename(archive / path.name)
+        for sid in self.shard_ids:
+            (tmp_dir / f"{sid}.journal").rename(
+                shard_journal(self.journal_dir, sid)
+            )
+        tmp_dir.rmdir()
+        summary["rewritten"] = True
+        summary["archive"] = str(archive)
+        return summary

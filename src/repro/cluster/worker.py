@@ -1,0 +1,380 @@
+"""Shard workers: one `SolveService` per replica, driven over a pipe.
+
+A :class:`ProcessShard` forks a child that owns a complete, independent
+:class:`~repro.service.service.SolveService` — its own
+:class:`~repro.parallel.executor.ParallelKernel`, warm-start cache,
+workspace LRU, write-ahead journal and admission queue — and speaks a
+tiny synchronous command protocol over a ``multiprocessing`` pipe::
+
+    ("submit", request)      -> ("ok", request_id) | ("error", (kind, msg))
+    ("drain",)               -> ("responses", [SolveResponse, ...])
+    ("collect",)             -> ("responses", [...])
+    ("shed",)                -> ("response", SolveResponse | None)
+    ("stats",)               -> ("stats", ServiceStats)
+    ("ping",)                -> ("pong", pending_count)
+    ("shutdown", deadline)   -> ("responses", [...]), then the child exits
+    ("close",)               -> ("ok", None), then the child exits
+
+On start the child pushes one unsolicited ``("hello", {...})`` frame
+carrying its pid plus — when it recovered a journal — the recorded
+responses of answered ids and the ``(id, order)`` pairs it re-enqueued,
+which is everything the router needs to reconcile its in-flight map
+after a replica death.
+
+:class:`InlineShard` is the same interface executed in-process: the
+bottom rung of the cluster's degradation ladder (a replica whose
+respawns keep dying falls back to it, mirroring the kernel's
+``process -> thread -> serial`` ladder), and the zero-IPC backend for
+tests.
+
+Objects cross the pipe pickled (multiprocessing's native transport);
+pickling preserves float64 bit patterns, so the journal's bit-identity
+contract survives the hop.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pathlib
+import signal
+import time
+
+from repro.errors import ReproError, WorkerCrashError, error_class
+from repro.service.journal import Journal
+from repro.service.service import SolveService
+
+__all__ = ["ProcessShard", "InlineShard", "ShardCrashedError", "shard_journal"]
+
+_HELLO_TIMEOUT_S = 60.0
+_POLL_S = 0.05
+
+
+class ShardCrashedError(WorkerCrashError):
+    """A shard replica died mid-conversation (its journal survives)."""
+
+    kind = "worker-crash"
+
+
+def shard_journal(journal_dir, shard_id: str) -> pathlib.Path:
+    """Journal path of one shard under the cluster's journal directory."""
+    return pathlib.Path(journal_dir) / f"{shard_id}.journal"
+
+
+def _shard_main(conn, shard_id, recover, journal_path, snapshot_path,
+                service_kwargs) -> None:
+    """Child-process entry: build the shard's service, serve commands."""
+    # The router owns signal policy: Ctrl-C lands on the whole process
+    # group, but only the router should act on it (it drains shards via
+    # the protocol, not via signals racing the drain).
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except ValueError:  # pragma: no cover — non-main thread (tests)
+        pass
+    try:
+        if (
+            recover
+            and journal_path is not None
+            and pathlib.Path(journal_path).exists()
+        ):
+            svc = SolveService.recover(
+                journal_path, snapshot_path=snapshot_path, **service_kwargs
+            )
+        else:
+            svc = SolveService(
+                journal=journal_path, snapshot_path=snapshot_path,
+                **service_kwargs,
+            )
+    except Exception as exc:  # pragma: no cover — config errors surface up
+        conn.send(("fatal", f"{type(exc).__name__}: {exc}"))
+        conn.close()
+        return
+    conn.send(("hello", {
+        "shard": shard_id,
+        "pid": os.getpid(),
+        "recovered": list(svc.recovered.values()),
+        "replayed": [
+            (req.id, getattr(req, "_order", 0)) for req in svc._queue
+        ],
+    }))
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):  # router died: flush and stop
+            svc.close()
+            return
+        op, args = msg[0], msg[1:]
+        try:
+            if op == "submit":
+                conn.send(("ok", svc.submit(args[0])))
+            elif op == "drain":
+                conn.send(("responses", svc.collect() + svc.drain()))
+            elif op == "collect":
+                conn.send(("responses", svc.collect()))
+            elif op == "shed":
+                conn.send(("response", svc.shed_oldest()))
+            elif op == "stats":
+                conn.send(("stats", svc.stats()))
+            elif op == "ping":
+                conn.send(("pong", svc.pending))
+            elif op == "shutdown":
+                responses = svc.shutdown(deadline_s=args[0])
+                conn.send(("responses", svc.collect() + responses))
+                conn.close()
+                return
+            elif op == "close":
+                svc.close()
+                conn.send(("ok", None))
+                conn.close()
+                return
+            else:
+                conn.send(("error", ("invalid-request",
+                                     f"unknown shard op {op!r}")))
+        except ReproError as exc:
+            conn.send(("error", (exc.kind, str(exc))))
+        except Exception as exc:  # noqa: BLE001 — isolate, never kill the loop
+            conn.send(("error", ("internal",
+                                 f"{type(exc).__name__}: {exc}")))
+
+
+def _raise_shard_error(kind: str, message: str) -> None:
+    raise error_class(kind)(message)
+
+
+class ProcessShard:
+    """Router-side handle of one worker replica (child process).
+
+    The handle is synchronous and single-outstanding-command, but
+    :meth:`start` / :meth:`finish` split a command's send and receive so
+    the router can broadcast ``drain`` to every shard and *then* gather
+    — the replicas compute concurrently.
+    """
+
+    backend = "process"
+
+    def __init__(self, shard_id: str, service_kwargs: dict,
+                 journal_path=None, snapshot_path=None,
+                 recover: bool = False) -> None:
+        self.id = shard_id
+        self.journal_path = (
+            None if journal_path is None else pathlib.Path(journal_path)
+        )
+        self.snapshot_path = snapshot_path
+        ctx = multiprocessing.get_context()
+        self._conn, child = ctx.Pipe()
+        self._proc = ctx.Process(
+            target=_shard_main,
+            args=(child, shard_id, recover, journal_path, snapshot_path,
+                  dict(service_kwargs)),
+            daemon=True,
+            name=f"repro-{shard_id}",
+        )
+        self._proc.start()
+        child.close()
+        frame = self._recv(timeout=_HELLO_TIMEOUT_S)
+        if frame[0] == "fatal":  # pragma: no cover — bad service config
+            self._proc.join(timeout=5)
+            raise RuntimeError(f"{shard_id} failed to start: {frame[1]}")
+        self.hello = frame[1]
+
+    # -- liveness ------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self._proc.is_alive()
+
+    @property
+    def pid(self) -> int:
+        return self._proc.pid
+
+    def kill(self) -> None:
+        """SIGKILL the replica — the chaos hook.  No drain, no flush;
+        only the journal survives."""
+        self._proc.kill()
+        self._proc.join(timeout=10)
+
+    # -- protocol ------------------------------------------------------------
+
+    def start(self, op: str, *args) -> None:
+        """Send a command without waiting for its reply."""
+        try:
+            self._conn.send((op, *args))
+        except (BrokenPipeError, OSError) as exc:
+            raise ShardCrashedError(
+                f"{self.id} is gone mid-send ({type(exc).__name__})"
+            ) from exc
+
+    def finish(self, timeout: float | None = None):
+        """Receive (and unwrap) the pending command's reply."""
+        frame = self._recv(timeout=timeout)
+        tag, payload = frame
+        if tag == "error":
+            _raise_shard_error(*payload)
+        return payload
+
+    def call(self, op: str, *args, timeout: float | None = None):
+        self.start(op, *args)
+        return self.finish(timeout=timeout)
+
+    def _recv(self, timeout: float | None = None):
+        """Receive one frame, detecting replica death instead of
+        blocking forever: a SIGKILLed child closes its pipe end (EOF)
+        and ``is_alive()`` flips, either of which aborts the wait."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                if self._conn.poll(_POLL_S):
+                    return self._conn.recv()
+            except (EOFError, OSError) as exc:
+                raise ShardCrashedError(
+                    f"{self.id} died (pid {self._proc.pid}, exitcode "
+                    f"{self._proc.exitcode})"
+                ) from exc
+            if not self._proc.is_alive() and not self._conn.poll(0):
+                raise ShardCrashedError(
+                    f"{self.id} died (pid {self._proc.pid}, exitcode "
+                    f"{self._proc.exitcode})"
+                )
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ShardCrashedError(
+                    f"{self.id} unresponsive after {timeout:g}s"
+                )
+
+    # -- convenience ---------------------------------------------------------
+
+    def submit(self, request) -> str:
+        return self.call("submit", request)
+
+    def ping(self, timeout: float | None = 5.0) -> int:
+        return self.call("ping", timeout=timeout)
+
+    def stats(self):
+        return self.call("stats")
+
+    def close(self) -> None:
+        """Graceful child exit; escalate to SIGKILL if it won't die."""
+        if self._proc.is_alive():
+            try:
+                self.call("close", timeout=30.0)
+            except ShardCrashedError:
+                pass
+        self._proc.join(timeout=10)
+        if self._proc.is_alive():  # pragma: no cover — stuck child
+            self._proc.kill()
+            self._proc.join(timeout=10)
+        self._conn.close()
+
+
+class InlineShard:
+    """The shard protocol executed in-process (no child, no IPC).
+
+    Serves two roles: the deterministic test/sandbox backend
+    (``ClusterService(shard_backend="inline")``) and the terminal rung
+    of the replica degradation ladder — when a shard's respawns keep
+    dying, the router rebuilds it inline from its journal so the
+    keyspace slice stays served.
+    """
+
+    backend = "inline"
+
+    def __init__(self, shard_id: str, service_kwargs: dict,
+                 journal_path=None, snapshot_path=None,
+                 recover: bool = False) -> None:
+        self.id = shard_id
+        self.journal_path = (
+            None if journal_path is None else pathlib.Path(journal_path)
+        )
+        self.snapshot_path = snapshot_path
+        if (
+            recover
+            and journal_path is not None
+            and pathlib.Path(journal_path).exists()
+        ):
+            self.service = SolveService.recover(
+                journal_path, snapshot_path=snapshot_path, **service_kwargs
+            )
+        else:
+            self.service = SolveService(
+                journal=journal_path, snapshot_path=snapshot_path,
+                **service_kwargs,
+            )
+        self.hello = {
+            "shard": shard_id,
+            "pid": os.getpid(),
+            "recovered": list(self.service.recovered.values()),
+            "replayed": [
+                (req.id, getattr(req, "_order", 0))
+                for req in self.service._queue
+            ],
+        }
+        self._pending_op: tuple | None = None
+
+    @property
+    def alive(self) -> bool:
+        return True
+
+    @property
+    def pid(self) -> int:
+        return os.getpid()
+
+    def start(self, op: str, *args) -> None:
+        self._pending_op = (op, *args)
+
+    def finish(self, timeout: float | None = None):  # noqa: ARG002
+        op, args = self._pending_op[0], self._pending_op[1:]
+        self._pending_op = None
+        svc = self.service
+        if op == "submit":
+            return svc.submit(args[0])
+        if op == "drain":
+            return svc.collect() + svc.drain()
+        if op == "collect":
+            return svc.collect()
+        if op == "shed":
+            return svc.shed_oldest()
+        if op == "stats":
+            return svc.stats()
+        if op == "ping":
+            return svc.pending
+        if op == "shutdown":
+            responses = svc.shutdown(deadline_s=args[0])
+            return svc.collect() + responses
+        if op == "close":
+            svc.close()
+            return None
+        raise ValueError(f"unknown shard op {op!r}")
+
+    def call(self, op: str, *args, timeout: float | None = None):
+        self.start(op, *args)
+        return self.finish(timeout=timeout)
+
+    def submit(self, request) -> str:
+        return self.service.submit(request)
+
+    def ping(self, timeout: float | None = None) -> int:  # noqa: ARG002
+        return self.service.pending
+
+    def stats(self):
+        return self.service.stats()
+
+    def close(self) -> None:
+        self.service.close()
+
+
+def journal_seq_base(journal_dir) -> int:
+    """Total request records across a cluster journal directory.
+
+    The router's derived request ids embed a monotonically growing
+    sequence (mirroring the single service's journal-global seq); after
+    a restart the base must clear every id already journaled, or a
+    replayed stream could collide with its own history.
+    """
+    base = 0
+    journal_dir = pathlib.Path(journal_dir)
+    if not journal_dir.exists():
+        return 0
+    for path in sorted(journal_dir.glob("shard-*.journal")):
+        journal = Journal(path)
+        base += journal.request_records
+        journal.close()
+    return base

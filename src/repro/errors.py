@@ -43,6 +43,7 @@ __all__ = [
     "OverloadedError",
     "DuplicateRequestError",
     "error_kind",
+    "error_class",
     "is_transient",
 ]
 
@@ -131,6 +132,32 @@ class DuplicateRequestError(ReproError, ValueError):
 def error_kind(exc: BaseException) -> str:
     """Stable wire tag for any exception (``"internal"`` when unknown)."""
     return exc.kind if isinstance(exc, ReproError) else "internal"
+
+
+# kind tag -> class, for re-raising a classified error that crossed a
+# process boundary as (kind, message) — the cluster's shard pipes do
+# this so router-side callers see the same exception types an
+# in-process SolveService would raise.
+_KIND_CLASSES: dict[str, type] = {
+    cls.kind: cls
+    for cls in (
+        InvalidProblemError,
+        InfeasibleProblemError,
+        NonConvergenceError,
+        WorkerCrashError,
+        DeadlineExceededError,
+        InvalidRequestError,
+        CircuitOpenError,
+        OverloadedError,
+        DuplicateRequestError,
+    )
+}
+
+
+def error_class(kind: str) -> type:
+    """Exception class for a wire ``kind`` tag (base ``ReproError``
+    for ``"internal"`` and anything unknown)."""
+    return _KIND_CLASSES.get(kind, ReproError)
 
 
 # Kinds worth a retry: worker crashes are transient by nature, and

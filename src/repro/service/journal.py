@@ -47,6 +47,7 @@ from repro.service.wire import request_from_jsonable, request_to_jsonable
 __all__ = [
     "Journal",
     "replay",
+    "replay_full",
     "derive_request_id",
     "response_to_record",
     "response_from_record",
@@ -322,3 +323,34 @@ def replay(path) -> tuple[list[SolveRequest], dict[str, SolveResponse]]:
     ]
     unanswered.sort(key=lambda r: r._order)
     return unanswered, responses
+
+
+def replay_full(
+    path,
+) -> tuple[dict[str, SolveRequest], dict[str, SolveResponse]]:
+    """Read a journal into *complete* id-indexed maps.
+
+    Unlike :func:`replay` — which drops the request objects of answered
+    ids because a recovering service only re-solves the unanswered —
+    this keeps every request, answered or not (``_order`` re-attached).
+    The cluster's :class:`~repro.cluster.recovery.RecoveryCoordinator`
+    needs both sides: when a ring remap moves an *answered* id to a new
+    shard it must rewrite the request **and** response records into the
+    new shard's journal, or a second crash would re-solve work that was
+    already answered once.
+    """
+    path = pathlib.Path(path)
+    requests: dict[str, SolveRequest] = {}
+    responses: dict[str, SolveResponse] = {}
+    if not path.exists():
+        return {}, {}
+    for obj, _ in _scan(path):
+        rid = obj.get("id")
+        if obj["type"] == "request":
+            request = request_from_jsonable(obj["request"])
+            request.id = rid
+            request._order = obj.get("seq", len(requests))
+            requests[rid] = request
+        elif obj["type"] == "response":
+            responses[rid] = response_from_record(obj["response"])
+    return requests, responses

@@ -125,6 +125,38 @@ class ServiceStats:
             self.batched_requests_by_kind.get(kind, 0) + size
         )
 
+    def merge(self, other: "ServiceStats") -> "ServiceStats":
+        """Combine two stats records into a new one (neither mutated).
+
+        Field-driven like :meth:`snapshot`: every numeric counter adds,
+        every dict field merges per-key sums — so a newly added counter
+        is aggregated correctly without touching this method.  The
+        derived rates (``hit_rate``, ``sort_reuse_rate``, mean times)
+        recompute from the summed numerators/denominators, which is the
+        correct pooled value rather than an average of ratios.  Gauges
+        (``cache_size``, ``queue_depth``) also sum: for the cluster
+        aggregate that *is* the meaningful total (entries cached / work
+        queued across all shards).
+
+        This is how the cluster tier builds its cluster-wide view from
+        per-shard stats:  ``reduce(ServiceStats.merge, shard_stats)``.
+        """
+        if not isinstance(other, ServiceStats):
+            raise TypeError(
+                f"cannot merge ServiceStats with {type(other).__name__}"
+            )
+        merged = ServiceStats()
+        for f in fields(self):
+            a, b = getattr(self, f.name), getattr(other, f.name)
+            if isinstance(a, dict):
+                combined = dict(a)
+                for key, value in b.items():
+                    combined[key] = combined.get(key, 0) + value
+                setattr(merged, f.name, combined)
+            else:
+                setattr(merged, f.name, a + b)
+        return merged
+
     def snapshot(self) -> "ServiceStats":
         """Independent copy (safe to keep across further service work).
 

@@ -351,8 +351,15 @@ class SolveService:
                 f"{'answered' if self._journal.answered(request.id) else 'pending'}"
                 " in the journal; it will not be answered twice"
             )
-        request._order = self._seq  # type: ignore[attr-defined]
-        self._seq += 1
+        # A pre-stamped _order is respected (the cluster router assigns
+        # cluster-global submission orders before forwarding, so merged
+        # multi-shard responses sort into one stream); bare requests get
+        # the service-local sequence as before.
+        order = getattr(request, "_order", None)
+        if order is None:
+            order = self._seq
+            request._order = order  # type: ignore[attr-defined]
+        self._seq = max(self._seq, order + 1)
         if self._journal is not None:
             self._journal.append_request(request)
             self._maybe_crash("kill-after-journal")
@@ -387,7 +394,9 @@ class SolveService:
         # the population whose limit fired.
         self._shed(kind if scope == "kind" else None)
 
-    def _shed(self, kind: str | None) -> None:
+    def _shed(
+        self, kind: str | None, retain: bool = True
+    ) -> SolveResponse | None:
         victim = None
         if kind is None and self._queue:
             victim = self._queue.popleft()
@@ -397,8 +406,8 @@ class SolveService:
                     victim = queued
                     self._queue.remove(queued)
                     break
-        if victim is None:  # pragma: no cover — decide() implies non-empty
-            return
+        if victim is None:
+            return None
         self._stats.overload_sheds += 1
         response = SolveResponse(
             id=victim.id, kind=self._kind_tag(victim),
@@ -413,8 +422,23 @@ class SolveService:
         # The shed is an *answer*: journal it so recovery never replays
         # (and re-solves) a request the service decided to drop.
         self._journal_response(response)
-        self._retain(response)
+        if retain:
+            self._retain(response)
         self._stats.queue_depth = len(self._queue)
+        return response
+
+    def shed_oldest(self, kind: str | None = None) -> SolveResponse | None:
+        """Evict (and answer) the stalest queued request, on demand.
+
+        The externally-driven shed the cluster router uses for
+        edge-level admission: the victim's overloaded response is
+        journaled (exactly once) and *returned to the caller* for
+        delivery rather than retained for :meth:`collect` — the caller
+        owns it, so it cannot also surface a second time through the
+        completed buffer.  ``kind`` restricts the victim to one request
+        kind; returns ``None`` when nothing (matching) is queued.
+        """
+        return self._shed(kind, retain=False)
 
     def _retain(self, response: SolveResponse) -> None:
         """Buffer an undelivered response for :meth:`collect`, bounded."""

@@ -1,0 +1,163 @@
+"""Fair-share admission edge cases: one kind saturates, another trickles.
+
+The ``max_per_kind`` fair share exists so a flood of one problem kind
+cannot starve the other traffic sharing the service.  These tests pin
+the edge behaviour the cluster's edge admission builds on: the
+saturating kind is limited while the trickling kind keeps being
+admitted, shed victims come from the *offending* kind, and every shed
+victim is journaled exactly once — recovery never replays (re-solves)
+a request the service decided to drop.
+"""
+
+import json
+
+import pytest
+
+from conftest import random_elastic_problem, random_fixed_problem
+from repro.errors import OverloadedError
+from repro.service import SolveService
+from repro.service.journal import replay
+
+
+def journal_records(path, request_id):
+    """Count (request, response) journal records carrying ``request_id``."""
+    requests = responses = 0
+    with open(path) as fh:
+        for line in fh:
+            record = json.loads(line)
+            if record.get("id") == request_id:
+                if record["type"] == "request":
+                    requests += 1
+                elif record["type"] == "response":
+                    responses += 1
+    return requests, responses
+
+
+class TestFairShareRejectNewest:
+    def test_saturating_kind_is_rejected_while_other_trickles(self, rng):
+        """A fixed-totals flood hits its fair share; elastic requests
+        keep flowing into the same queue."""
+        svc = SolveService(
+            warm_start=False, max_queue=6, max_per_kind=4,
+            admission_policy="reject-newest",
+        )
+        for _ in range(4):
+            svc.submit(random_fixed_problem(rng, 5, 4))
+        # The flood is over its share even though the queue has room.
+        with pytest.raises(OverloadedError, match="kind limit"):
+            svc.submit(random_fixed_problem(rng, 5, 4))
+        # The trickling kind is unaffected by the hot kind's limit.
+        trickle = [svc.submit(random_elastic_problem(rng, 5, 4))
+                   for _ in range(2)]
+        assert len(trickle) == 2
+        # Now the *queue* limit fires, even under the trickle's share.
+        with pytest.raises(OverloadedError, match="queue limit"):
+            svc.submit(random_elastic_problem(rng, 5, 4))
+        assert svc.stats().overload_rejections == 2
+        # Every admitted request still gets answered.
+        responses = svc.drain()
+        assert len(responses) == 6 and all(r.ok for r in responses)
+
+    def test_share_frees_up_as_the_hot_kind_drains(self, rng):
+        svc = SolveService(
+            warm_start=False, max_queue=8, max_per_kind=2,
+            admission_policy="reject-newest",
+        )
+        svc.submit(random_fixed_problem(rng, 5, 4))
+        svc.submit(random_fixed_problem(rng, 5, 4))
+        with pytest.raises(OverloadedError):
+            svc.submit(random_fixed_problem(rng, 5, 4))
+        svc.drain()
+        # After draining, the kind's slots are free again.
+        assert svc.submit(random_fixed_problem(rng, 5, 4))
+
+
+class TestFairShareShedOldest:
+    def test_victim_comes_from_the_offending_kind(self, rng):
+        """When the fixed flood overflows its share, the shed victim is
+        the oldest *fixed* request — never the trickling elastic one."""
+        svc = SolveService(
+            warm_start=False, max_queue=8, max_per_kind=3,
+            admission_policy="shed-oldest",
+        )
+        elastic_id = svc.submit(random_elastic_problem(rng, 5, 4))
+        flood = [svc.submit(random_fixed_problem(rng, 5, 4))
+                 for _ in range(3)]
+        svc.submit(random_fixed_problem(rng, 5, 4))  # sheds flood[0]
+        responses = {r.id: r for r in svc.drain() + svc.collect()}
+        victim = responses[flood[0]]
+        assert not victim.ok and victim.error_kind == "overloaded"
+        assert responses[elastic_id].ok, "shed took the trickling kind"
+        assert svc.stats().overload_sheds == 1
+
+    def test_shed_victims_journaled_exactly_once(self, rng, tmp_path):
+        """The shed *is* the victim's answer: exactly one request record
+        and one response record land in the journal, and recovery
+        replays nothing for it."""
+        journal = tmp_path / "svc.journal"
+        svc = SolveService(
+            warm_start=False, journal=journal,
+            max_queue=4, admission_policy="shed-oldest",
+        )
+        ids = [svc.submit(random_fixed_problem(rng, 5, 4))
+               for _ in range(4)]
+        svc.submit(random_fixed_problem(rng, 5, 4))  # sheds ids[0]
+        assert journal_records(journal, ids[0]) == (1, 1)
+        shed = {r.id for r in svc.collect() if not r.ok}
+        assert shed == {ids[0]}
+        # Crash here: recovery must treat the victim as answered.
+        pending, answered = replay(journal)
+        assert ids[0] not in {req.id for req in pending}
+        assert answered[ids[0]].error_kind == "overloaded"
+        recovered = SolveService.recover(journal, warm_start=False)
+        assert ids[0] in recovered.recovered
+        replayed = {r.id for r in recovered.drain()}
+        assert ids[0] not in replayed, "recovery re-solved a shed victim"
+        assert replayed >= set(ids[1:])
+
+    def test_external_shed_oldest_is_delivered_not_retained(
+        self, rng, tmp_path
+    ):
+        """``shed_oldest()`` (the cluster router's edge shed) hands the
+        victim response to the caller and journals it once — it must not
+        surface a second time through ``collect()``."""
+        journal = tmp_path / "svc.journal"
+        svc = SolveService(warm_start=False, journal=journal)
+        ids = [svc.submit(random_fixed_problem(rng, 5, 4))
+               for _ in range(3)]
+        victim = svc.shed_oldest()
+        assert victim is not None and victim.id == ids[0]
+        assert victim.error_kind == "overloaded"
+        assert journal_records(journal, ids[0]) == (1, 1)
+        later = svc.drain() + svc.collect()
+        assert ids[0] not in {r.id for r in later}, "victim delivered twice"
+        assert {r.id for r in later} == set(ids[1:])
+
+    def test_external_shed_respects_kind_filter(self, rng):
+        svc = SolveService(warm_start=False)
+        fixed_id = svc.submit(random_fixed_problem(rng, 5, 4))
+        elastic_id = svc.submit(random_elastic_problem(rng, 5, 4))
+        victim = svc.shed_oldest(kind="elastic")
+        assert victim is not None and victim.id == elastic_id
+        assert svc.shed_oldest(kind="elastic") is None
+        assert [r.id for r in svc.drain()] == [fixed_id]
+
+    def test_shed_on_empty_queue_returns_none(self):
+        assert SolveService(warm_start=False).shed_oldest() is None
+
+
+class TestFairShareBlock:
+    def test_block_converts_kind_overflow_into_latency(self, rng):
+        """Under ``block`` the hot kind's overflow drains the queue
+        instead of erroring — nothing is lost, everything is answered."""
+        svc = SolveService(
+            warm_start=False, max_queue=8, max_per_kind=2,
+            admission_policy="block",
+        )
+        ids = [svc.submit(random_fixed_problem(rng, 5, 4))
+               for _ in range(2)]
+        ids.append(svc.submit(random_fixed_problem(rng, 5, 4)))
+        assert svc.stats().admission_blocks == 1
+        responses = {r.id: r for r in svc.drain() + svc.collect()}
+        assert sorted(responses) == sorted(ids)
+        assert all(r.ok for r in responses.values())

@@ -109,44 +109,45 @@ class TestSolveJSON:
         assert doc["iterations"] == 1
 
 
-class TestServe:
-    @pytest.fixture
-    def jsonl_stream(self, tmp_path, rng):
-        """A mixed request stream: fixed (x2 for batching), elastic, SAM."""
-        import json
+@pytest.fixture
+def jsonl_stream(tmp_path, rng):
+    """A mixed request stream: fixed (x2 for batching), elastic, SAM."""
+    import json
 
-        from repro.io import problem_to_jsonable
+    from repro.io import problem_to_jsonable
 
-        x0 = rng.uniform(1.0, 20.0, (4, 4))
-        w = x0 * rng.uniform(0.8, 1.2, x0.shape)
-        lines = []
-        from repro.core.problems import (
-            ElasticProblem,
-            FixedTotalsProblem,
-            SAMProblem,
-        )
+    x0 = rng.uniform(1.0, 20.0, (4, 4))
+    w = x0 * rng.uniform(0.8, 1.2, x0.shape)
+    lines = []
+    from repro.core.problems import (
+        ElasticProblem,
+        FixedTotalsProblem,
+        SAMProblem,
+    )
 
-        for i, factor in enumerate((1.0, 1.02)):
-            fixed = FixedTotalsProblem(
-                x0=x0, gamma=1.0 / x0,
-                s0=w.sum(axis=1) * factor, d0=w.sum(axis=0) * factor,
-            )
-            lines.append({"id": f"f{i}", "problem": problem_to_jsonable(fixed),
-                          "eps": 1e-6})
-        elastic = ElasticProblem(
-            x0=x0, gamma=1.0 / x0, s0=x0.sum(axis=1), d0=x0.sum(axis=0),
-            alpha=np.ones(4), beta=np.ones(4),
-        )
-        lines.append({"id": "e0", "problem": problem_to_jsonable(elastic)})
-        sam = SAMProblem(
+    for i, factor in enumerate((1.0, 1.02)):
+        fixed = FixedTotalsProblem(
             x0=x0, gamma=1.0 / x0,
-            s0=0.5 * (x0.sum(axis=1) + x0.sum(axis=0)), alpha=np.ones(4),
+            s0=w.sum(axis=1) * factor, d0=w.sum(axis=0) * factor,
         )
-        lines.append({"id": "s0", "problem": problem_to_jsonable(sam)})
-        path = tmp_path / "requests.jsonl"
-        path.write_text("\n".join(json.dumps(o) for o in lines) + "\n")
-        return path
+        lines.append({"id": f"f{i}", "problem": problem_to_jsonable(fixed),
+                      "eps": 1e-6})
+    elastic = ElasticProblem(
+        x0=x0, gamma=1.0 / x0, s0=x0.sum(axis=1), d0=x0.sum(axis=0),
+        alpha=np.ones(4), beta=np.ones(4),
+    )
+    lines.append({"id": "e0", "problem": problem_to_jsonable(elastic)})
+    sam = SAMProblem(
+        x0=x0, gamma=1.0 / x0,
+        s0=0.5 * (x0.sum(axis=1) + x0.sum(axis=0)), alpha=np.ones(4),
+    )
+    lines.append({"id": "s0", "problem": problem_to_jsonable(sam)})
+    path = tmp_path / "requests.jsonl"
+    path.write_text("\n".join(json.dumps(o) for o in lines) + "\n")
+    return path
 
+
+class TestServe:
     def test_mixed_stream_end_to_end(self, tmp_path, jsonl_stream, capsys):
         import json
 
@@ -272,3 +273,110 @@ class TestOtherCommands:
         assert main(["solve", "--table", str(table),
                      "--row-totals", str(rows),
                      "--col-totals", str(cols)]) == 0
+
+class TestServeFlagValidation:
+    """Inconsistent serve flags fail fast with actionable messages
+    instead of silently misbehaving at runtime."""
+
+    def _serve_exits(self, argv, match):
+        with pytest.raises(SystemExit, match=match):
+            main(["serve", "--jsonl", *argv])
+
+    def test_max_per_kind_requires_max_queue(self):
+        self._serve_exits(["--max-per-kind", "4"], "requires --max-queue")
+
+    def test_max_per_shard_requires_max_queue(self):
+        self._serve_exits(["--cluster", "2", "--max-per-shard", "4"],
+                          "requires --max-queue")
+
+    def test_max_per_shard_requires_cluster(self):
+        self._serve_exits(["--max-queue", "8", "--max-per-shard", "4"],
+                          "only applies with --cluster")
+
+    def test_negative_drain_deadline(self):
+        self._serve_exits(["--drain-deadline", "-1"],
+                          "--drain-deadline must be >= 0")
+
+    def test_negative_snapshot_every(self, tmp_path):
+        self._serve_exits(
+            ["--snapshot", str(tmp_path / "snap"), "--snapshot-every", "-5"],
+            "--snapshot-every must be >= 1",
+        )
+
+    def test_snapshot_every_requires_snapshot(self):
+        self._serve_exits(["--snapshot-every", "10"], "requires --snapshot")
+
+    def test_nonpositive_cluster(self):
+        self._serve_exits(["--cluster", "0"], "--cluster must be >= 1")
+
+    def test_nonpositive_max_queue(self):
+        self._serve_exits(["--max-queue", "0"], "--max-queue must be >= 1")
+
+    def test_recover_requires_journal(self):
+        self._serve_exits(["--recover"], "requires --journal")
+
+
+class TestServeCluster:
+    def test_cluster_stream_end_to_end(self, tmp_path, jsonl_stream, capsys):
+        """serve --cluster answers a mixed stream through the sharded
+        tier: same ids, same order, per-shard journals on disk, nested
+        cluster stats on stderr."""
+        import json
+
+        out = tmp_path / "responses.jsonl"
+        journal_dir = tmp_path / "journals"
+        code = main([
+            "serve", "--jsonl", "--input", str(jsonl_stream),
+            "--output", str(out), "--stats",
+            "--cluster", "3", "--shard-backend", "inline",
+            "--journal", str(journal_dir),
+            "--no-batch", "--no-warm-start",
+        ])
+        assert code == 0
+        responses = [json.loads(line) for line in
+                     out.read_text().splitlines() if line]
+        assert [r["id"] for r in responses] == ["f0", "f1", "e0", "s0"]
+        assert all(r["status"] == "ok" and r["converged"] for r in responses)
+        journals = sorted(p.name for p in journal_dir.glob("shard-*.journal"))
+        assert journals, "no per-shard journals written"
+        stats = json.loads(capsys.readouterr().err)
+        assert stats["completed"] == 4
+        assert set(stats["cluster"]["shards"]) == {
+            "shard-0", "shard-1", "shard-2",
+        }
+        assert stats["cluster"]["router"]["shards"] == 3
+
+    def test_cluster_recover_answers_journaled_backlog(
+        self, tmp_path, jsonl_stream, capsys
+    ):
+        """A journal directory with unanswered requests is replayed by
+        serve --cluster --recover before any new input — and answered
+        exactly once even when the shard count changed."""
+        import json
+
+        from repro.cluster import ClusterService
+        from repro.service.wire import read_requests
+
+        journal_dir = tmp_path / "journals"
+        with open(jsonl_stream) as fh:
+            requests = list(read_requests(fh))
+        svc = ClusterService(
+            shards=2, shard_backend="inline", journal_dir=journal_dir,
+            warm_start=False, batching=False,
+        )
+        ids = [svc.submit(r) for r in requests]
+        svc.shutdown(deadline_s=0)  # queue stays journaled, unanswered
+
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        code = main([
+            "serve", "--jsonl", "--input", str(empty),
+            "--cluster", "3", "--shard-backend", "inline", "--recover",
+            "--journal", str(journal_dir),
+            "--no-batch", "--no-warm-start",
+        ])
+        assert code == 0
+        responses = [json.loads(line) for line in
+                     capsys.readouterr().out.splitlines() if line]
+        assert sorted(r["id"] for r in responses) == sorted(ids)
+        assert all(r["status"] == "ok" for r in responses)

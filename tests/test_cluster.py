@@ -1,0 +1,370 @@
+"""The cluster tier: hash ring, fingerprint routing, router semantics.
+
+Process-isolation and crash behavior live in test_cluster_chaos.py;
+everything here runs on the deterministic inline shard backend.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import (
+    random_elastic_problem,
+    random_fixed_problem,
+    random_sam_problem,
+)
+from repro.cluster import (
+    ClusterService,
+    HashRing,
+    RecoveryCoordinator,
+    request_route_key,
+    route_key,
+)
+from repro.core.api import solve
+from repro.errors import DuplicateRequestError, OverloadedError
+from repro.service.request import SolveRequest
+
+
+def inline_cluster(shards=3, **kwargs):
+    """Deterministic cluster: inline shards, no warm state, no fusion
+    (the test_durability bit-identity idiom, cluster-wide)."""
+    kwargs.setdefault("warm_start", False)
+    kwargs.setdefault("batching", False)
+    return ClusterService(shards=shards, shard_backend="inline", **kwargs)
+
+
+class TestHashRing:
+    def test_lookup_is_deterministic_and_total(self):
+        ring = HashRing([f"s{i}" for i in range(4)])
+        keys = [f"key-{i}" for i in range(500)]
+        first = [ring.lookup(k) for k in keys]
+        again = [ring.lookup(k) for k in keys]
+        assert first == again
+        assert set(first) == {"s0", "s1", "s2", "s3"}
+
+    def test_spread_is_roughly_balanced(self):
+        ring = HashRing([f"s{i}" for i in range(4)], vnodes=64)
+        counts = ring.spread(f"key-{i}" for i in range(2000))
+        assert min(counts.values()) > 0
+        # vnodes smooth the split; no shard should own the majority.
+        assert max(counts.values()) < 2000 * 0.5
+
+    def test_adding_a_shard_moves_a_minority_of_keys(self):
+        keys = [f"key-{i}" for i in range(1000)]
+        ring = HashRing([f"s{i}" for i in range(4)])
+        before = {k: ring.lookup(k) for k in keys}
+        ring.add("s4")
+        after = {k: ring.lookup(k) for k in keys}
+        moved = sum(1 for k in keys if before[k] != after[k])
+        # Consistent hashing: ~1/5 of the keyspace, never a reshuffle.
+        assert 0 < moved < 1000 * 0.4
+        # Every moved key moved *to* the new shard, not between old ones.
+        assert all(after[k] == "s4" for k in keys if before[k] != after[k])
+
+    def test_remove_restores_the_previous_placement(self):
+        keys = [f"key-{i}" for i in range(300)]
+        ring = HashRing(["a", "b", "c"])
+        before = {k: ring.lookup(k) for k in keys}
+        ring.add("d")
+        ring.remove("d")
+        assert {k: ring.lookup(k) for k in keys} == before
+
+    def test_ring_validation(self):
+        with pytest.raises(ValueError, match="vnodes"):
+            HashRing(["a"], vnodes=0)
+        ring = HashRing(["a"])
+        with pytest.raises(ValueError, match="already"):
+            ring.add("a")
+        with pytest.raises(ValueError, match="not on the ring"):
+            ring.remove("b")
+        with pytest.raises(ValueError, match="no shards"):
+            HashRing().lookup("k")
+        assert "a" in ring and len(ring) == 1 and ring.shards == ["a"]
+
+
+class TestRouteKey:
+    def test_drifting_totals_share_a_key(self, rng):
+        """Revisions of one table (same structure, new totals) must
+        co-locate with their warm history."""
+        p = random_fixed_problem(rng, 6, 5)
+        drifted = type(p)(
+            x0=p.x0, gamma=p.gamma, s0=p.s0 * 1.05, d0=p.d0 * 1.05,
+            mask=p.mask,
+        )
+        assert route_key(p) == route_key(drifted)
+
+    def test_distinct_structures_get_distinct_keys(self, rng):
+        a = random_fixed_problem(rng, 6, 5)
+        b = random_fixed_problem(rng, 6, 5)  # fresh gamma/mask draw
+        assert route_key(a) != route_key(b)
+
+    def test_kinds_and_engines_separate(self, rng):
+        fixed = random_fixed_problem(rng, 5, 5)
+        sam = random_sam_problem(rng, 5)
+        assert route_key(fixed) != route_key(sam)
+        dense = SolveRequest(problem=fixed)
+        sparse = SolveRequest(problem=fixed, engine="sparse")
+        assert request_route_key(dense) != request_route_key(sparse)
+
+    def test_unknown_problem_type_falls_back_to_type_name(self):
+        class Odd:
+            shape = (3, 3)
+
+        assert "Odd" in route_key(Odd())
+
+
+class TestClusterService:
+    def test_drain_merges_all_shards_in_submission_order(self, rng):
+        problems = (
+            [random_fixed_problem(rng, 7, 5) for _ in range(6)]
+            + [random_elastic_problem(rng, 5, 6) for _ in range(4)]
+            + [random_sam_problem(rng, 6) for _ in range(3)]
+        )
+        with inline_cluster(shards=4) as svc:
+            ids = [svc.submit(p) for p in problems]
+            responses = svc.drain()
+            assert [r.id for r in responses] == ids
+            assert all(r.ok for r in responses)
+            # Multiple shards actually participated.
+            stats = svc.stats()
+            active = [s for s in stats.shards.values() if s.requests]
+            assert len(active) > 1
+            assert stats.aggregate.requests == len(problems)
+
+    def test_cluster_answers_match_direct_solves(self, rng):
+        problems = [random_fixed_problem(rng, 6, 6) for _ in range(8)]
+        with inline_cluster(shards=3) as svc:
+            ids = [svc.submit(p) for p in problems]
+            by_id = {r.id: r for r in svc.drain()}
+        for rid, problem in zip(ids, problems):
+            np.testing.assert_array_equal(
+                by_id[rid].result.x, solve(problem).x
+            )
+
+    def test_one_family_always_lands_on_one_shard(self, rng):
+        p = random_fixed_problem(rng, 8, 6)
+        with inline_cluster(shards=4) as svc:
+            home = svc.shard_of(p)
+            for scale in (1.0, 1.1, 0.93, 1.21):
+                drifted = type(p)(
+                    x0=p.x0, gamma=p.gamma, s0=p.s0 * scale,
+                    d0=p.d0 * scale, mask=p.mask,
+                )
+                rid = svc.submit(drifted)
+                assert svc._pending[rid].shard == home
+            svc.drain()
+
+    def test_solve_returns_own_response_retains_others(self, rng):
+        with inline_cluster(shards=3) as svc:
+            others = [svc.submit(random_fixed_problem(rng, 5, 5))
+                      for _ in range(3)]
+            mine = random_fixed_problem(rng, 6, 4)
+            response = svc.solve(mine)
+            assert response.ok and response.id not in others
+            collected = svc.collect()
+            assert sorted(r.id for r in collected) == sorted(others)
+
+    def test_duplicate_in_flight_id_rejected(self, rng):
+        with inline_cluster(shards=2) as svc:
+            p = random_fixed_problem(rng, 5, 5)
+            svc.submit(SolveRequest(problem=p, id="dup"))
+            with pytest.raises(DuplicateRequestError):
+                svc.submit(SolveRequest(problem=p, id="dup"))
+            svc.drain()
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="shards"):
+            ClusterService(shards=0)
+        with pytest.raises(ValueError, match="shard_backend"):
+            ClusterService(shards=1, shard_backend="carrier-pigeon")
+        with pytest.raises(ValueError, match="max_respawns"):
+            ClusterService(shards=1, shard_backend="inline", max_respawns=-1)
+
+    def test_stats_as_dict_nests_cluster_detail(self, rng):
+        with inline_cluster(shards=2) as svc:
+            svc.submit(random_fixed_problem(rng, 5, 5))
+            svc.drain()
+            doc = svc.stats().as_dict()
+        assert doc["requests"] == 1  # aggregate at top level
+        assert set(doc["cluster"]["shards"]) == {"shard-0", "shard-1"}
+        assert doc["cluster"]["router"]["shards"] == 2
+        for shard_doc in doc["cluster"]["shards"].values():
+            assert "sort_reuse_rate" in shard_doc
+
+
+class TestEdgeAdmission:
+    def test_reject_newest_at_cluster_cap(self, rng):
+        with inline_cluster(shards=2, max_queue=3) as svc:
+            for _ in range(3):
+                svc.submit(random_fixed_problem(rng, 5, 5))
+            with pytest.raises(OverloadedError, match="cluster"):
+                svc.submit(random_fixed_problem(rng, 5, 5))
+            assert svc.stats().router["rejections"] == 1
+            svc.drain()
+            # Backlog cleared: admission opens again.
+            svc.submit(random_fixed_problem(rng, 5, 5))
+            svc.drain()
+
+    def test_shed_oldest_at_the_router_answers_victim_once(self, rng, tmp_path):
+        with inline_cluster(
+            shards=2, max_queue=2, admission_policy="shed-oldest",
+            journal_dir=tmp_path / "j",
+        ) as svc:
+            ids = [svc.submit(random_fixed_problem(rng, 5, 5))
+                   for _ in range(2)]
+            third = svc.submit(random_fixed_problem(rng, 5, 5))
+            responses = svc.drain()
+            by_id = {r.id: r for r in responses}
+            # Everything answered exactly once, victim included.
+            assert sorted(by_id) == sorted(ids + [third])
+            assert len(responses) == len(by_id)
+            victims = [r for r in responses
+                       if r.error_kind == "overloaded"]
+            assert len(victims) == 1 and victims[0].id == ids[0]
+            assert svc.stats().router["sheds"] == 1
+
+    def test_max_per_shard_fair_share(self, rng):
+        """One hot family (one shard) hits its share; traffic routed to
+        other shards is still admitted."""
+        hot = random_fixed_problem(rng, 8, 6)
+        with inline_cluster(
+            shards=4, max_queue=32, max_per_shard=2
+        ) as svc:
+            hot_shard = svc.shard_of(hot)
+            sent = 0
+            for scale in (1.0, 1.03):
+                svc.submit(type(hot)(
+                    x0=hot.x0, gamma=hot.gamma, s0=hot.s0 * scale,
+                    d0=hot.d0 * scale, mask=hot.mask,
+                ))
+                sent += 1
+            with pytest.raises(OverloadedError, match="fair share"):
+                svc.submit(type(hot)(
+                    x0=hot.x0, gamma=hot.gamma, s0=hot.s0 * 1.07,
+                    d0=hot.d0 * 1.07, mask=hot.mask,
+                ))
+            # A family on a *different* shard still gets in.
+            admitted_elsewhere = 0
+            while admitted_elsewhere < 2:
+                p = random_fixed_problem(rng, 6, 6)
+                if svc.shard_of(p) == hot_shard:
+                    continue
+                svc.submit(p)
+                admitted_elsewhere += 1
+            assert svc.pending == sent + admitted_elsewhere
+            svc.drain()
+
+    def test_block_policy_applies_backpressure(self, rng):
+        with inline_cluster(
+            shards=2, max_queue=2, admission_policy="block"
+        ) as svc:
+            ids = [svc.submit(random_fixed_problem(rng, 5, 5))
+                   for _ in range(2)]
+            # Third submit drains the cluster to make room.
+            third = svc.submit(random_fixed_problem(rng, 5, 5))
+            assert svc.pending == 1  # only the new one in flight
+            delivered = svc.drain()
+            assert sorted(r.id for r in delivered) == sorted(ids + [third])
+
+
+class TestClusterRecovery:
+    def test_recover_same_shard_count_is_exactly_once(self, rng, tmp_path):
+        problems = [random_fixed_problem(rng, 6, 5) for _ in range(8)]
+        journal_dir = tmp_path / "j"
+        with inline_cluster(shards=3, journal_dir=journal_dir) as svc:
+            ids = [svc.submit(p) for p in problems]
+            # Answer nothing: a zero-deadline shutdown leaves the whole
+            # queue journaled for the next recovery.
+            assert svc.shutdown(deadline_s=0) == []
+        rec = ClusterService.recover(
+            journal_dir, shards=3, shard_backend="inline",
+            warm_start=False, batching=False,
+        )
+        with rec:
+            assert rec.remap_summary["rewritten"] is False
+            assert rec.pending == len(ids)
+            responses = {r.id: r for r in rec.drain()}
+        assert sorted(responses) == sorted(ids)
+        for rid, problem in zip(ids, problems):
+            np.testing.assert_array_equal(
+                responses[rid].result.x, solve(problem).x
+            )
+
+    def test_recover_with_changed_shard_count_remaps(self, rng, tmp_path):
+        problems = [random_fixed_problem(rng, 6, 5) for _ in range(10)]
+        journal_dir = tmp_path / "j"
+        with inline_cluster(shards=2, journal_dir=journal_dir) as svc:
+            # Answer the first four, leave six journaled-but-unanswered.
+            ids = [svc.submit(p) for p in problems[:4]]
+            delivered = {r.id: r for r in svc.drain()}
+            ids += [svc.submit(p) for p in problems[4:]]
+            svc.shutdown(deadline_s=0)
+        # Scale out 2 -> 5: the coordinator rewrites the journals.
+        rec = ClusterService.recover(
+            journal_dir, shards=5, shard_backend="inline",
+            warm_start=False, batching=False,
+        )
+        with rec:
+            summary = rec.remap_summary
+            assert summary["rewritten"] is True
+            assert summary["shards_before"] == ["shard-0", "shard-1"]
+            assert len(summary["shards_after"]) == 5
+            assert summary["records"] == len(ids)
+            # Answered ids come back verbatim, never re-solved...
+            assert sorted(rec.recovered) == sorted(delivered)
+            for rid, resp in rec.recovered.items():
+                np.testing.assert_array_equal(
+                    resp.result.x, delivered[rid].result.x
+                )
+            # ...and the unanswered replay exactly once, bit-identical.
+            replayed = {r.id: r for r in rec.drain()}
+            assert sorted(replayed) == sorted(set(ids) - set(delivered))
+            for rid, problem in zip(ids, problems):
+                if rid in replayed:
+                    np.testing.assert_array_equal(
+                        replayed[rid].result.x, solve(problem).x
+                    )
+        # Old journals are archived, not destroyed.
+        archive = tmp_path / "j" / "remap-000"
+        assert sorted(p.name for p in archive.iterdir()) == [
+            "shard-0.journal", "shard-1.journal",
+        ]
+
+    def test_coordinator_plan_is_a_dry_run(self, rng, tmp_path):
+        journal_dir = tmp_path / "j"
+        with inline_cluster(shards=2, journal_dir=journal_dir) as svc:
+            for _ in range(6):
+                svc.submit(random_fixed_problem(rng, 5, 5))
+            svc.shutdown(deadline_s=0)
+        files_before = sorted(p.name for p in journal_dir.iterdir())
+        plan = RecoveryCoordinator(
+            journal_dir, [f"shard-{i}" for i in range(4)]
+        ).plan()
+        assert plan["records"] == 6 and plan["unanswered"] == 6
+        # plan() must not touch the directory.
+        assert sorted(p.name for p in journal_dir.iterdir()) == files_before
+
+    def test_second_recovery_after_remap_stays_exactly_once(
+        self, rng, tmp_path
+    ):
+        """Crash-after-remap: answered ids must still be answered —
+        the coordinator rewrote them as request+response pairs."""
+        problems = [random_fixed_problem(rng, 6, 5) for _ in range(6)]
+        journal_dir = tmp_path / "j"
+        with inline_cluster(shards=3, journal_dir=journal_dir) as svc:
+            ids = [svc.submit(p) for p in problems]
+            svc.drain()  # answer everything
+            svc.close()
+        # First recovery remaps 3 -> 2 without serving any traffic...
+        ClusterService.recover(
+            journal_dir, shards=2, shard_backend="inline",
+            warm_start=False, batching=False,
+        ).close()
+        # ...and a second recovery still finds every id answered.
+        rec = ClusterService.recover(
+            journal_dir, shards=2, shard_backend="inline",
+            warm_start=False, batching=False,
+        )
+        with rec:
+            assert sorted(rec.recovered) == sorted(ids)
+            assert rec.pending == 0
+            assert rec.drain() == []

@@ -1,0 +1,178 @@
+"""Cluster chaos: SIGKILLed shards, respawn ladder, exactly-once.
+
+These tests use the real process shard backend: replicas are child
+processes that get SIGKILLed mid-traffic, and the assertions are the
+durability contract cluster-wide — zero lost requests, zero
+double-answered requests, and replayed answers bit-identical to an
+uninterrupted run (the ``warm_start=False, batching=False`` idiom from
+test_durability.py, since warm-started duals depend on service
+history).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import random_elastic_problem, random_fixed_problem
+from repro.cluster import ClusterService
+from repro.core.api import solve
+
+
+def durable_cluster(shards=3, **kwargs):
+    kwargs.setdefault("warm_start", False)
+    kwargs.setdefault("batching", False)
+    return ClusterService(shards=shards, shard_backend="process", **kwargs)
+
+
+def busiest_shard(svc):
+    """The shard with the most in-flight requests (deterministic tie-break)."""
+    counts = {sid: svc._pending_on(sid) for sid in svc.shard_ids}
+    return max(sorted(counts), key=counts.get)
+
+
+class TestShardKill:
+    def test_sigkill_mid_traffic_loses_and_duplicates_nothing(
+        self, rng, tmp_path
+    ):
+        """The ISSUE's chaos gate: kill a shard with journaled in-flight
+        work, keep serving, and end with every request answered exactly
+        once, bit-identical to a run that was never interrupted."""
+        problems = (
+            [random_fixed_problem(rng, 7, 6) for _ in range(10)]
+            + [random_elastic_problem(rng, 6, 5) for _ in range(5)]
+        )
+        with durable_cluster(shards=3, journal_dir=tmp_path / "j") as svc:
+            ids = [svc.submit(p) for p in problems[:6]]
+            answered = list(svc.drain())
+            # Second wave queued, then a replica dies *with work queued*.
+            ids += [svc.submit(p) for p in problems[6:]]
+            victim = busiest_shard(svc)
+            victim_pid = svc._shards[victim].pid
+            svc._shards[victim].kill()
+            # Traffic continues: the router revives the shard from its
+            # journal inside this drain.
+            answered += svc.drain()
+            stats = svc.stats()
+            assert stats.router["respawns"][victim] == 1
+            assert svc._shards[victim].pid != victim_pid
+
+        by_id = {r.id: r for r in answered}
+        assert len(answered) == len(by_id), "a request was answered twice"
+        assert sorted(by_id) == sorted(ids), "a request was lost"
+        for rid, problem in zip(ids, problems):
+            resp = by_id[rid]
+            assert resp.ok
+            np.testing.assert_array_equal(resp.result.x, solve(problem).x)
+
+    def test_kill_without_journal_resubmits_in_flight(self, rng, tmp_path):
+        """No journal: the router's in-flight map is the only record.
+        A killed shard's queue is gone, so reconcile re-submits every
+        pending request it kept — nothing is lost even undurably."""
+        problems = [random_fixed_problem(rng, 6, 5) for _ in range(8)]
+        with durable_cluster(shards=2) as svc:
+            ids = [svc.submit(p) for p in problems]
+            victim = busiest_shard(svc)
+            svc._shards[victim].kill()
+            responses = {r.id: r for r in svc.drain()}
+            assert sorted(responses) == sorted(ids)
+            assert svc.stats().router["resubmitted_in_flight"] > 0
+            for rid, problem in zip(ids, problems):
+                np.testing.assert_array_equal(
+                    responses[rid].result.x, solve(problem).x
+                )
+
+    def test_answered_but_undelivered_responses_recover_from_journal(
+        self, rng, tmp_path
+    ):
+        """Kill landing after a shard journaled its answers but before
+        the router received them: reconcile must deliver the *recorded*
+        responses, not re-solve."""
+        problems = [random_fixed_problem(rng, 6, 5) for _ in range(6)]
+        with durable_cluster(shards=1, journal_dir=tmp_path / "j") as svc:
+            ids = [svc.submit(p) for p in problems]
+            shard = svc._shards["shard-0"]
+            # Drive the shard's drain directly and drop the reply —
+            # simulating answers journaled but lost on the pipe.
+            lost = shard.call("drain")
+            assert len(lost) == len(ids)
+            shard.kill()
+            responses = {r.id: r for r in svc.drain()}
+            stats = svc.stats()
+        assert sorted(responses) == sorted(ids)
+        assert stats.router["recovered_in_flight"] == len(ids)
+        # The respawned shard returned recorded answers, solved nothing.
+        assert stats.aggregate.journal_recovered == len(ids)
+        assert stats.aggregate.completed == 0, "answers were re-solved"
+        for rid, want in ((r.id, r) for r in lost):
+            np.testing.assert_array_equal(
+                responses[rid].result.x, want.result.x
+            )
+
+    def test_respawn_ladder_degrades_to_inline(self, rng, tmp_path):
+        """Past max_respawns the replica falls back to an in-process
+        shard — the keyspace slice stays served instead of crash-looping."""
+        with durable_cluster(
+            shards=2, journal_dir=tmp_path / "j", max_respawns=1
+        ) as svc:
+            rid = svc.submit(random_fixed_problem(rng, 6, 5))
+            sid = svc._pending[rid].shard
+            svc._shards[sid].kill()
+            svc.ping()  # health probe respawns (process attempt #1)
+            assert svc._shards[sid].backend == "process"
+            svc._shards[sid].kill()
+            svc.ping()  # ladder exhausted: inline fallback
+            assert svc._shards[sid].backend == "inline"
+            stats = svc.stats()
+            assert stats.router["degraded"] == [sid]
+            assert stats.router["respawns"][sid] == 2
+            # And the shard still answers its slice.
+            responses = svc.drain()
+            assert [r.id for r in responses] == [rid] and responses[0].ok
+
+    def test_ping_reports_health(self, rng, tmp_path):
+        with durable_cluster(shards=2, journal_dir=tmp_path / "j") as svc:
+            assert set(svc.ping().values()) == {"ok"}
+            svc._shards["shard-1"].kill()
+            health = svc.ping()
+            assert health["shard-0"] == "ok"
+            assert health["shard-1"] == "respawned"
+
+
+class TestClusterRestart:
+    def test_full_restart_with_more_shards_is_exactly_once(
+        self, rng, tmp_path
+    ):
+        """Process-backend end-to-end: serve, hard-stop with a full
+        queue, recover into a *larger* cluster, finish the work — zero
+        lost, zero double-answered, bit-identical."""
+        problems = [random_fixed_problem(rng, 6, 6) for _ in range(9)]
+        journal_dir = tmp_path / "j"
+        with durable_cluster(shards=2, journal_dir=journal_dir) as svc:
+            ids = [svc.submit(p) for p in problems[:3]]
+            delivered = {r.id: r for r in svc.drain()}
+            ids += [svc.submit(p) for p in problems[3:]]
+            svc.shutdown(deadline_s=0)  # hard stop: queue stays journaled
+
+        rec = ClusterService.recover(
+            journal_dir, shards=4, shard_backend="process",
+            warm_start=False, batching=False,
+        )
+        with rec:
+            assert rec.remap_summary["rewritten"] is True
+            assert sorted(rec.recovered) == sorted(delivered)
+            replayed = {r.id: r for r in rec.drain()}
+
+        answered = set(rec.recovered) | set(replayed)
+        assert sorted(answered) == sorted(ids), "requests lost in remap"
+        assert not (set(rec.recovered) & set(replayed)), "answered twice"
+        for rid, problem in zip(ids, problems):
+            resp = replayed.get(rid) or rec.recovered[rid]
+            np.testing.assert_array_equal(resp.result.x, solve(problem).x)
+
+    def test_shutdown_deadline_drains_what_it_can(self, rng, tmp_path):
+        with durable_cluster(shards=2, journal_dir=tmp_path / "j") as svc:
+            ids = [svc.submit(random_fixed_problem(rng, 5, 5))
+                   for _ in range(4)]
+            drained = svc.shutdown(deadline_s=60)
+            assert sorted(r.id for r in drained) == sorted(ids)
+            with pytest.raises(Exception, match="draining"):
+                svc.submit(random_fixed_problem(rng, 5, 5))

@@ -1,0 +1,128 @@
+"""``ServiceStats.merge``: the cluster aggregate's algebra.
+
+Property-style over randomized stats records: merge must add every
+counter field (dicts per-key), survive the ``snapshot()``/``as_dict()``
+round trip with no field dropped or shared by reference, and pool the
+derived rates from summed numerators/denominators rather than
+averaging ratios.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.service.metrics import ServiceStats
+
+KINDS = ("fixed", "elastic", "sam", "fixed/sparse")
+ERROR_KINDS = ("overloaded", "infeasible", "deadline-exceeded", "internal")
+
+
+def random_stats(rng: np.random.Generator) -> ServiceStats:
+    """Randomize *every* dataclass field, keyed off its default type —
+    a newly added counter is exercised here without editing the test."""
+    stats = ServiceStats()
+    for f in dataclasses.fields(ServiceStats):
+        value = getattr(stats, f.name)
+        if isinstance(value, dict):
+            keys = ERROR_KINDS if "error" in f.name else KINDS
+            setattr(stats, f.name, {
+                k: int(rng.integers(0, 50))
+                for k in keys if rng.random() < 0.7
+            })
+        elif isinstance(value, float):
+            setattr(stats, f.name, float(rng.uniform(0.0, 100.0)))
+        else:
+            setattr(stats, f.name, int(rng.integers(0, 1000)))
+    return stats
+
+
+class TestMergeProperties:
+    def test_every_field_adds(self, rng):
+        for _ in range(25):
+            a, b = random_stats(rng), random_stats(rng)
+            merged = a.merge(b)
+            for f in dataclasses.fields(ServiceStats):
+                va, vb = getattr(a, f.name), getattr(b, f.name)
+                vm = getattr(merged, f.name)
+                if isinstance(va, dict):
+                    assert vm == {
+                        k: va.get(k, 0) + vb.get(k, 0)
+                        for k in set(va) | set(vb)
+                    }, f.name
+                elif isinstance(va, float):
+                    assert vm == pytest.approx(va + vb), f.name
+                else:
+                    assert vm == va + vb, f.name
+
+    def test_merge_is_commutative(self, rng):
+        a, b = random_stats(rng), random_stats(rng)
+        assert a.merge(b).as_dict() == b.merge(a).as_dict()
+
+    def test_merge_with_empty_is_identity_on_counters(self, rng):
+        a = random_stats(rng)
+        merged = a.merge(ServiceStats())
+        for f in dataclasses.fields(ServiceStats):
+            assert getattr(merged, f.name) == getattr(a, f.name), f.name
+
+    def test_round_trips_through_snapshot_and_as_dict(self, rng):
+        """merge(a, b) must survive snapshot()/as_dict() with every
+        counter field present and equal — no field dropped, none shared."""
+        for _ in range(10):
+            a, b = random_stats(rng), random_stats(rng)
+            merged = a.merge(b)
+            snap = merged.snapshot()
+            assert snap == merged and snap is not merged
+            direct, via_snapshot = merged.as_dict(), snap.as_dict()
+            assert direct == via_snapshot
+            for f in dataclasses.fields(ServiceStats):
+                assert f.name in direct, f"{f.name} dropped from as_dict"
+                want = getattr(merged, f.name)
+                if f.name == "total_solve_time":
+                    assert direct[f.name] == pytest.approx(want, abs=1e-6)
+                else:
+                    assert direct[f.name] == want
+            # Dict fields must be copies, not aliases into the inputs.
+            snap.per_kind["fixed"] = -1
+            assert merged.per_kind.get("fixed") != -1
+
+    def test_neither_input_is_mutated(self, rng):
+        a, b = random_stats(rng), random_stats(rng)
+        before_a, before_b = a.snapshot(), b.snapshot()
+        a.merge(b)
+        assert a == before_a and b == before_b
+
+    def test_derived_rates_pool_not_average(self):
+        """The merged hit rate must be (h1+h2)/(l1+l2) — pooling, not
+        the average of per-shard ratios."""
+        a = ServiceStats(cache_hits=9, cache_misses=1)      # 90 %
+        b = ServiceStats(cache_hits=0, cache_misses=10)     # 0 %
+        merged = a.merge(b)
+        assert merged.hit_rate == pytest.approx(9 / 20)     # not 45 %... pooled
+        a = ServiceStats(sort_rows_reused=30, sort_rows_resorted=10)
+        b = ServiceStats(sort_rows_reused=0, sort_rows_resorted=60)
+        assert a.merge(b).sort_reuse_rate == pytest.approx(30 / 100)
+        a = ServiceStats(completed=2, total_solve_time=4.0,
+                         total_iterations=10)
+        b = ServiceStats(completed=8, total_solve_time=1.0,
+                         total_iterations=30)
+        merged = a.merge(b)
+        assert merged.mean_solve_time == pytest.approx(0.5)
+        assert merged.mean_iterations == pytest.approx(4.0)
+
+    def test_merge_rejects_foreign_types(self):
+        with pytest.raises(TypeError, match="merge"):
+            ServiceStats().merge({"requests": 1})
+
+    def test_associative_over_a_shard_list(self, rng):
+        """reduce(merge, shards) — the cluster aggregate — is grouping-
+        independent."""
+        shards = [random_stats(rng) for _ in range(4)]
+        left = shards[0].merge(shards[1]).merge(shards[2]).merge(shards[3])
+        right = shards[0].merge(shards[1].merge(shards[2].merge(shards[3])))
+        for f in dataclasses.fields(ServiceStats):
+            va, vb = getattr(left, f.name), getattr(right, f.name)
+            if isinstance(va, float):
+                assert va == pytest.approx(vb), f.name
+            else:
+                assert va == vb, f.name
