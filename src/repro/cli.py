@@ -89,6 +89,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="newline-delimited JSON in/out (the only wire "
                             "format; flag kept explicit for forward "
                             "compatibility)")
+    serve.add_argument("--tcp", metavar="HOST:PORT",
+                       help="serve the same JSONL schema over an asyncio "
+                            "TCP edge instead of stdin/stdout: concurrent "
+                            "pipelined client connections, in-order "
+                            "responses per connection, socket-level "
+                            "backpressure under --admission block, "
+                            "SIGTERM/SIGINT graceful drain (port 0 picks "
+                            "a free port)")
     serve.add_argument("--input",
                        help="read requests from this file (default: stdin)")
     serve.add_argument("--output",
@@ -324,6 +332,121 @@ def _validate_serve_args(args) -> None:
         raise SystemExit(f"--fsync must be >= 0, got {args.fsync}")
     if args.window < 1:
         raise SystemExit(f"--window must be >= 1, got {args.window}")
+    if args.tcp is not None:
+        if args.input or args.output:
+            raise SystemExit(
+                "--tcp serves sockets; --input/--output only apply to "
+                "the stdin JSONL session"
+            )
+        host, sep, port_s = args.tcp.rpartition(":")
+        if not sep or not port_s.isdigit() or int(port_s) > 65535:
+            raise SystemExit(
+                f"--tcp expects HOST:PORT (PORT in 0..65535, 0 = pick a "
+                f"free port), got {args.tcp!r}"
+            )
+
+
+def _build_service(args):
+    """Construct the :class:`SolveService` or :class:`ClusterService`
+    the serve flags describe (shared by the stdin JSONL session and the
+    TCP edge)."""
+    from repro.service import SolveService
+
+    kwargs = dict(
+        workers=args.workers,
+        backend=args.backend,
+        batching=not args.no_batch,
+        warm_start=not args.no_warm_start,
+        max_batch=max(args.window, 1),
+        default_deadline_s=args.deadline,
+        default_retries=max(args.retries, 0),
+        fsync=max(args.fsync, 0),
+    )
+    if args.recover and not args.journal:
+        raise SystemExit("--recover requires --journal")
+    if args.cluster is not None:
+        # Sharded tier: --journal/--snapshot are directories of
+        # per-shard files; admission moves to the router edge.
+        from repro.cluster import ClusterService
+
+        kwargs.update(
+            shard_backend=args.shard_backend,
+            snapshot_dir=args.snapshot,
+            snapshot_every=args.snapshot_every,
+            max_queue=args.max_queue,
+            admission_policy=args.admission,
+            max_per_shard=args.max_per_shard,
+        )
+        if args.recover:
+            return ClusterService.recover(
+                args.journal, shards=args.cluster, **kwargs
+            )
+        return ClusterService(
+            shards=args.cluster, journal_dir=args.journal, **kwargs
+        )
+    kwargs.update(
+        snapshot_path=args.snapshot,
+        snapshot_every=args.snapshot_every,
+        max_queue=args.max_queue,
+        admission_policy=args.admission,
+        max_per_kind=args.max_per_kind,
+    )
+    if args.recover:
+        return SolveService.recover(args.journal, **kwargs)
+    return SolveService(journal=args.journal, **kwargs)
+
+
+def _serve_tcp_edge(args) -> int:
+    """The ``serve --tcp`` path: run the asyncio edge until
+    SIGTERM/SIGINT, then drain gracefully and exit 0."""
+    import asyncio
+    import json
+
+    from repro.edge import serve_tcp
+
+    host, _, port_s = args.tcp.rpartition(":")
+    with _build_service(args) as svc:
+        if args.recover and svc.pending:
+            # Crashed clients cannot reattach to their old connection;
+            # answer the journal's unanswered requests now so the
+            # responses are journaled (exactly once) before new
+            # traffic arrives.
+            svc.drain()
+        async def _run():
+            loop = asyncio.get_running_loop()
+            ready = loop.create_future()
+
+            async def _announce():
+                # Port 0 binds a free port; tell the operator (and the
+                # tests) which one before traffic can arrive.
+                port = await ready
+                print(
+                    f"edge listening on {host or '127.0.0.1'}:{port}",
+                    file=sys.stderr, flush=True,
+                )
+
+            announce = asyncio.ensure_future(_announce())
+            try:
+                return await serve_tcp(
+                    svc,
+                    host or "127.0.0.1",
+                    int(port_s),
+                    drain_deadline_s=args.drain_deadline,
+                    ready=ready,
+                    window=max(args.window, 1),
+                    default_deadline_s=args.deadline,
+                    include_matrix=not args.no_matrix,
+                )
+            finally:
+                announce.cancel()
+
+        server = asyncio.run(_run())
+        if args.stats:
+            payload = dict(server.stats.as_dict())
+            if server.final_service_stats is not None:
+                payload["service"] = server.final_service_stats
+            print(json.dumps(payload), file=sys.stderr)
+    return 0
 
 
 def _cmd_serve(args) -> int:
@@ -333,7 +456,6 @@ def _cmd_serve(args) -> int:
     import signal
 
     from repro.errors import ReproError
-    from repro.service import SolveService
     from repro.service.wire import (
         RequestError,
         dump_response,
@@ -342,6 +464,8 @@ def _cmd_serve(args) -> int:
     )
 
     _validate_serve_args(args)
+    if args.tcp is not None:
+        return _serve_tcp_edge(args)
 
     class _GracefulShutdown(Exception):
         """Raised by the signal handler to unwind into the drain path."""
@@ -399,52 +523,7 @@ def _cmd_serve(args) -> int:
                     _write(resp)
                 out_stream.flush()
 
-            kwargs = dict(
-                workers=args.workers,
-                backend=args.backend,
-                batching=not args.no_batch,
-                warm_start=not args.no_warm_start,
-                max_batch=max(args.window, 1),
-                default_deadline_s=args.deadline,
-                default_retries=max(args.retries, 0),
-                fsync=max(args.fsync, 0),
-            )
-            if args.recover and not args.journal:
-                raise SystemExit("--recover requires --journal")
-            if args.cluster is not None:
-                # Sharded tier: --journal/--snapshot are directories of
-                # per-shard files; admission moves to the router edge.
-                from repro.cluster import ClusterService
-
-                kwargs.update(
-                    shard_backend=args.shard_backend,
-                    snapshot_dir=args.snapshot,
-                    snapshot_every=args.snapshot_every,
-                    max_queue=args.max_queue,
-                    admission_policy=args.admission,
-                    max_per_shard=args.max_per_shard,
-                )
-                if args.recover:
-                    svc = ClusterService.recover(
-                        args.journal, shards=args.cluster, **kwargs
-                    )
-                else:
-                    svc = ClusterService(
-                        shards=args.cluster, journal_dir=args.journal,
-                        **kwargs,
-                    )
-            else:
-                kwargs.update(
-                    snapshot_path=args.snapshot,
-                    snapshot_every=args.snapshot_every,
-                    max_queue=args.max_queue,
-                    admission_policy=args.admission,
-                    max_per_kind=args.max_per_kind,
-                )
-                if args.recover:
-                    svc = SolveService.recover(args.journal, **kwargs)
-                else:
-                    svc = SolveService(journal=args.journal, **kwargs)
+            svc = _build_service(args)
             stack.enter_context(svc)
             try:
                 if args.recover and svc.pending:

@@ -317,6 +317,23 @@ class ClusterService:
             1 for entry in self._pending.values() if entry.shard == shard_id
         )
 
+    def admission_decision(self, request, **options) -> tuple[str, str | None]:
+        """Preview the router's admission outcome for ``request`` (or a
+        bare problem) without submitting it — the cluster counterpart
+        of :meth:`SolveService.admission_decision`, with the routed
+        shard id as the admission kind.  The network edge uses it to
+        turn a ``block`` verdict into socket backpressure."""
+        if not isinstance(request, SolveRequest):
+            request = SolveRequest(problem=request, **options)
+        if not self._accepting:
+            return "reject", "draining"
+        if not self._admission.config.bounded:
+            return "accept", None
+        shard_id = self.ring.lookup(request_route_key(request))
+        return self._admission.decide(
+            shard_id, len(self._pending), self._pending_on(shard_id)
+        )
+
     def _admit(self, shard_id: str) -> None:
         """Edge admission with shard id as the kind: shed/reject at the
         router before a hot shard's queue can overflow."""
@@ -342,14 +359,32 @@ class ClusterService:
             return
         # shed-oldest: evict from the population whose limit fired —
         # the routed shard when its share is full, else the hottest.
-        victim_shard = shard_id if scope == "kind" else max(
-            self.shard_ids, key=self._pending_on
-        )
-        response = self._call(victim_shard, "shed")
-        if response is not None:
-            self.router_sheds += 1
-            self._pending.pop(response.id, None)
-            self._buffer.append(response)
+        # A shard's in-flight count can exceed its *queued* count (a
+        # shard-internal shed parks the answer in its completed buffer
+        # while the router still counts the id in flight), so a "queue"
+        # shed falls back across shards by pending count; when nobody
+        # has an evictable request the submit is rejected — accepting
+        # anyway would silently overrun the bound.
+        if scope == "kind":
+            candidates = [shard_id]
+        else:
+            candidates = sorted(
+                self.shard_ids, key=self._pending_on, reverse=True
+            )
+        response = None
+        for sid in candidates:
+            response = self._call(sid, "shed")
+            if response is not None:
+                break
+        if response is None:
+            self.router_rejections += 1
+            raise OverloadedError(
+                "cluster queue full (policy 'shed-oldest') with nothing "
+                "evictable; back off and resubmit"
+            )
+        self.router_sheds += 1
+        self._pending.pop(response.id, None)
+        self._buffer.append(response)
 
     def submit(self, request, **options) -> str:
         """Route a request (or bare problem) to its shard; returns its id.

@@ -1,0 +1,16 @@
+"""``repro.edge`` — the asyncio TCP front end of the solve service.
+
+:class:`EdgeServer` multiplexes thousands of concurrent JSONL-over-TCP
+client connections onto one :class:`~repro.service.SolveService` or
+:class:`~repro.cluster.ClusterService`, with per-connection request
+pipelining, in-order streaming responses, connection-scoped request-id
+namespacing, deadline propagation from socket arrival, and socket-level
+backpressure wired into :mod:`repro.service.admission`.  See
+:mod:`repro.edge.server` for the design notes and ``python -m repro
+serve --tcp HOST:PORT`` for the CLI entry point.
+"""
+
+from repro.edge.client import EdgeClient
+from repro.edge.server import EdgeServer, EdgeStats, serve_tcp
+
+__all__ = ["EdgeClient", "EdgeServer", "EdgeStats", "serve_tcp"]

@@ -1,0 +1,85 @@
+"""Minimal asyncio client for the TCP edge.
+
+Used by the tests, the open-loop latency benchmark and the examples;
+real clients in other languages just speak newline-delimited JSON (the
+schema of :mod:`repro.service.wire`) over a plain TCP socket.
+
+The client is deliberately pipelining-first: :meth:`EdgeClient.send`
+returns as soon as the line is written, :meth:`EdgeClient.recv` reads
+the next response line, and the edge guarantees the k-th response
+answers the k-th request of this connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.service.request import SolveRequest
+from repro.service.wire import request_to_jsonable
+
+__all__ = ["EdgeClient"]
+
+
+class EdgeClient:
+    """One pipelined JSONL-over-TCP connection to an :class:`EdgeServer`."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, *, limit: int = 2**24
+    ) -> "EdgeClient":
+        """Open a connection (``limit`` bounds one response line — keep
+        it larger than the biggest matrix payload you expect back)."""
+        reader, writer = await asyncio.open_connection(host, port, limit=limit)
+        return cls(reader, writer)
+
+    async def send(self, request, **options) -> None:
+        """Write one request line (a :class:`SolveRequest`, a bare
+        problem plus options, or a pre-encoded dict) without waiting
+        for the response."""
+        if isinstance(request, dict):
+            obj = request
+        else:
+            if not isinstance(request, SolveRequest):
+                request = SolveRequest(problem=request, **options)
+            obj = request_to_jsonable(request)
+        await self.send_raw(json.dumps(obj, separators=(",", ":")))
+
+    async def send_raw(self, line: str) -> None:
+        """Write one raw frame (tests use this for malformed input)."""
+        self.writer.write(line.encode() + b"\n")
+        await self.writer.drain()
+
+    async def recv(self) -> dict | None:
+        """The next response object, or ``None`` on a closed stream."""
+        line = await self.reader.readline()
+        if not line:
+            return None
+        return json.loads(line)
+
+    async def request(self, request, **options) -> dict:
+        """Send one request and wait for its response (no pipelining)."""
+        await self.send(request, **options)
+        response = await self.recv()
+        if response is None:
+            raise ConnectionError("edge closed the connection mid-request")
+        return response
+
+    async def close(self) -> None:
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover — raced close
+            pass
+
+    async def __aenter__(self) -> "EdgeClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()

@@ -88,6 +88,15 @@ class AdmissionController:
     ``"accept" | "block" | "reject" | "shed"``, ``scope`` names the
     limit that fired (``"kind"`` or ``"queue"``, ``None`` on accept) so
     the service knows *which* population to shed from.
+
+    Invariant the shed path relies on: a ``("shed", "kind")`` verdict
+    implies ``kind_count >= max_per_kind >= 1`` and ``("shed",
+    "queue")`` implies ``queue_len >= max_queue >= 1`` — the fired
+    population always holds at least one member *by the caller's own
+    count*.  Callers whose count can drift from what is actually
+    evictable (the cluster router counts in-flight ids, not queued
+    requests) must handle a victimless shed by rejecting, never by
+    silently accepting past the bound.
     """
 
     def __init__(self, config: AdmissionConfig) -> None:

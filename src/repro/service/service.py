@@ -368,13 +368,31 @@ class SolveService:
         self._stats.queue_depth = len(self._queue)
         return request.id
 
-    def _admit(self, request: SolveRequest) -> None:
-        """Apply the admission policy ahead of accepting ``request``."""
+    def admission_decision(self, request, **options) -> tuple[str, str | None]:
+        """Preview the admission outcome for ``request`` (or a bare
+        problem) without submitting it.
+
+        Returns the ``(action, scope)`` pair of
+        :meth:`~repro.service.admission.AdmissionController.decide`
+        against the current queue state, plus ``("reject",
+        "draining")`` on a shutting-down service.  This is the probe
+        the network edge (:mod:`repro.edge`) uses to convert a
+        ``block`` verdict into socket backpressure
+        (``transport.pause_reading()``) instead of letting
+        :meth:`submit` drain synchronously on the event loop."""
+        if not isinstance(request, SolveRequest):
+            request = SolveRequest(problem=request, **options)
+        if not self._accepting:
+            return "reject", "draining"
+        if not self._admission.config.bounded:
+            return "accept", None
         kind = self._kind_tag(request)
         kind_count = sum(1 for r in self._queue if self._kind_tag(r) == kind)
-        action, scope = self._admission.decide(
-            kind, len(self._queue), kind_count
-        )
+        return self._admission.decide(kind, len(self._queue), kind_count)
+
+    def _admit(self, request: SolveRequest) -> None:
+        """Apply the admission policy ahead of accepting ``request``."""
+        action, scope = self.admission_decision(request)
         if action == "accept":
             return
         if action == "reject":
@@ -391,20 +409,36 @@ class SolveService:
                 self._retain(response)
             return
         # shed-oldest: evict (and answer) the stalest queued request of
-        # the population whose limit fired.
-        self._shed(kind if scope == "kind" else None)
+        # the population whose limit fired.  The incoming request is not
+        # queued yet, so it can never shed itself; and because a fired
+        # limit implies >= 1 queued member of that population, a None
+        # victim means the accounting broke — reject rather than
+        # silently overrun the bound.
+        kind = self._kind_tag(request)
+        if self._shed(kind if scope == "kind" else None) is None:
+            self._stats.overload_rejections += 1
+            raise OverloadedError(
+                f"bounded queue full ({scope} limit, policy "
+                "'shed-oldest') with nothing evictable; back off and "
+                "resubmit"
+            )
 
     def _shed(
         self, kind: str | None, retain: bool = True
     ) -> SolveResponse | None:
         victim = None
-        if kind is None and self._queue:
-            victim = self._queue.popleft()
+        if kind is None:
+            if self._queue:
+                victim = self._queue.popleft()
         else:
-            for queued in self._queue:
+            # Removal is by index, never deque.remove(): requests are
+            # dataclasses, so remove()'s field-wise __eq__ against an
+            # earlier queued request of the same problem type hits
+            # numpy's ambiguous array truth value and crashes submit.
+            for i, queued in enumerate(self._queue):
                 if self._kind_tag(queued) == kind:
                     victim = queued
-                    self._queue.remove(queued)
+                    del self._queue[i]
                     break
         if victim is None:
             return None

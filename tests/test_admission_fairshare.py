@@ -161,3 +161,83 @@ class TestFairShareBlock:
         responses = {r.id: r for r in svc.drain() + svc.collect()}
         assert sorted(responses) == sorted(ids)
         assert all(r.ok for r in responses.values())
+
+
+class TestShedAuditRegressions:
+    """Audit of the ``("shed", "kind")`` path: victim identity, the
+    mixed-engine crash, and the cluster's victimless-shed drift."""
+
+    def test_mixed_engine_shed_does_not_crash(self, rng):
+        """Regression: a sparse-engine request (kind ``fixed/sparse``)
+        queued ahead of the dense victim made the kind-scoped shed
+        remove-by-equality, which compares the problem dataclasses
+        field-wise -> ndarray ``==`` -> ambiguous-truth ValueError."""
+        svc = SolveService(
+            warm_start=False, max_queue=8, max_per_kind=2,
+            admission_policy="shed-oldest",
+        )
+        sparse_id = svc.submit(random_fixed_problem(rng, 4, 4),
+                               engine="sparse")
+        first = svc.submit(random_fixed_problem(rng, 4, 4))
+        second = svc.submit(random_fixed_problem(rng, 4, 4))
+        third = svc.submit(random_fixed_problem(rng, 4, 4))
+        shed = svc.collect()
+        assert [r.id for r in shed] == [first]
+        assert shed[0].error_kind == "overloaded"
+        answered = {r.id for r in svc.drain()}
+        assert answered == {sparse_id, second, third}
+
+    def test_incoming_request_is_never_its_own_victim(self, rng):
+        """The admission decision runs *before* the incoming request is
+        queued, so the shed victim is always a previously queued
+        request — at ``max_per_kind=1`` each submit evicts its
+        predecessor, never itself."""
+        svc = SolveService(
+            warm_start=False, max_queue=8, max_per_kind=1,
+            admission_policy="shed-oldest",
+        )
+        ids = [svc.submit(random_fixed_problem(rng, 4, 4))
+               for _ in range(4)]
+        victims = [r.id for r in svc.collect()]
+        assert victims == ids[:-1]
+        assert [r.id for r in svc.drain()] == [ids[-1]]
+
+    def test_cluster_victimless_shed_rejects_not_overruns(self, rng):
+        """The router counts in-flight ids, which can drift above what
+        is actually queued (and evictable) on the shards.  A shed that
+        finds no victim anywhere must reject — silently accepting
+        would overrun the bound the caller configured."""
+        from repro.cluster import ClusterService
+
+        cluster = ClusterService(
+            shards=2, shard_backend="inline", max_queue=2,
+            admission_policy="shed-oldest",
+        )
+        try:
+            for _ in range(2):
+                cluster.submit(random_fixed_problem(rng, 4, 4))
+            # Drain the shards behind the router's back: both ids stay
+            # in flight at the router, but no shard queue holds
+            # anything evictable.
+            for sid in cluster.shard_ids:
+                cluster._call(sid, "drain")
+            with pytest.raises(OverloadedError, match="nothing evictable"):
+                cluster.submit(random_fixed_problem(rng, 4, 4))
+            assert cluster.router_rejections == 1
+        finally:
+            cluster.close()
+
+    def test_service_victimless_shed_rejects(self, rng):
+        """Belt over braces for the single service: its counts cannot
+        drift today (the decide invariant), but if a future decide
+        variant fires a shed with nothing evictable, the service must
+        reject — never silently accept past the bound."""
+        svc = SolveService(
+            warm_start=False, max_queue=8,
+            admission_policy="shed-oldest",
+        )
+        svc._admission.decide = lambda *a: ("shed", "kind")
+        with pytest.raises(OverloadedError, match="nothing evictable"):
+            svc.submit(random_fixed_problem(rng, 4, 4))
+        assert svc.stats().overload_rejections == 1
+        assert svc.pending == 0
