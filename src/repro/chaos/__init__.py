@@ -1,0 +1,15 @@
+"""Network chaos engineering: seeded fault schedules and a TCP proxy.
+
+``ChaosSchedule`` declares *what* goes wrong (latency, throttling,
+corruption, truncation, resets, partitions — and, composed via a
+:class:`~repro.service.faults.FaultPlan` rider, process-level kernel
+faults); ``ChaosProxy`` sits between a client and an
+:class:`~repro.edge.EdgeServer` and makes it go wrong, identically on
+every run with the same seed.  See :mod:`repro.chaos.proxy` for the
+design notes.
+"""
+
+from repro.chaos.proxy import ChaosProxy
+from repro.chaos.schedule import ChaosSchedule
+
+__all__ = ["ChaosProxy", "ChaosSchedule"]

@@ -1,0 +1,325 @@
+"""Seeded asyncio TCP fault-injection proxy.
+
+``ChaosProxy`` accepts client connections, opens one upstream
+connection per client (to an :class:`~repro.edge.EdgeServer`, usually)
+and relays bytes both ways through a fault pipeline driven by a
+:class:`~repro.chaos.schedule.ChaosSchedule`.  Each relayed chunk may
+be delayed (fixed latency + heavy-tailed jitter), throttled to a
+bandwidth, corrupted (one non-newline byte flipped to a control
+character), truncated mid-frame, or dropped with a connection reset;
+timed partition windows sever every active connection and refuse new
+ones.
+
+Determinism: each connection direction draws from its own
+``random.Random`` keyed on ``(seed, connection index, direction)``, so
+the fault pattern a given connection experiences does not depend on how
+other connections interleave on the event loop.  (Chunk boundaries
+still follow kernel read timing, so byte-exact replay is not promised —
+schedule-exact replay is.)
+
+Every injected fault, partition transition, and connection open/close
+is appended to :attr:`ChaosProxy.events` (and written as JSONL by
+:meth:`ChaosProxy.write_events`) — a failing soak run ships its own
+fault log.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pathlib
+
+from repro.chaos.schedule import ChaosSchedule
+
+__all__ = ["ChaosProxy"]
+
+_CHUNK = 65536
+_CORRUPT_BYTE = 0x01  # a control char: invalid anywhere in strict JSON
+
+
+class _ProxyConn:
+    """One client<->upstream relay pair."""
+
+    def __init__(self, name: str, client_writer, upstream_writer) -> None:
+        self.name = name
+        self.client_writer = client_writer
+        self.upstream_writer = upstream_writer
+        self.severed = False
+
+    def sever(self) -> None:
+        """Abort both transports (RST-style, nothing flushed)."""
+        self.severed = True
+        for writer in (self.client_writer, self.upstream_writer):
+            try:
+                writer.transport.abort()
+            except (RuntimeError, AttributeError):  # pragma: no cover
+                pass
+
+
+class ChaosProxy:
+    """TCP relay that injects a :class:`ChaosSchedule` between the ends.
+
+    Parameters
+    ----------
+    upstream_host, upstream_port:
+        Where the real server listens.
+    schedule:
+        The fault schedule (default: a transparent relay).
+    host, port:
+        Bind address for clients; port ``0`` picks a free port (read it
+        back from :attr:`port` after :meth:`start`).
+    """
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        schedule: ChaosSchedule | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        chunk_bytes: int = _CHUNK,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.schedule = schedule if schedule is not None else ChaosSchedule()
+        self.host = host
+        self.port = port
+        self.chunk_bytes = chunk_bytes
+        self.connect_timeout = connect_timeout
+        self.events: list[dict] = []
+        self.injected = {
+            "corrupt": 0, "truncate": 0, "reset": 0,
+            "partition-refused": 0, "partition-severed": 0,
+        }
+        self._conns: set[_ProxyConn] = set()
+        self._tasks: set[asyncio.Task] = set()
+        self._conn_seq = 0
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._watchdog: asyncio.Task | None = None
+        self._t0 = 0.0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> "ChaosProxy":
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port, limit=self.chunk_bytes
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._t0 = self._loop.time()
+        if self.schedule.partitions:
+            self._watchdog = self._loop.create_task(
+                self._partition_watchdog()
+            )
+        return self
+
+    async def close(self) -> None:
+        if self._watchdog is not None:
+            self._watchdog.cancel()
+            self._watchdog = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for conn in list(self._conns):
+            conn.sever()
+        # Severed transports fail the pumps' pending reads, so the
+        # handler tasks exit on their own — wait for them rather than
+        # cancelling, which would make asyncio.streams log the
+        # cancellation at loop teardown.
+        live = [t for t in self._tasks if not t.done()]
+        if live:
+            await asyncio.wait(live, timeout=5.0)
+
+    async def __aenter__(self) -> "ChaosProxy":
+        if self._server is None:
+            await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # -- observability --------------------------------------------------------
+
+    @property
+    def faults_injected(self) -> int:
+        return (self.injected["corrupt"] + self.injected["truncate"]
+                + self.injected["reset"])
+
+    def elapsed(self) -> float:
+        return self._loop.time() - self._t0
+
+    def _event(self, kind: str, conn: str, direction: str, **detail) -> None:
+        entry = {"t": round(self.elapsed(), 6), "conn": conn,
+                 "dir": direction, "event": kind}
+        entry.update(detail)
+        self.events.append(entry)
+
+    def write_events(self, path) -> None:
+        """Dump the structured event log as JSONL (the CI artifact)."""
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as fh:
+            for entry in self.events:
+                fh.write(json.dumps(entry, separators=(",", ":")) + "\n")
+
+    # -- partition windows ----------------------------------------------------
+
+    async def _partition_watchdog(self) -> None:
+        """Sever every active connection at each partition start (the
+        per-chunk check only catches connections that are talking)."""
+        for start, end in self.schedule.partitions:
+            delay = start - self.elapsed()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            severed = 0
+            for conn in list(self._conns):
+                conn.sever()
+                severed += 1
+            self.injected["partition-severed"] += severed
+            self._event("partition-start", "-", "-", until=round(end, 6),
+                        severed=severed)
+            remaining = end - self.elapsed()
+            if remaining > 0:
+                await asyncio.sleep(remaining)
+            self._event("partition-end", "-", "-")
+
+    # -- relay ----------------------------------------------------------------
+
+    async def _handle(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+        self._conn_seq += 1
+        idx, name = self._conn_seq, f"p{self._conn_seq}"
+        up_writer = None
+        # The outer finally is load-bearing: any exit that leaves either
+        # transport open strands the peer in a silent read — an
+        # ESTABLISHED socket nobody will ever write to.
+        try:
+            if self.schedule.in_partition(self.elapsed()):
+                self.injected["partition-refused"] += 1
+                self._event("partition-refuse", name, "-")
+                return
+            try:
+                up_reader, up_writer = await asyncio.wait_for(
+                    asyncio.open_connection(
+                        self.upstream_host, self.upstream_port,
+                        limit=self.chunk_bytes,
+                    ),
+                    self.connect_timeout,
+                )
+            except (OSError, asyncio.TimeoutError):
+                self._event("upstream-unreachable", name, "-")
+                return
+            conn = _ProxyConn(name, writer, up_writer)
+            self._conns.add(conn)
+            self._event("open", name, "-")
+            try:
+                await asyncio.gather(
+                    self._pump(conn, reader, up_writer, "up",
+                               self.schedule.rng_for(idx, "up")),
+                    self._pump(conn, up_reader, writer, "down",
+                               self.schedule.rng_for(idx, "down")),
+                )
+            finally:
+                self._conns.discard(conn)
+                self._event("close", name, "-")
+        finally:
+            for w in (writer, up_writer):
+                if w is None:
+                    continue
+                try:
+                    w.transport.abort()
+                except (RuntimeError, AttributeError):  # pragma: no cover
+                    pass
+
+    def _draw(self, rng, chunks_forwarded: int) -> str | None:
+        """Which fault (if any) fires on this chunk."""
+        s = self.schedule
+        if chunks_forwarded < s.start_after_chunks:
+            return None
+        if s.max_faults is not None and self.faults_injected >= s.max_faults:
+            return None
+        roll = rng.random()
+        threshold = 0.0
+        for mode, fraction in (
+            ("reset", s.reset_fraction),
+            ("truncate", s.truncate_fraction),
+            ("corrupt", s.corrupt_fraction),
+        ):
+            threshold += fraction
+            if roll < threshold:
+                return mode
+        return None
+
+    async def _pump(self, conn, src, dst, direction, rng) -> None:
+        s = self.schedule
+        chunks = 0
+        try:
+            while not conn.severed:
+                data = await src.read(self.chunk_bytes)
+                if not data:
+                    try:
+                        dst.write_eof()
+                    except (OSError, RuntimeError):
+                        pass
+                    return
+                if s.in_partition(self.elapsed()):
+                    self.injected["partition-severed"] += 1
+                    self._event("partition-sever", conn.name, direction)
+                    conn.sever()
+                    return
+                mode = self._draw(rng, chunks)
+                if mode == "reset":
+                    self.injected["reset"] += 1
+                    self._event("reset", conn.name, direction,
+                                dropped=len(data))
+                    conn.sever()
+                    return
+                if mode == "truncate":
+                    cut = max(1, len(data) // 2) if len(data) > 1 else 0
+                    self.injected["truncate"] += 1
+                    self._event("truncate", conn.name, direction,
+                                size=len(data), forwarded=cut)
+                    if cut:
+                        dst.write(data[:cut])
+                        try:
+                            await dst.drain()
+                        except (ConnectionError, OSError):
+                            pass
+                    conn.sever()
+                    return
+                if mode == "corrupt":
+                    # Never corrupt a newline: framing survives, the
+                    # poisoned frame decodes to a structured error.
+                    buf = bytearray(data)
+                    spots = [i for i, b in enumerate(buf) if b != 0x0A]
+                    if spots:
+                        offset = spots[rng.randrange(len(spots))]
+                        buf[offset] = _CORRUPT_BYTE
+                        data = bytes(buf)
+                        self.injected["corrupt"] += 1
+                        self._event("corrupt", conn.name, direction,
+                                    offset=offset)
+                delay = s.latency_s
+                if s.jitter_s:
+                    delay += s.jitter_s * (rng.paretovariate(s.jitter_alpha)
+                                           - 1.0)
+                if s.bandwidth_bps:
+                    delay += len(data) / s.bandwidth_bps
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                if conn.severed:
+                    return
+                dst.write(data)
+                await dst.drain()
+                chunks += 1
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            # The other pump (or a sever) tore the pair down mid-read;
+            # propagate the teardown, never an exception.
+            conn.sever()

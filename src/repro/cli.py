@@ -31,6 +31,23 @@ Commands
     under an overload policy; SIGTERM/SIGINT drain gracefully under
     ``--drain-deadline`` and exit 0.
 
+    Operations: ``--supervise`` (with ``--tcp``) runs the self-healing
+    control loop of :mod:`repro.supervisor` against the live service,
+    journaling every corrective action to ``--action-journal``;
+    ``--stats --prometheus`` emits the exit stats in Prometheus text
+    exposition instead of JSON.
+
+``chaos-proxy``
+    Run a seeded fault-injecting TCP proxy in front of an edge::
+
+        python -m repro chaos-proxy --listen 127.0.0.1:0 \\
+            --upstream 127.0.0.1:7777 --latency 0.002 --reset 0.01
+
+    Faults (latency, bandwidth, corruption, truncation, resets, timed
+    partitions) come from a replayable :class:`repro.chaos.ChaosSchedule`
+    — pass ``--schedule plan.json`` or compose flags; ``--events``
+    writes the injection log as JSONL.
+
 ``experiment``
     Regenerate one paper table/figure::
 
@@ -179,6 +196,65 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cluster replica isolation: child processes "
                             "over pipes (default) or in-process shards "
                             "(deterministic, zero IPC)")
+    serve.add_argument("--supervise", action="store_true",
+                       help="run the self-healing supervisor next to the "
+                            "--tcp edge: it polls service/cluster stats, "
+                            "applies one bounded corrective action at a "
+                            "time (respawn shards, flip admission, scale "
+                            "the window, pause intake), verifies the "
+                            "triggering signal improved, and reverts "
+                            "actions that did not help")
+    serve.add_argument("--supervise-interval", type=float, default=2.0,
+                       help="supervisor poll period in seconds (default 2)")
+    serve.add_argument("--action-journal",
+                       help="append the supervisor's decisions (apply / "
+                            "verify / revert) to this JSONL file "
+                            "(requires --supervise)")
+    serve.add_argument("--prometheus", action="store_true",
+                       help="with --stats, print Prometheus text "
+                            "exposition (repro_* series) to stderr "
+                            "instead of JSON")
+
+    chaos = sub.add_parser(
+        "chaos-proxy",
+        help="seeded fault-injecting TCP proxy for chaos-testing an edge",
+    )
+    chaos.add_argument("--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+                       help="address to accept clients on (port 0 picks a "
+                            "free port; default 127.0.0.1:0)")
+    chaos.add_argument("--upstream", required=True, metavar="HOST:PORT",
+                       help="edge server to forward to")
+    chaos.add_argument("--schedule",
+                       help="ChaosSchedule JSON file; flag overrides below "
+                            "apply on top of it")
+    chaos.add_argument("--seed", type=int, default=None,
+                       help="fault-stream seed (replays are deterministic "
+                            "per connection and direction)")
+    chaos.add_argument("--latency", type=float, default=None,
+                       help="fixed extra delay per forwarded chunk, seconds")
+    chaos.add_argument("--jitter", type=float, default=None,
+                       help="heavy-tailed (Pareto) jitter scale, seconds")
+    chaos.add_argument("--bandwidth", type=float, default=None,
+                       help="throttle to this many bytes/second")
+    chaos.add_argument("--corrupt", type=float, default=None,
+                       help="per-chunk probability of flipping one byte")
+    chaos.add_argument("--truncate", type=float, default=None,
+                       help="per-chunk probability of forwarding half the "
+                            "chunk then severing the connection")
+    chaos.add_argument("--reset", type=float, default=None,
+                       help="per-chunk probability of dropping the chunk "
+                            "and resetting the connection")
+    chaos.add_argument("--partition", action="append", default=None,
+                       metavar="START:END",
+                       help="full-partition window in seconds since proxy "
+                            "start (repeatable): active connections sever, "
+                            "new ones are refused")
+    chaos.add_argument("--events",
+                       help="write the fault-injection event log to this "
+                            "JSONL file on exit")
+    chaos.add_argument("--duration", type=float, default=None,
+                       help="stop after this many seconds (default: run "
+                            "until SIGINT/SIGTERM)")
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate a paper table/figure")
@@ -344,6 +420,21 @@ def _validate_serve_args(args) -> None:
                 f"--tcp expects HOST:PORT (PORT in 0..65535, 0 = pick a "
                 f"free port), got {args.tcp!r}"
             )
+    if args.supervise and args.tcp is None:
+        raise SystemExit(
+            "--supervise runs next to the TCP edge; it requires --tcp"
+        )
+    if args.supervise_interval <= 0:
+        raise SystemExit(
+            f"--supervise-interval must be > 0 seconds, got "
+            f"{args.supervise_interval}"
+        )
+    if args.action_journal and not args.supervise:
+        raise SystemExit("--action-journal requires --supervise")
+    if args.prometheus and not args.stats:
+        raise SystemExit(
+            "--prometheus formats the exit stats; it requires --stats"
+        )
 
 
 def _build_service(args):
@@ -412,6 +503,16 @@ def _serve_tcp_edge(args) -> int:
             # responses are journaled (exactly once) before new
             # traffic arrives.
             svc.drain()
+        supervisor = None
+        if args.supervise:
+            from repro.supervisor import Supervisor
+
+            supervisor = Supervisor(
+                svc,
+                interval_s=args.supervise_interval,
+                journal=args.action_journal,
+            )
+
         async def _run():
             loop = asyncio.get_running_loop()
             ready = loop.create_future()
@@ -436,16 +537,25 @@ def _serve_tcp_edge(args) -> int:
                     window=max(args.window, 1),
                     default_deadline_s=args.deadline,
                     include_matrix=not args.no_matrix,
+                    supervisor=supervisor,
                 )
             finally:
                 announce.cancel()
 
         server = asyncio.run(_run())
+        if supervisor is not None:
+            supervisor.journal.close()
         if args.stats:
-            payload = dict(server.stats.as_dict())
-            if server.final_service_stats is not None:
-                payload["service"] = server.final_service_stats
-            print(json.dumps(payload), file=sys.stderr)
+            if args.prometheus:
+                text = server.stats.metrics_text()
+                if server.final_service_stats_obj is not None:
+                    text += server.final_service_stats_obj.metrics_text()
+                print(text, end="", file=sys.stderr)
+            else:
+                payload = dict(server.stats.as_dict())
+                if server.final_service_stats is not None:
+                    payload["service"] = server.final_service_stats
+                print(json.dumps(payload), file=sys.stderr)
     return 0
 
 
@@ -567,7 +677,12 @@ def _cmd_serve(args) -> int:
                     _write(resp)
                 out_stream.flush()
             if args.stats:
-                print(json.dumps(svc.stats().as_dict()), file=sys.stderr)
+                if args.prometheus:
+                    print(svc.stats().metrics_text(), end="",
+                          file=sys.stderr)
+                else:
+                    print(json.dumps(svc.stats().as_dict()),
+                          file=sys.stderr)
     finally:
         for sig, old in restore:
             signal.signal(sig, old)
@@ -577,6 +692,89 @@ def _cmd_serve(args) -> int:
     if any_error:
         return 1
     return 2 if any_nonconverged else 0
+
+
+def _cmd_chaos_proxy(args) -> int:
+    """Run a :class:`~repro.chaos.ChaosProxy` until SIGINT/SIGTERM (or
+    ``--duration``), then write the event log and exit 0."""
+    import asyncio
+    import dataclasses
+
+    from repro.chaos import ChaosProxy, ChaosSchedule
+
+    def _addr(text: str, flag: str) -> tuple[str, int]:
+        host, sep, port_s = text.rpartition(":")
+        if not sep or not port_s.isdigit() or int(port_s) > 65535:
+            raise SystemExit(
+                f"{flag} expects HOST:PORT (PORT in 0..65535), got {text!r}"
+            )
+        return host or "127.0.0.1", int(port_s)
+
+    listen_host, listen_port = _addr(args.listen, "--listen")
+    upstream_host, upstream_port = _addr(args.upstream, "--upstream")
+
+    schedule = (ChaosSchedule.load(args.schedule) if args.schedule
+                else ChaosSchedule())
+    overrides = {}
+    for flag, field_name in (
+        ("seed", "seed"), ("latency", "latency_s"), ("jitter", "jitter_s"),
+        ("bandwidth", "bandwidth_bps"), ("corrupt", "corrupt_fraction"),
+        ("truncate", "truncate_fraction"), ("reset", "reset_fraction"),
+    ):
+        value = getattr(args, flag)
+        if value is not None:
+            overrides[field_name] = value
+    if args.partition:
+        windows = []
+        for spec in args.partition:
+            start_s, sep, end_s = spec.partition(":")
+            try:
+                start, end = float(start_s), float(end_s)
+            except ValueError:
+                sep = ""
+            if not sep or end <= start or start < 0:
+                raise SystemExit(
+                    f"--partition expects START:END seconds with "
+                    f"0 <= START < END, got {spec!r}"
+                )
+            windows.append((start, end))
+        overrides["partitions"] = tuple(windows)
+    if overrides:
+        schedule = dataclasses.replace(schedule, **overrides)
+
+    async def _run() -> None:
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        import contextlib
+        import signal
+
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, ValueError):
+                loop.add_signal_handler(sig, stop.set)
+        async with ChaosProxy(
+            upstream_host, upstream_port, schedule,
+            host=listen_host, port=listen_port,
+        ) as proxy:
+            print(
+                f"chaos proxy listening on {listen_host}:{proxy.port} "
+                f"-> {upstream_host}:{upstream_port}",
+                file=sys.stderr, flush=True,
+            )
+            if args.duration is not None:
+                with contextlib.suppress(asyncio.TimeoutError):
+                    await asyncio.wait_for(stop.wait(), args.duration)
+            else:
+                await stop.wait()
+            if args.events:
+                proxy.write_events(args.events)
+            print(
+                f"chaos proxy injected {proxy.faults_injected} faults "
+                f"({dict(proxy.injected)})",
+                file=sys.stderr, flush=True,
+            )
+
+    asyncio.run(_run())
+    return 0
 
 
 def _cmd_experiment(args) -> int:
@@ -602,6 +800,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_solve(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "chaos-proxy":
+        return _cmd_chaos_proxy(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     return _cmd_info()

@@ -58,7 +58,11 @@ from repro.cluster.worker import (
     shard_journal,
 )
 from repro.errors import DuplicateRequestError, OverloadedError
-from repro.service.admission import AdmissionConfig, AdmissionController
+from repro.service.admission import (
+    ADMISSION_POLICIES,
+    AdmissionConfig,
+    AdmissionController,
+)
 from repro.service.journal import derive_request_id
 from repro.service.metrics import ServiceStats
 from repro.service.request import SolveRequest, SolveResponse
@@ -95,6 +99,35 @@ class ClusterStats:
             "router": dict(self.router),
         }
         return out
+
+    def metrics_text(self, prefix: str = "repro_") -> str:
+        """Prometheus text exposition: the pooled aggregate's series
+        plus the router-level gauges and per-shard health/respawn
+        series only the cluster tier can know."""
+        lines = [self.aggregate.metrics_text(prefix).rstrip("\n")]
+        r = self.router
+        for name in ("shards", "pending"):
+            lines.append(f"# TYPE {prefix}cluster_{name} gauge")
+            lines.append(f"{prefix}cluster_{name} {r.get(name, 0)}")
+        for name in ("rejections", "sheds", "resubmitted_in_flight",
+                     "recovered_in_flight"):
+            lines.append(f"# TYPE {prefix}cluster_{name}_total counter")
+            lines.append(f"{prefix}cluster_{name}_total {r.get(name, 0)}")
+        respawns = r.get("respawns", {})
+        if respawns:
+            lines.append(f"# TYPE {prefix}cluster_respawns_total counter")
+            for sid in sorted(respawns):
+                lines.append(
+                    f'{prefix}cluster_respawns_total{{shard="{sid}"}} '
+                    f"{respawns[sid]}"
+                )
+        health = r.get("health", {})
+        if health:
+            lines.append(f"# TYPE {prefix}shard_up gauge")
+            for sid in sorted(health):
+                up = 0 if health[sid] == "dead" else 1
+                lines.append(f'{prefix}shard_up{{shard="{sid}"}} {up}')
+        return "\n".join(lines) + "\n"
 
 
 @dataclass
@@ -190,6 +223,7 @@ class ClusterService:
         self._pending: dict[str, _Pending] = {}
         self._buffer: list[SolveResponse] = []
         self._accepting = True
+        self._paused = False  # supervisor's pause-intake action
         self._closed = False
         self._seq = 0
         self._seq_base = (
@@ -327,12 +361,42 @@ class ClusterService:
             request = SolveRequest(problem=request, **options)
         if not self._accepting:
             return "reject", "draining"
+        if self._paused:
+            return "reject", "paused"
         if not self._admission.config.bounded:
             return "accept", None
         shard_id = self.ring.lookup(request_route_key(request))
         return self._admission.decide(
             shard_id, len(self._pending), self._pending_on(shard_id)
         )
+
+    def pause_intake(self) -> None:
+        """Refuse new submissions (``overloaded`` errors) until
+        :meth:`resume_intake`; in-flight work keeps draining."""
+        self._paused = True
+
+    def resume_intake(self) -> None:
+        self._paused = False
+
+    @property
+    def intake_paused(self) -> bool:
+        return self._paused
+
+    @property
+    def admission_policy(self) -> str:
+        return self._admission.config.policy
+
+    def set_admission_policy(self, policy: str) -> str:
+        """Switch the router's overload policy live; returns the
+        previous policy so the caller can restore it."""
+        if policy not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission policy {policy!r}; "
+                f"expected one of {ADMISSION_POLICIES}"
+            )
+        old = self._admission.config.policy
+        self._admission.config.policy = policy
+        return old
 
     def _admit(self, shard_id: str) -> None:
         """Edge admission with shard id as the kind: shed/reject at the
@@ -405,6 +469,12 @@ class ClusterService:
             self.router_rejections += 1
             raise OverloadedError(
                 "cluster is draining for shutdown; no new work accepted"
+            )
+        if self._paused:
+            self.router_rejections += 1
+            raise OverloadedError(
+                "intake is paused (supervisor load-shedding); "
+                "back off and resubmit"
             )
         shard_id = self.ring.lookup(request_route_key(request))
         if self._admission.config.bounded:
@@ -513,6 +583,22 @@ class ClusterService:
 
     # -- health --------------------------------------------------------------
 
+    def shard_health(self) -> dict[str, str]:
+        """Passive liveness view — unlike :meth:`ping`, nothing is
+        probed or respawned.  Shard id → ``"ok"`` (live process or
+        healthy inline replica), ``"degraded-inline"`` (respawn ladder
+        exhausted; serving in-process) or ``"dead"`` (child exited; the
+        next use — or an explicit :meth:`ping` — respawns it)."""
+        health: dict[str, str] = {}
+        for sid in self.shard_ids:
+            if sid in self._degraded:
+                health[sid] = "degraded-inline"
+            elif self._shards[sid].alive:
+                health[sid] = "ok"
+            else:
+                health[sid] = "dead"
+        return health
+
     def ping(self) -> dict[str, str]:
         """Probe every replica; dead ones are respawned from their
         journals (degrading to inline past ``max_respawns``).  Returns
@@ -534,6 +620,10 @@ class ClusterService:
     # -- observability -------------------------------------------------------
 
     def stats(self) -> ClusterStats:
+        # Health first: the per-shard stats RPC below revives any dead
+        # replica as a side effect, and the snapshot should report the
+        # state that *triggered* the revival, not hide it.
+        health = self.shard_health()
         per_shard = {
             sid: self._call(sid, "stats") for sid in self.shard_ids
         }
@@ -552,6 +642,7 @@ class ClusterService:
             "sheds": self.router_sheds,
             "respawns": dict(self._respawns),
             "degraded": sorted(self._degraded),
+            "health": health,
             "resubmitted_in_flight": self.router_resubmitted,
             "recovered_in_flight": self.router_recovered_in_flight,
         }

@@ -10,7 +10,18 @@ backpressure wired into :mod:`repro.service.admission`.  See
 serve --tcp HOST:PORT`` for the CLI entry point.
 """
 
-from repro.edge.client import EdgeClient
+from repro.edge.client import (
+    EdgeClient,
+    ResilientClientStats,
+    ResilientEdgeClient,
+)
 from repro.edge.server import EdgeServer, EdgeStats, serve_tcp
 
-__all__ = ["EdgeClient", "EdgeServer", "EdgeStats", "serve_tcp"]
+__all__ = [
+    "EdgeClient",
+    "EdgeServer",
+    "EdgeStats",
+    "ResilientClientStats",
+    "ResilientEdgeClient",
+    "serve_tcp",
+]

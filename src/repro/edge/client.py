@@ -1,24 +1,36 @@
-"""Minimal asyncio client for the TCP edge.
+"""Asyncio clients for the TCP edge.
 
-Used by the tests, the open-loop latency benchmark and the examples;
-real clients in other languages just speak newline-delimited JSON (the
+:class:`EdgeClient` is the minimal pipelining client: ``send`` writes a
+line, ``recv`` reads the next response line, the edge guarantees the
+k-th response answers the k-th request of the connection.  Real clients
+in other languages just speak the same newline-delimited JSON (the
 schema of :mod:`repro.service.wire`) over a plain TCP socket.
 
-The client is deliberately pipelining-first: :meth:`EdgeClient.send`
-returns as soon as the line is written, :meth:`EdgeClient.recv` reads
-the next response line, and the edge guarantees the k-th response
-answers the k-th request of this connection.
+:class:`ResilientEdgeClient` is the production-shaped client: it joins
+a server-side *session* (see :mod:`repro.edge.server`), bounds every
+connect and request with timeouts, reconnects with jittered exponential
+backoff when the connection dies, and blindly resubmits every
+unanswered in-flight request under its stable id after each reconnect
+(and again on every attempt timeout).  Resubmission is safe because the
+edge recognizes session-scoped ids: an id still in flight is re-bound
+to the new socket, one already answered is re-delivered from the
+session's answered cache, and the service journal's dedup backstops
+both — the client can be arbitrarily paranoid without ever causing a
+double solve.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import random
+from dataclasses import dataclass
 
+from repro.errors import DeadlineExceededError, DuplicateRequestError
 from repro.service.request import SolveRequest
 from repro.service.wire import request_to_jsonable
 
-__all__ = ["EdgeClient"]
+__all__ = ["EdgeClient", "ResilientEdgeClient", "ResilientClientStats"]
 
 
 class EdgeClient:
@@ -29,14 +41,27 @@ class EdgeClient:
     ) -> None:
         self.reader = reader
         self.writer = writer
+        # A readline abandoned by a timed-out recv(); the next recv()
+        # resumes it instead of starting a second (illegal) read.
+        self._pending_read: asyncio.Task | None = None
 
     @classmethod
     async def connect(
-        cls, host: str, port: int, *, limit: int = 2**24
+        cls, host: str, port: int, *,
+        limit: int = 2**24, timeout: float | None = None,
     ) -> "EdgeClient":
         """Open a connection (``limit`` bounds one response line — keep
-        it larger than the biggest matrix payload you expect back)."""
-        reader, writer = await asyncio.open_connection(host, port, limit=limit)
+        it larger than the biggest matrix payload you expect back).
+        ``timeout`` bounds the TCP connect and raises a classified
+        :class:`~repro.errors.DeadlineExceededError` on expiry."""
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port, limit=limit), timeout
+            )
+        except asyncio.TimeoutError:
+            raise DeadlineExceededError(
+                f"connect to {host}:{port} exceeded {timeout}s"
+            ) from None
         return cls(reader, writer)
 
     async def send(self, request, **options) -> None:
@@ -56,22 +81,51 @@ class EdgeClient:
         self.writer.write(line.encode() + b"\n")
         await self.writer.drain()
 
-    async def recv(self) -> dict | None:
-        """The next response object, or ``None`` on a closed stream."""
-        line = await self.reader.readline()
+    async def recv(self, timeout: float | None = None) -> dict | None:
+        """The next response object, or ``None`` on a closed stream.
+
+        With ``timeout``, a server that is hung or partitioned no
+        longer blocks the caller forever: expiry raises a classified
+        :class:`~repro.errors.DeadlineExceededError` (the line, if it
+        ever arrives, is still readable by the next ``recv``)."""
+        task = self._pending_read
+        self._pending_read = None
+        if task is None:
+            task = asyncio.ensure_future(self.reader.readline())
+        if timeout is None:
+            line = await task
+        else:
+            # shield(): a timed-out readline must not tear down the
+            # stream mid-frame — the read stays pending and the next
+            # recv() resumes it.
+            try:
+                line = await asyncio.wait_for(asyncio.shield(task), timeout)
+            except asyncio.TimeoutError:
+                self._pending_read = task
+                raise DeadlineExceededError(
+                    f"no response line within {timeout}s"
+                ) from None
         if not line:
             return None
         return json.loads(line)
 
-    async def request(self, request, **options) -> dict:
-        """Send one request and wait for its response (no pipelining)."""
+    async def request(
+        self, request, *, timeout: float | None = None, **options
+    ) -> dict:
+        """Send one request and wait for its response (no pipelining).
+
+        ``timeout`` bounds the full round trip and raises
+        :class:`~repro.errors.DeadlineExceededError` on expiry."""
         await self.send(request, **options)
-        response = await self.recv()
+        response = await self.recv(timeout=timeout)
         if response is None:
             raise ConnectionError("edge closed the connection mid-request")
         return response
 
     async def close(self) -> None:
+        if self._pending_read is not None:
+            self._pending_read.cancel()
+            self._pending_read = None
         self.writer.close()
         try:
             await self.writer.wait_closed()
@@ -83,3 +137,404 @@ class EdgeClient:
 
     async def __aexit__(self, *exc) -> None:
         await self.close()
+
+
+@dataclass
+class ResilientClientStats:
+    """What the resilient client survived."""
+
+    requests: int = 0              # request() calls started
+    resolved: int = 0              # requests answered (ok or error)
+    connects: int = 0              # successful connections
+    reconnects: int = 0            # connections after the first
+    connect_failures: int = 0      # failed/timed-out connect attempts
+    disconnects: int = 0           # established connections lost
+    resubmissions: int = 0         # in-flight lines sent again
+    duplicate_refusals: int = 0    # duplicate-request answers ignored
+    replayed_answers: int = 0      # answers that resolved a resubmitted id
+    undecodable_lines: int = 0     # corrupted response frames tolerated
+    orphan_answers: int = 0        # answers for ids no longer pending
+    deadline_failures: int = 0     # requests abandoned at their deadline
+    forced_reconnects: int = 0     # silent connections recycled
+
+    def as_dict(self) -> dict:
+        return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+
+class _PendingRequest:
+    __slots__ = ("future", "line", "sent", "resubmits")
+
+    def __init__(self, future: asyncio.Future, line: bytes) -> None:
+        self.future = future
+        self.line = line
+        self.sent = False      # ever written to a socket
+        self.resubmits = 0
+
+
+class ResilientEdgeClient:
+    """Self-healing session client for the TCP edge.
+
+    Parameters
+    ----------
+    host, port:
+        The edge (or a :class:`~repro.chaos.ChaosProxy` in front of it).
+    session:
+        Stable session id; defaults to a seeded random one.  Two
+        clients sharing a session id share an answered cache — don't.
+    connect_timeout:
+        Budget for one TCP connect attempt.
+    attempt_timeout:
+        Budget for one response wait before the request line is
+        resubmitted (idempotent; see the module docstring).  ``None``
+        disables re-sending between reconnects.
+    backoff_base, backoff_factor, backoff_max, backoff_jitter:
+        Reconnect delay: ``base * factor**attempt`` capped at ``max``,
+        times ``1 + U(0, jitter)`` — jitter decorrelates a fleet of
+        clients re-arriving after the same partition heals.
+    max_reconnects:
+        Consecutive failed connect attempts tolerated before pending
+        requests fail with ``ConnectionError`` (``None`` = retry until
+        each request's own deadline).
+    seed:
+        Seeds the jitter stream and the default session id.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        session: str | None = None,
+        connect_timeout: float = 5.0,
+        attempt_timeout: float | None = 2.0,
+        backoff_base: float = 0.05,
+        backoff_factor: float = 2.0,
+        backoff_max: float = 2.0,
+        backoff_jitter: float = 0.5,
+        max_reconnects: int | None = None,
+        limit: int = 2**24,
+        seed: int | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._rng = random.Random(seed)
+        self.session = (
+            session if session is not None
+            else f"rc-{self._rng.randrange(16**8):08x}"
+        )
+        self.connect_timeout = connect_timeout
+        self.attempt_timeout = attempt_timeout
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.backoff_max = backoff_max
+        self.backoff_jitter = backoff_jitter
+        self.max_reconnects = max_reconnects
+        self.limit = limit
+        self.stats = ResilientClientStats()
+        self._pending: dict[str, _PendingRequest] = {}
+        self._resolved_ids: set[str] = set()
+        self._writer: asyncio.StreamWriter | None = None
+        self._conn_lines = 0  # lines received on the current connection
+        self._connected = asyncio.Event()
+        self._conn_task: asyncio.Task | None = None
+        self._closing = False
+        self._id_seq = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> "ResilientEdgeClient":
+        """Spawn the connection maintainer (it connects lazily; the
+        first request triggers the first dial)."""
+        if self._conn_task is None:
+            self._conn_task = asyncio.ensure_future(self._maintain())
+        return self
+
+    async def close(self) -> None:
+        self._closing = True
+        if self._conn_task is not None:
+            self._conn_task.cancel()
+            try:
+                await self._conn_task
+            except asyncio.CancelledError:
+                pass
+            self._conn_task = None
+        if self._writer is not None:
+            self._writer.transport.abort()
+            self._writer = None
+        for pending in self._pending.values():
+            if not pending.future.done():
+                pending.future.set_exception(
+                    ConnectionError("client closed with requests in flight")
+                )
+        self._pending.clear()
+
+    async def __aenter__(self) -> "ResilientEdgeClient":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # -- the connection maintainer --------------------------------------------
+
+    def _backoff(self, attempt: int) -> float:
+        delay = min(
+            self.backoff_base * self.backoff_factor ** attempt,
+            self.backoff_max,
+        )
+        return delay * (1.0 + self._rng.random() * self.backoff_jitter)
+
+    async def _maintain(self) -> None:
+        """Connect, hello, resubmit, read until EOF; repeat forever."""
+        failures = 0
+
+        async def _failed() -> bool:
+            """Count one failed attempt; True = give up entirely."""
+            nonlocal failures
+            failures += 1
+            if (
+                self.max_reconnects is not None
+                and failures > self.max_reconnects
+            ):
+                self._fail_pending(ConnectionError(
+                    f"gave up after {failures} failed connects to "
+                    f"{self.host}:{self.port}"
+                ))
+                return True
+            await asyncio.sleep(self._backoff(failures - 1))
+            return False
+
+        while not self._closing:
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(
+                        self.host, self.port, limit=self.limit
+                    ),
+                    self.connect_timeout,
+                )
+            except (OSError, asyncio.TimeoutError):
+                self.stats.connect_failures += 1
+                if await _failed():
+                    return
+                continue
+            self.stats.connects += 1
+            if self.stats.connects > 1:
+                self.stats.reconnects += 1
+            try:
+                writer.write(json.dumps(
+                    {"session": self.session}, separators=(",", ":")
+                ).encode() + b"\n")
+                # Blind resubmission of everything unanswered: the
+                # session makes it exactly-once server-side.  (A line
+                # never yet written is a first send, not a resubmit.)
+                for pending in self._pending.values():
+                    writer.write(pending.line)
+                    if pending.sent:
+                        pending.resubmits += 1
+                        self.stats.resubmissions += 1
+                    pending.sent = True
+                await writer.drain()
+            except (ConnectionError, OSError):
+                writer.transport.abort()
+                if await _failed():
+                    return
+                continue
+            self._writer = writer
+            self._connected.set()
+            self._conn_lines = 0
+            try:
+                await self._read_loop(reader)
+            except (ConnectionError, OSError, asyncio.IncompleteReadError):
+                pass
+            finally:
+                self._connected.clear()
+                self._writer = None
+                self.stats.disconnects += 1
+                writer.transport.abort()
+            # A connection that died before delivering a single line
+            # (a partition refusing us, a black hole that swallowed the
+            # hello) is a *failed attempt*: without backoff here, a
+            # fleet waiting out a partition becomes a reconnect storm —
+            # thousands of accept-then-abort cycles per second.
+            if self._conn_lines == 0 and not self._closing:
+                if await _failed():
+                    return
+            else:
+                failures = 0
+
+    async def _read_loop(self, reader: asyncio.StreamReader) -> None:
+        while True:
+            if self._conn_lines == 0:
+                # The hello ack must arrive promptly: a socket that
+                # connected but never speaks (accepted into a backlog
+                # nobody drains) would otherwise pin the maintainer —
+                # and every pending request — to a black hole forever.
+                try:
+                    line = await asyncio.wait_for(
+                        reader.readline(), self.connect_timeout
+                    )
+                except asyncio.TimeoutError:
+                    return
+            else:
+                line = await reader.readline()
+            if not line:
+                return
+            self._conn_lines += 1
+            try:
+                obj = json.loads(line)
+            except ValueError:
+                # A corrupted frame: the pending request stays pending
+                # and a resubmission will fetch a clean copy.
+                self.stats.undecodable_lines += 1
+                continue
+            if not isinstance(obj, dict):
+                self.stats.undecodable_lines += 1
+                continue
+            if "session" in obj and "id" not in obj:
+                continue  # the hello ack
+            rid = obj.get("id")
+            pending = self._pending.get(rid)
+            if pending is None:
+                # A duplicate delivery of an already-resolved id, or an
+                # answer for something this client never sent.
+                self.stats.orphan_answers += 1
+                continue
+            error_kind = (obj.get("error") or {}).get("kind")
+            if (
+                obj.get("status") == "error"
+                and error_kind == DuplicateRequestError.kind
+            ):
+                # Our own resubmission raced the original: the real
+                # answer is still coming (or will be replayed from the
+                # session cache) — keep waiting.
+                self.stats.duplicate_refusals += 1
+                continue
+            if pending.resubmits:
+                self.stats.replayed_answers += 1
+            del self._pending[rid]
+            self._resolved_ids.add(rid)
+            if not pending.future.done():
+                pending.future.set_result(obj)
+
+    def _fail_pending(self, exc: Exception) -> None:
+        for pending in self._pending.values():
+            if not pending.future.done():
+                pending.future.set_exception(exc)
+        self._pending.clear()
+
+    # -- sending --------------------------------------------------------------
+
+    def _encode(self, request, options: dict) -> tuple[str, bytes]:
+        if isinstance(request, dict):
+            obj = dict(request)
+            rid = obj.get("id")
+            if rid is None:
+                rid = obj["id"] = self._next_id()
+        else:
+            if not isinstance(request, SolveRequest):
+                request = SolveRequest(problem=request, **options)
+            if request.id is None:
+                request.id = self._next_id()
+            rid = request.id
+            obj = request_to_jsonable(request)
+        if rid in self._pending or rid in self._resolved_ids:
+            raise DuplicateRequestError(
+                f"request id {rid!r} was already used on this client"
+            )
+        return rid, json.dumps(obj, separators=(",", ":")).encode() + b"\n"
+
+    def _next_id(self) -> str:
+        self._id_seq += 1
+        return f"q{self._id_seq}"
+
+    def _try_send(self, pending: _PendingRequest) -> None:
+        """Write if connected; a silent no-op otherwise (the maintainer
+        resubmits every pending line on the next connect)."""
+        writer = self._writer
+        if writer is None:
+            return
+        try:
+            writer.write(pending.line)
+            pending.sent = True
+        except (ConnectionError, OSError):  # pragma: no cover — raced
+            pass
+
+    # -- the public call ------------------------------------------------------
+
+    async def submit(self, request, **options) -> tuple[str, asyncio.Future]:
+        """Register and send one request; returns ``(id, future)`` —
+        the future resolves to the response object (pipelined use)."""
+        if self._conn_task is None:
+            await self.start()
+        loop = asyncio.get_running_loop()
+        rid, line = self._encode(request, options)
+        pending = _PendingRequest(loop.create_future(), line)
+        self._pending[rid] = pending
+        self.stats.requests += 1
+        self._try_send(pending)
+        return rid, pending.future
+
+    async def request(
+        self, request, *, timeout: float | None = None, **options
+    ) -> dict:
+        """Send one request and wait for its response, surviving any
+        number of reconnects.
+
+        Each ``attempt_timeout`` of silence triggers an idempotent
+        resubmission under the same id; ``timeout`` bounds the whole
+        affair and raises a classified
+        :class:`~repro.errors.DeadlineExceededError` on expiry."""
+        loop = asyncio.get_running_loop()
+        deadline = None if timeout is None else loop.time() + timeout
+        rid, future = await self.submit(request, **options)
+        pending = self._pending.get(rid)
+        stalled = 0        # consecutive silent attempts on one connection
+        seen = None        # (writer id, lines received) at the last timeout
+        while True:
+            wait: float | None = self.attempt_timeout
+            if deadline is not None:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    self._pending.pop(rid, None)
+                    self._resolved_ids.add(rid)  # a late answer is stale
+                    self.stats.deadline_failures += 1
+                    raise DeadlineExceededError(
+                        f"request {rid!r} unanswered after {timeout}s"
+                    )
+                wait = remaining if wait is None else min(wait, remaining)
+            try:
+                response = await asyncio.wait_for(
+                    asyncio.shield(future), wait
+                )
+            except asyncio.TimeoutError:
+                if future.done():  # pragma: no cover — lost race
+                    response = future.result()
+                else:
+                    writer = self._writer
+                    now = (None if writer is None
+                           else (id(writer), self._conn_lines))
+                    stalled = stalled + 1 if now is not None and now == seen \
+                        else 0
+                    seen = now
+                    if stalled >= 2 and writer is self._writer \
+                            and writer is not None:
+                        # Black hole: the same connection has swallowed
+                        # several resubmissions without yielding a single
+                        # line.  Abort it so the maintainer redials —
+                        # resubmission rides on the fresh connect.
+                        self.stats.forced_reconnects += 1
+                        stalled, seen = 0, None
+                        try:
+                            writer.transport.abort()
+                        except (RuntimeError, AttributeError, OSError):
+                            pass  # pragma: no cover — raced close
+                    elif pending is not None and rid in self._pending \
+                            and self._writer is not None:
+                        # Attempt timed out: resubmit under the same id
+                        # and keep waiting (exactly-once server-side).
+                        pending.resubmits += 1
+                        self.stats.resubmissions += 1
+                        self._try_send(pending)
+                    continue
+            self.stats.resolved += 1
+            return response

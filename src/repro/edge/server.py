@@ -32,6 +32,19 @@ Design
   connections may both use ``"r1"`` without colliding in the journal
   or the dedup index; the response echoes the client's original id.
 
+* **Sessions survive reconnects.**  A connection whose *first* line is
+  a hello frame ``{"session": "<sid>"}`` joins a server-side session:
+  its ids are namespaced ``s:<sid>:<id>`` instead of the ephemeral
+  ``c<N>:``, so a client that reconnects (resets, partitions) and
+  resubmits an unanswered id under the same session is recognized.  A
+  resubmitted id that is still in flight is *re-bound* to the new
+  connection (the original solve answers it — never submitted twice);
+  one already answered after the old socket died is re-delivered from
+  a bounded per-session answered cache.  This is what makes
+  :class:`~repro.edge.client.ResilientEdgeClient`'s blind resubmission
+  exactly-once even without a journal; with one, the journal's dedup
+  backstops cache eviction.
+
 * **Deadline propagation from socket metadata.**  Every complete line
   is stamped with its socket arrival time.  A request's
   ``deadline_s`` (or the server default) is measured *from that
@@ -70,8 +83,9 @@ from __future__ import annotations
 import asyncio
 import functools
 import json
+import re
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
@@ -94,6 +108,9 @@ __all__ = ["EdgeServer", "EdgeStats", "serve_tcp"]
 # Sentinel queued in place of a line that overflowed max_line_bytes.
 _OVERSIZED = object()
 
+# Session ids stay out of the namespacing delimiter and control chars.
+_SESSION_ID = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
 
 @dataclass
 class EdgeStats:
@@ -111,9 +128,28 @@ class EdgeStats:
     dropped_responses: int = 0    # answered after the client vanished
     orphan_responses: int = 0     # no in-flight entry (recovered ids)
     drains: int = 0               # service drain round-trips
+    sessions: int = 0             # distinct sessions registered
+    session_resumes: int = 0      # hello frames joining a known session
+    session_rebinds: int = 0      # in-flight ids re-bound to a new conn
+    session_replays: int = 0      # answers re-delivered from the cache
+    parked_responses: int = 0     # answered after a session conn died
 
     def as_dict(self) -> dict:
         return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+    def metrics_text(self, prefix: str = "repro_edge_") -> str:
+        """Prometheus text exposition of the edge counters (the
+        ``connections_open`` gauge aside, everything is a counter)."""
+        lines = []
+        for name in self.__dataclass_fields__:
+            value = getattr(self, name)
+            if name == "connections_open":
+                lines.append(f"# TYPE {prefix}{name} gauge")
+                lines.append(f"{prefix}{name} {value}")
+            else:
+                lines.append(f"# TYPE {prefix}{name}_total counter")
+                lines.append(f"{prefix}{name}_total {value}")
+        return "\n".join(lines) + "\n"
 
 
 class _EdgeConnection(asyncio.Protocol):
@@ -123,6 +159,7 @@ class _EdgeConnection(asyncio.Protocol):
         self.server = server
         self.transport = None
         self.name = ""
+        self.session: str | None = None
         self.closed = False
         self._eof = False
         self._discard = False      # swallowing the tail of an oversized line
@@ -275,6 +312,11 @@ class EdgeServer:
         before its transport is paused.
     include_matrix:
         Forward ``x``/``s``/``d`` payloads in responses.
+    session_cache:
+        Answered responses retained per session for re-delivery to a
+        resubmitting reconnect (oldest evicted first).
+    max_sessions:
+        Distinct sessions retained (least recently joined evicted).
     """
 
     def __init__(
@@ -289,6 +331,8 @@ class EdgeServer:
         max_line_bytes: int = 8_000_000,
         line_buffer: int = 64,
         include_matrix: bool = True,
+        session_cache: int = 256,
+        max_sessions: int = 1024,
     ) -> None:
         if window < 1:
             raise ValueError("window must be >= 1")
@@ -296,6 +340,10 @@ class EdgeServer:
             raise ValueError("max_line_bytes must be >= 1")
         if line_buffer < 1:
             raise ValueError("line_buffer must be >= 1")
+        if session_cache < 1:
+            raise ValueError("session_cache must be >= 1")
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
         self.service = service
         self.host = host
         self.port = port
@@ -305,9 +353,13 @@ class EdgeServer:
         self.max_line_bytes = max_line_bytes
         self.line_buffer = line_buffer
         self.include_matrix = include_matrix
+        self.session_cache = session_cache
+        self.max_sessions = max_sessions
         self.stats = EdgeStats()
         # Service stats snapshot taken at drain (the CLI's --stats).
         self.final_service_stats: dict | None = None
+        # The same snapshot as its stats object (the CLI's --prometheus).
+        self.final_service_stats_obj = None
         admission = getattr(service, "_admission", None)
         self._bounded = (
             admission is not None and admission.config.bounded
@@ -319,8 +371,16 @@ class EdgeServer:
         self._server: asyncio.AbstractServer | None = None
         self._conns: set[_EdgeConnection] = set()
         self._conn_seq = 0
-        # service request id -> (connection, connection seq, client id)
-        self._inflight: dict[str, tuple[_EdgeConnection, int, str | None]] = {}
+        # session id -> namespaced request id -> encoded response line.
+        # OrderedDict at both levels: LRU over sessions, FIFO eviction
+        # over each session's answered cache.
+        self._sessions: "OrderedDict[str, OrderedDict[str, bytes]]" = (
+            OrderedDict()
+        )
+        # service request id -> (conn, conn seq, client id, session id)
+        self._inflight: dict[
+            str, tuple[_EdgeConnection, int, str | None, str | None]
+        ] = {}
         self._submitted = 0          # submits since the last drain
         self._drain_lock = asyncio.Lock()
         self._flush_handle: asyncio.TimerHandle | None = None
@@ -384,11 +444,20 @@ class EdgeServer:
         # shards during shutdown, after which stats() would respawn
         # them just to be counted.
         try:
-            self.final_service_stats = self.service.stats().as_dict()
+            self.final_service_stats_obj = self.service.stats()
+            self.final_service_stats = self.final_service_stats_obj.as_dict()
         except Exception:  # pragma: no cover — stats are best-effort
             self.final_service_stats = None
+            self.final_service_stats_obj = None
         responses += self.service.shutdown(deadline_s)
         return responses
+
+    def set_window(self, window: int) -> None:
+        """Resize the batching window (the supervisor's widen/narrow
+        action; safe mid-serve — the next accept sees the new value)."""
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
 
     # -- connection registry ---------------------------------------------------
 
@@ -426,6 +495,60 @@ class EdgeServer:
         except Exception as exc:  # noqa: BLE001 — answered on the wire
             return ("error", exc)
 
+    # -- sessions --------------------------------------------------------------
+
+    def _try_hello(self, line: bytes) -> dict | None:
+        """Parse a first-line session hello; ``None`` for anything else
+        (which then flows through normal request decoding)."""
+        if b'"session"' not in line[:256]:
+            return None
+        try:
+            obj = json.loads(line)
+        except ValueError:
+            return None
+        if not isinstance(obj, dict) or "session" not in obj \
+                or "problem" in obj:
+            return None
+        return obj
+
+    def _join_session(self, conn: _EdgeConnection, hello: dict) -> bytes:
+        """Bind the connection to its session; returns the ack line."""
+        sid = hello["session"]
+        if not isinstance(sid, str) or not _SESSION_ID.match(sid):
+            self.stats.edge_errors += 1
+            return json.dumps({
+                "session": sid if isinstance(sid, str) else None,
+                "status": "error",
+                "error": {
+                    "kind": "invalid-request",
+                    "message": "session id must match "
+                               "[A-Za-z0-9._-]{1,64}",
+                },
+            }, separators=(",", ":")).encode()
+        cache = self._sessions.get(sid)
+        if cache is None:
+            cache = self._sessions[sid] = OrderedDict()
+            self.stats.sessions += 1
+            while len(self._sessions) > self.max_sessions:
+                self._sessions.popitem(last=False)
+        else:
+            self._sessions.move_to_end(sid)
+            self.stats.session_resumes += 1
+        conn.session = sid
+        return json.dumps(
+            {"session": sid, "status": "ok", "cached": len(cache)},
+            separators=(",", ":"),
+        ).encode()
+
+    def _park(self, session: str, rid: str, payload: bytes) -> None:
+        """Retain one answered line for re-delivery to a reconnect."""
+        cache = self._sessions.get(session)
+        if cache is None:  # session evicted since the submit
+            return
+        cache[rid] = payload
+        while len(cache) > self.session_cache:
+            cache.popitem(last=False)
+
     # -- intake ----------------------------------------------------------------
 
     async def _intake_loop(self, conn: _EdgeConnection) -> None:
@@ -457,6 +580,11 @@ class EdgeServer:
             )
             conn.deliver(seq, error_line(err).encode())
             return
+        if conn.lineno == 1:
+            hello = self._try_hello(line)
+            if hello is not None:
+                conn.deliver(conn.alloc_seq(), self._join_session(conn, hello))
+                return
         decoded = decode_request_line(
             line.decode("utf-8", errors="replace"), conn.lineno
         )
@@ -470,10 +598,38 @@ class EdgeServer:
         seq = conn.alloc_seq()
         client_id = decoded.id
         if client_id is not None:
-            # Connection-scoped namespacing: ids only need to be unique
-            # per connection; the journal/dedup key is the namespaced id.
-            decoded.id = f"{conn.name}:{client_id}"
+            # Namespacing: session-scoped ids survive reconnects, plain
+            # connection-scoped ids only need to be unique per
+            # connection; either way the journal/dedup key is the
+            # namespaced id.  (``s:`` and ``c<N>:`` cannot collide.)
+            if conn.session is not None:
+                decoded.id = f"s:{conn.session}:{client_id}"
+            else:
+                decoded.id = f"{conn.name}:{client_id}"
+        if conn.session is not None and client_id is not None:
+            cache = self._sessions.get(conn.session)
+            if cache is not None and decoded.id in cache:
+                # Already answered after the previous socket died —
+                # re-deliver the parked line, never re-solve.
+                self.stats.session_replays += 1
+                conn.deliver(seq, cache[decoded.id])
+                return
         if decoded.id is not None and decoded.id in self._inflight:
+            entry = self._inflight[decoded.id]
+            if (
+                conn.session is not None
+                and entry[3] == conn.session
+                and entry[0].closed
+            ):
+                # Resubmission of an id still in flight whose original
+                # socket is gone: re-bind the pending solve to this
+                # connection — exactly-once without touching the
+                # service.
+                self._inflight[decoded.id] = (
+                    conn, seq, client_id, conn.session
+                )
+                self.stats.session_rebinds += 1
+                return
             # A journal-less service accepts duplicate ids, which would
             # silently clobber the earlier in-flight entry and stall
             # this connection's ordering forever — refuse at the edge.
@@ -535,7 +691,7 @@ class EdgeServer:
                 "error": {"kind": error_kind(exc), "message": str(exc)},
             }, separators=(",", ":")).encode())
             return
-        self._inflight[value] = (conn, seq, client_id)
+        self._inflight[value] = (conn, seq, client_id, conn.session)
         self.stats.requests += 1
         self._submitted += 1
         if self._submitted >= self.window:
@@ -576,15 +732,31 @@ class EdgeServer:
             if entry is None:
                 self.stats.orphan_responses += 1
                 continue
-            conn, seq, client_id = entry
+            conn, seq, client_id, session = entry
+            namespaced = resp.id
+            if client_id is not None:
+                resp.id = client_id  # strip the namespace
+            if session is not None and client_id is not None:
+                # Park a copy whether or not the socket is still up: a
+                # delivered line can die in flight (RST drops buffered
+                # writes), and the reconnect's resubmission must find
+                # the answer here rather than re-reach the service.
+                payload = dump_response(
+                    resp, include_matrix=self.include_matrix
+                ).encode()
+                self._park(session, namespaced, payload)
+                if conn.closed:
+                    self.stats.parked_responses += 1
+                    continue
+                conn.deliver(seq, payload)
+                self.stats.responses += 1
+                continue
             if conn.closed:
                 # The client vanished mid-pipeline.  The service has
                 # already answered (and journaled) exactly once; the
                 # wire just has no one left to tell.
                 self.stats.dropped_responses += 1
                 continue
-            if client_id is not None:
-                resp.id = client_id  # strip the connection namespace
             conn.deliver(
                 seq,
                 dump_response(
@@ -601,6 +773,7 @@ async def serve_tcp(
     *,
     drain_deadline_s: float | None = 30.0,
     ready: "asyncio.Future | None" = None,
+    supervisor=None,
     **edge_kwargs,
 ) -> EdgeServer:
     """Run an :class:`EdgeServer` until SIGTERM/SIGINT, then drain.
@@ -608,14 +781,23 @@ async def serve_tcp(
     The CLI entry point behind ``python -m repro serve --tcp
     HOST:PORT``.  ``ready`` (a future) resolves to the bound port once
     the socket is listening — tests use it to connect to port ``0``
-    servers.  Returns the drained server (its :attr:`~EdgeServer.stats`
-    still readable)."""
+    servers.  A :class:`~repro.supervisor.Supervisor` passed as
+    ``supervisor`` is attached to the edge and ticked on the service
+    thread (its ``stats()`` polls and corrective actions serialize with
+    all other service access) until the drain begins.  Returns the
+    drained server (its :attr:`~EdgeServer.stats` still readable)."""
     import signal
 
     server = EdgeServer(service, host, port, **edge_kwargs)
     await server.start()
     if ready is not None and not ready.done():
         ready.set_result(server.port)
+    sup_task = None
+    if supervisor is not None:
+        supervisor.attach_edge(server)
+        sup_task = asyncio.ensure_future(
+            supervisor.run_async(call=server._svc)
+        )
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
     installed = []
@@ -630,5 +812,12 @@ async def serve_tcp(
     finally:
         for sig in installed:
             loop.remove_signal_handler(sig)
+        if sup_task is not None:
+            # Stop ticking before the drain tears the executor down.
+            sup_task.cancel()
+            try:
+                await sup_task
+            except asyncio.CancelledError:
+                pass
     await server.drain(drain_deadline_s)
     return server

@@ -12,6 +12,15 @@ from dataclasses import dataclass, field, fields, replace
 
 __all__ = ["ServiceStats"]
 
+# Fields that describe current state rather than monotone history.
+_GAUGE_FIELDS = {"cache_size", "queue_depth"}
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
 
 @dataclass
 class ServiceStats:
@@ -189,3 +198,41 @@ class ServiceStats:
         out["mean_iterations"] = round(self.mean_iterations, 3)
         out["sort_reuse_rate"] = round(self.sort_reuse_rate, 6)
         return out
+
+    def metrics_text(self, prefix: str = "repro_") -> str:
+        """Prometheus text exposition of every counter and gauge.
+
+        Field-driven like :meth:`as_dict`, so a newly added counter
+        automatically joins the scrape: plain numeric fields become
+        ``<prefix><field>_total`` counters (``queue_depth`` and
+        ``cache_size`` are gauges — they go up and down), dict fields
+        become one ``kind``-labelled counter series per key, and the
+        derived ratios are appended as gauges.  The CLI serves this via
+        ``serve --stats --prometheus``.
+        """
+        lines: list[str] = []
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, dict):
+                name = f"{prefix}{f.name}_total"
+                lines.append(f"# TYPE {name} counter")
+                for key in sorted(value):
+                    lines.append(
+                        f'{name}{{kind="{_escape_label(str(key))}"}} '
+                        f"{value[key]}"
+                    )
+            elif f.name in _GAUGE_FIELDS:
+                lines.append(f"# TYPE {prefix}{f.name} gauge")
+                lines.append(f"{prefix}{f.name} {value}")
+            else:
+                lines.append(f"# TYPE {prefix}{f.name}_total counter")
+                lines.append(f"{prefix}{f.name}_total {value}")
+        for name, value in (
+            ("cache_hit_rate", self.hit_rate),
+            ("sort_reuse_rate", self.sort_reuse_rate),
+            ("mean_solve_time_seconds", self.mean_solve_time),
+            ("mean_iterations", self.mean_iterations),
+        ):
+            lines.append(f"# TYPE {prefix}{name} gauge")
+            lines.append(f"{prefix}{name} {round(value, 9)}")
+        return "\n".join(lines) + "\n"

@@ -98,7 +98,11 @@ from repro.errors import (
 )
 from repro.equilibration.workspace import SweepWorkspace
 from repro.parallel.executor import ParallelKernel
-from repro.service.admission import AdmissionConfig, AdmissionController
+from repro.service.admission import (
+    ADMISSION_POLICIES,
+    AdmissionConfig,
+    AdmissionController,
+)
 from repro.service.batching import solve_batch
 from repro.service.cache import WarmStartCache
 from repro.service.journal import Journal, derive_request_id
@@ -276,6 +280,7 @@ class SolveService:
         self._processed = 0
         self._breakers: dict[tuple, _Breaker] = {}
         self._accepting = True
+        self._paused = False  # supervisor's pause-intake action
         if journal is None or isinstance(journal, Journal):
             self._journal = journal
         else:
@@ -333,6 +338,12 @@ class SolveService:
             raise OverloadedError(
                 "service is draining for shutdown; no new work accepted"
             )
+        if self._paused:
+            self._stats.overload_rejections += 1
+            raise OverloadedError(
+                "intake is paused (supervisor load-shedding); "
+                "back off and resubmit"
+            )
         if self._admission.config.bounded:
             self._admit(request)
         if request.id is None:
@@ -384,11 +395,43 @@ class SolveService:
             request = SolveRequest(problem=request, **options)
         if not self._accepting:
             return "reject", "draining"
+        if self._paused:
+            return "reject", "paused"
         if not self._admission.config.bounded:
             return "accept", None
         kind = self._kind_tag(request)
         kind_count = sum(1 for r in self._queue if self._kind_tag(r) == kind)
         return self._admission.decide(kind, len(self._queue), kind_count)
+
+    def pause_intake(self) -> None:
+        """Refuse new submissions (``overloaded`` errors) until
+        :meth:`resume_intake` — the supervisor's circuit-breaker-style
+        last resort; queued work keeps draining normally."""
+        self._paused = True
+
+    def resume_intake(self) -> None:
+        self._paused = False
+
+    @property
+    def intake_paused(self) -> bool:
+        return self._paused
+
+    @property
+    def admission_policy(self) -> str:
+        return self._admission.config.policy
+
+    def set_admission_policy(self, policy: str) -> str:
+        """Switch the overload policy live (the supervisor's
+        block↔shed flip); returns the previous policy so the caller
+        can restore it."""
+        if policy not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission policy {policy!r}; "
+                f"expected one of {ADMISSION_POLICIES}"
+            )
+        old = self._admission.config.policy
+        self._admission.config.policy = policy
+        return old
 
     def _admit(self, request: SolveRequest) -> None:
         """Apply the admission policy ahead of accepting ``request``."""

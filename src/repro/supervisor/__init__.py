@@ -1,0 +1,32 @@
+"""Self-healing operations: detect → propose → apply → verify → revert.
+
+The :class:`Supervisor` closes the loop from observed degradation
+(``ServiceStats`` / ``ClusterStats`` / ``EdgeStats`` snapshots) back to
+one bounded corrective action at a time — respawn dead shards, flip the
+admission policy, widen/narrow the batch window, pause intake — and,
+crucially, *verifies* within a window that the triggering signal
+improved, reverting the action when it did not.  Every decision lands
+in a structured JSONL :class:`ActionJournal`.  See
+:mod:`repro.supervisor.controller` for the control-loop design.
+"""
+
+from repro.supervisor.actions import (
+    Action,
+    FlipAdmissionPolicy,
+    PauseIntake,
+    RespawnShards,
+    ScaleWindow,
+)
+from repro.supervisor.controller import Rule, Supervisor
+from repro.supervisor.journal import ActionJournal
+
+__all__ = [
+    "Action",
+    "ActionJournal",
+    "FlipAdmissionPolicy",
+    "PauseIntake",
+    "RespawnShards",
+    "Rule",
+    "ScaleWindow",
+    "Supervisor",
+]

@@ -1,0 +1,150 @@
+"""The supervisor's bounded corrective actions.
+
+Each action is one small, reversible-by-construction nudge: it applies
+against a :class:`SupervisorTarget` (the service plus, optionally, the
+edge in front of it), remembers what it displaced, and can restore it.
+The controller guarantees at most one action is in flight at a time and
+reverts any action whose verification window showed no improvement —
+the actions themselves stay dumb and deterministic.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Action",
+    "FlipAdmissionPolicy",
+    "PauseIntake",
+    "RespawnShards",
+    "ScaleWindow",
+    "SupervisorTarget",
+]
+
+
+class SupervisorTarget:
+    """What the supervisor may touch: the service, and the edge if one
+    fronts it.  The *window* indirection picks the right knob — the
+    edge's drain window when serving TCP, the service's ``max_batch``
+    when headless."""
+
+    def __init__(self, service, edge=None) -> None:
+        self.service = service
+        self.edge = edge
+
+    @property
+    def window(self) -> int:
+        if self.edge is not None:
+            return self.edge.window
+        return self.service.max_batch
+
+    @window.setter
+    def window(self, value: int) -> None:
+        if self.edge is not None:
+            self.edge.set_window(value)
+        else:
+            self.service.max_batch = value
+
+    @property
+    def admission_policy(self) -> str:
+        return self.service.admission_policy
+
+
+class Action:
+    """One bounded corrective step.
+
+    ``apply`` mutates the target and returns a params dict for the
+    journal; ``revert`` restores what ``apply`` displaced.
+    ``reversible`` is False for actions with nothing to undo (a respawn
+    cannot be un-respawned); ``auto_expires`` marks actions that must
+    be undone at the end of the verification window regardless of
+    outcome (pausing intake is a circuit breaker, not a steady state).
+    """
+
+    name = "action"
+    reversible = True
+    auto_expires = False
+
+    def apply(self, target: SupervisorTarget) -> dict:
+        raise NotImplementedError
+
+    def revert(self, target: SupervisorTarget) -> None:
+        pass
+
+
+class RespawnShards(Action):
+    """Probe every cluster replica; dead ones respawn from their
+    journals (:meth:`~repro.cluster.cluster.ClusterService.ping`)."""
+
+    name = "respawn-shards"
+    reversible = False
+
+    def apply(self, target: SupervisorTarget) -> dict:
+        health = target.service.ping()
+        respawned = sorted(
+            sid for sid, state in health.items() if state != "ok"
+        )
+        return {"respawned": respawned}
+
+
+class FlipAdmissionPolicy(Action):
+    """Switch the overload policy (block ↔ shed-oldest ↔ reject-newest)
+    and remember the old one for revert."""
+
+    name = "flip-admission"
+
+    def __init__(self, to_policy: str) -> None:
+        self.to_policy = to_policy
+        self._old: str | None = None
+
+    def apply(self, target: SupervisorTarget) -> dict:
+        self._old = target.service.set_admission_policy(self.to_policy)
+        return {"from": self._old, "to": self.to_policy}
+
+    def revert(self, target: SupervisorTarget) -> None:
+        if self._old is not None:
+            target.service.set_admission_policy(self._old)
+
+
+class ScaleWindow(Action):
+    """Multiply the batch/drain window by ``factor`` (clamped to
+    ``[lo, hi]``; always moves at least one step)."""
+
+    def __init__(self, factor: float, lo: int = 1, hi: int = 256) -> None:
+        if factor <= 0:
+            raise ValueError("factor must be > 0")
+        self.factor = factor
+        self.lo = lo
+        self.hi = hi
+        self.name = (
+            "widen-batch-window" if factor > 1 else "narrow-batch-window"
+        )
+        self._old: int | None = None
+
+    def apply(self, target: SupervisorTarget) -> dict:
+        old = target.window
+        new = max(self.lo, min(self.hi, round(old * self.factor)))
+        if new == old:  # guarantee motion inside the clamp
+            step = 1 if self.factor > 1 else -1
+            new = max(self.lo, min(self.hi, old + step))
+        self._old = old
+        target.window = new
+        return {"from": old, "to": new}
+
+    def revert(self, target: SupervisorTarget) -> None:
+        if self._old is not None:
+            target.window = self._old
+
+
+class PauseIntake(Action):
+    """Stop accepting new work while the queue drains — the last-resort
+    breaker.  Auto-expires: the controller always calls ``revert`` at
+    the end of the verification window."""
+
+    name = "pause-intake"
+    auto_expires = True
+
+    def apply(self, target: SupervisorTarget) -> dict:
+        target.service.pause_intake()
+        return {}
+
+    def revert(self, target: SupervisorTarget) -> None:
+        target.service.resume_intake()

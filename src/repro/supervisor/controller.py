@@ -1,0 +1,339 @@
+"""The self-healing control loop: detect → propose → verify → revert.
+
+Grounded in the detector → proposer → verifier pipeline shape of
+auto-remediation systems: each :class:`Rule` owns one degradation
+signal (computed from *deltas* between consecutive stats polls, so a
+burst of misses an hour ago cannot keep a detector hot forever), and
+the :class:`Supervisor` drives a deliberately boring state machine:
+
+1. **Detect** — a rule's metric stays above threshold for ``sustain``
+   consecutive ticks (one noisy sample never triggers).
+2. **Propose + apply** — the rule proposes ONE bounded
+   :class:`~repro.supervisor.actions.Action`; it is applied
+   immediately and journaled.  Only one action is ever in flight.
+3. **Verify** — for ``verify_ticks`` polls the metric is sampled; at
+   the window's end the mean is compared against the pre-action value.
+4. **Keep or revert** — improved (below threshold, or down by at least
+   ``min_improvement``) keeps the action; otherwise it is reverted.
+   Either way the rule enters a cooldown so the loop cannot thrash.
+
+Everything is synchronous and tick-driven — tests (and the chaos soak)
+call :meth:`Supervisor.tick` with fake clocks and deterministic fakes;
+``serve --tcp --supervise`` runs :meth:`Supervisor.run_async`, hopping
+each tick through the edge's service thread so polls and actions
+serialize with request traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.supervisor.actions import (
+    Action,
+    FlipAdmissionPolicy,
+    PauseIntake,
+    RespawnShards,
+    ScaleWindow,
+    SupervisorTarget,
+)
+from repro.supervisor.journal import ActionJournal
+
+__all__ = ["Rule", "Supervisor"]
+
+
+@dataclass
+class Rule:
+    """One degradation detector and its escalation policy.
+
+    ``metric`` maps a signals dict to a number where larger = worse;
+    the rule runs hot once the metric exceeds ``threshold`` for
+    ``sustain`` consecutive ticks, then ``propose`` picks an action
+    (``None`` = nothing sensible to do right now).  After an action
+    resolves (kept or reverted) the rule sleeps ``cooldown`` ticks.
+    """
+
+    name: str
+    metric: Callable[[dict], float]
+    threshold: float
+    propose: Callable[["Supervisor"], Action | None]
+    sustain: int = 2
+    cooldown: int = 8
+    hot: int = field(default=0, repr=False)
+    cooldown_left: int = field(default=0, repr=False)
+
+
+class Supervisor:
+    """Polls stats, heals what it can, reverts what did not help.
+
+    Parameters
+    ----------
+    service:
+        A :class:`~repro.service.service.SolveService` or
+        :class:`~repro.cluster.cluster.ClusterService`.
+    edge:
+        The :class:`~repro.edge.EdgeServer` in front (attached later
+        via :meth:`attach_edge` when :func:`~repro.edge.serve_tcp`
+        builds it).
+    interval_s:
+        Poll period of :meth:`run_async` (ticks are explicit in tests).
+    verify_ticks:
+        Samples collected before an applied action is judged.
+    min_improvement:
+        Relative drop of the metric mean (vs its value at apply time)
+        that counts as "the action helped" when the metric has not
+        fallen back below its threshold outright.
+    journal:
+        An :class:`ActionJournal` or a path for one (``None`` = memory
+        only).
+    queue_high, miss_rate_high, shed_high:
+        Default-rule thresholds: sustained queue depth, per-tick
+        deadline-miss fraction, per-tick shed count.
+    window_min, window_max:
+        Clamp for the widen/narrow actions.
+    rules:
+        Override the default rule set entirely (tests).
+    """
+
+    def __init__(
+        self,
+        service,
+        edge=None,
+        *,
+        interval_s: float = 2.0,
+        verify_ticks: int = 3,
+        sustain_ticks: int = 2,
+        cooldown_ticks: int = 8,
+        min_improvement: float = 0.1,
+        journal=None,
+        queue_high: float = 64.0,
+        miss_rate_high: float = 0.05,
+        shed_high: float = 0.0,
+        window_min: int = 1,
+        window_max: int = 256,
+        rules: list[Rule] | None = None,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be > 0")
+        if verify_ticks < 1:
+            raise ValueError("verify_ticks must be >= 1")
+        self.service = service
+        self.target = SupervisorTarget(service, edge)
+        self.interval_s = interval_s
+        self.verify_ticks = verify_ticks
+        self.sustain_ticks = sustain_ticks
+        self.cooldown_ticks = cooldown_ticks
+        self.min_improvement = min_improvement
+        self.queue_high = queue_high
+        self.miss_rate_high = miss_rate_high
+        self.shed_high = shed_high
+        self.window_min = window_min
+        self.window_max = window_max
+        self.journal = (
+            journal if isinstance(journal, ActionJournal)
+            else ActionJournal(journal)
+        )
+        self.rules = rules if rules is not None else self._default_rules()
+        self._tick = 0
+        self._last_counters: dict | None = None
+        # The single in-flight action being verified, or None.
+        self._active: dict | None = None
+
+    def attach_edge(self, edge) -> None:
+        self.target.edge = edge
+
+    # -- signals ---------------------------------------------------------------
+
+    @staticmethod
+    def _flat_counters(raw: dict) -> dict:
+        router = (raw.get("cluster") or {}).get("router") or {}
+        return {
+            "requests": raw.get("requests", 0),
+            "deadline_exceeded": raw.get("deadline_exceeded", 0),
+            "sheds": (raw.get("overload_sheds", 0)
+                      + router.get("sheds", 0)),
+            "breaker_trips": raw.get("breaker_trips", 0),
+        }
+
+    def _signals(self, raw: dict, health: dict) -> dict:
+        """Instantaneous degradation signals from one stats poll.
+
+        Monotone counters are differenced against the previous poll —
+        a detector sees *current* misbehavior, not accumulated history;
+        gauges and health pass through directly."""
+        counters = self._flat_counters(raw)
+        last = self._last_counters or counters
+        delta = {
+            key: max(0, counters[key] - last[key]) for key in counters
+        }
+        self._last_counters = counters
+        return {
+            "queue_depth": raw.get("queue_depth", 0),
+            "miss_rate": (
+                delta["deadline_exceeded"] / max(1, delta["requests"])
+            ),
+            "shed_count": delta["sheds"],
+            "breaker_trips": delta["breaker_trips"],
+            "dead_shards": sum(
+                1 for state in health.values() if state == "dead"
+            ),
+        }
+
+    def probe(self) -> dict:
+        """One stats poll reduced to the signals dict (also the shape
+        handed to every rule metric)."""
+        health = {}
+        shard_health = getattr(self.service, "shard_health", None)
+        if shard_health is not None:
+            health = shard_health()
+        raw = self.service.stats().as_dict()
+        return self._signals(raw, health)
+
+    # -- the default rule set --------------------------------------------------
+
+    def _default_rules(self) -> list[Rule]:
+        def propose_respawn(sup: "Supervisor") -> Action | None:
+            return RespawnShards()
+
+        def propose_overload(sup: "Supervisor") -> Action | None:
+            # Escalation ladder, one rung per episode: drain bigger
+            # batches; failing that, stop queueing (shed); failing
+            # that, breaker-pause the intake while the queue drains.
+            if sup.target.window < sup.window_max:
+                return ScaleWindow(2.0, lo=sup.window_min,
+                                   hi=sup.window_max)
+            if sup.target.admission_policy == "block":
+                return FlipAdmissionPolicy("shed-oldest")
+            return PauseIntake()
+
+        def propose_latency(sup: "Supervisor") -> Action | None:
+            # Deadlines missed: smaller windows cut time-in-batch.
+            if sup.target.window > sup.window_min:
+                return ScaleWindow(0.5, lo=sup.window_min,
+                                   hi=sup.window_max)
+            return None
+
+        def propose_shed(sup: "Supervisor") -> Action | None:
+            # Work is being dropped: convert loss into latency.
+            if sup.target.admission_policy == "shed-oldest":
+                return FlipAdmissionPolicy("block")
+            if sup.target.window < sup.window_max:
+                return ScaleWindow(2.0, lo=sup.window_min,
+                                   hi=sup.window_max)
+            return None
+
+        return [
+            Rule("dead-shard", lambda s: s["dead_shards"], 0.0,
+                 propose_respawn, sustain=1, cooldown=2),
+            Rule("queue-depth", lambda s: s["queue_depth"],
+                 self.queue_high, propose_overload,
+                 sustain=self.sustain_ticks, cooldown=self.cooldown_ticks),
+            Rule("deadline-miss", lambda s: s["miss_rate"],
+                 self.miss_rate_high, propose_latency,
+                 sustain=self.sustain_ticks, cooldown=self.cooldown_ticks),
+            Rule("shed-rate", lambda s: s["shed_count"], self.shed_high,
+                 propose_shed, sustain=self.sustain_ticks,
+                 cooldown=self.cooldown_ticks),
+        ]
+
+    # -- the state machine -----------------------------------------------------
+
+    def tick(self) -> dict | None:
+        """One control-loop step; returns the journal entry it wrote,
+        if any (``phase: "apply"`` or ``phase: "verify"``)."""
+        self._tick += 1
+        signals = self.probe()
+        if self._active is not None:
+            return self._verify_step(signals)
+        for rule in self.rules:
+            if rule.cooldown_left > 0:
+                rule.cooldown_left -= 1
+                continue
+            value = rule.metric(signals)
+            rule.hot = rule.hot + 1 if value > rule.threshold else 0
+            if rule.hot < rule.sustain:
+                continue
+            rule.hot = 0
+            action = rule.propose(self)
+            if action is None:
+                rule.cooldown_left = rule.cooldown
+                continue
+            try:
+                params = action.apply(self.target)
+            except Exception as exc:  # noqa: BLE001 — journal and move on
+                rule.cooldown_left = rule.cooldown
+                return self.journal.log(
+                    tick=self._tick, phase="apply-failed",
+                    detector=rule.name, action=action.name,
+                    error=str(exc),
+                )
+            self._active = {
+                "rule": rule,
+                "action": action,
+                "baseline": value,
+                "samples": [],
+                "ticks_left": self.verify_ticks,
+            }
+            return self.journal.log(
+                tick=self._tick, phase="apply", detector=rule.name,
+                action=action.name, metric=round(value, 6),
+                threshold=rule.threshold, params=params,
+            )
+        return None
+
+    def _verify_step(self, signals: dict) -> dict | None:
+        active = self._active
+        rule: Rule = active["rule"]
+        action: Action = active["action"]
+        active["samples"].append(rule.metric(signals))
+        active["ticks_left"] -= 1
+        if active["ticks_left"] > 0:
+            return None
+        observed = sum(active["samples"]) / len(active["samples"])
+        improved = (
+            observed <= rule.threshold
+            or observed <= active["baseline"] * (1 - self.min_improvement)
+        )
+        reverted = False
+        if action.auto_expires:
+            # A breaker-style action never outlives its window.
+            action.revert(self.target)
+            reverted = not improved
+        elif not improved and action.reversible:
+            action.revert(self.target)
+            reverted = True
+        outcome = (
+            "kept" if improved
+            else ("reverted" if reverted else "no-improvement")
+        )
+        rule.cooldown_left = rule.cooldown
+        self._active = None
+        return self.journal.log(
+            tick=self._tick, phase="verify", detector=rule.name,
+            action=action.name, baseline=round(active["baseline"], 6),
+            observed=round(observed, 6), outcome=outcome,
+            expired=action.auto_expires or None,
+        )
+
+    @property
+    def verifying(self) -> bool:
+        return self._active is not None
+
+    # -- the async runner ------------------------------------------------------
+
+    async def run_async(self, *, call=None, stop=None) -> None:
+        """Tick every ``interval_s`` until cancelled (or ``stop``, an
+        ``asyncio.Event``, is set).  ``call`` — when the service is not
+        safe to touch from this task — is an awaitable dispatcher
+        receiving :meth:`tick` (the edge passes its single-thread
+        service executor)."""
+        import asyncio
+
+        while stop is None or not stop.is_set():
+            await asyncio.sleep(self.interval_s)
+            if stop is not None and stop.is_set():
+                return
+            if call is None:
+                self.tick()
+            else:
+                await call(self.tick)

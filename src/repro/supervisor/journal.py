@@ -1,0 +1,46 @@
+"""The supervisor's structured decision log.
+
+Every apply / verify / revert lands here as one JSONL record, kept
+in memory (``entries``) and — when a path is given — appended to disk
+immediately, so a crashed or killed run still ships the decisions that
+preceded it (the chaos-soak CI job uploads this file on failure).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+__all__ = ["ActionJournal"]
+
+
+class ActionJournal:
+    """Append-only JSONL log of supervisor decisions."""
+
+    def __init__(self, path=None) -> None:
+        self.path = None if path is None else pathlib.Path(path)
+        self.entries: list[dict] = []
+        self._fh = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a")
+
+    def log(self, **entry) -> dict:
+        entry.setdefault("ts", round(time.time(), 3))
+        self.entries.append(entry)
+        if self._fh is not None:
+            self._fh.write(json.dumps(entry, separators=(",", ":")) + "\n")
+            self._fh.flush()
+        return entry
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "ActionJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

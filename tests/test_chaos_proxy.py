@@ -1,0 +1,360 @@
+"""The chaos proxy: seeded fault injection between client and edge.
+
+Every scenario runs the real :class:`repro.edge.EdgeServer` on loopback
+with a :class:`repro.chaos.ChaosProxy` in front, so the faults exercise
+the same code paths a production client would hit.  The invariants:
+
+* a fault-free schedule is a transparent relay;
+* corruption poisons exactly one frame into a structured
+  invalid-request error — never a silently wrong answer;
+* a truncated or reset pipeline never loses or double-answers a
+  request that the edge had already accepted (the journal is the
+  ground truth);
+* partition windows refuse new connections and heal on schedule;
+* schedules round-trip through JSON (including the FaultPlan rider),
+  so a soak run is replayable from its artifact.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from conftest import random_fixed_problem
+from repro.chaos import ChaosProxy, ChaosSchedule
+from repro.edge import EdgeClient, EdgeServer
+from repro.service import SolveService
+from repro.service.faults import FaultPlan
+from repro.service.journal import replay
+from repro.service.request import SolveRequest
+from repro.service.wire import request_to_jsonable
+
+
+def _line(problem, rid=None, **options) -> dict:
+    return request_to_jsonable(
+        SolveRequest(problem=problem, id=rid, **options)
+    )
+
+
+async def _start(svc, **kw) -> EdgeServer:
+    server = EdgeServer(svc, port=0, **kw)
+    await server.start()
+    return server
+
+
+class TestPassthrough:
+    def test_default_schedule_relays_transparently(self, rng):
+        problems = [random_fixed_problem(rng, 3, 4) for _ in range(5)]
+
+        async def scenario():
+            with SolveService() as svc:
+                server = await _start(svc, window=2)
+                async with ChaosProxy(
+                    "127.0.0.1", server.port, ChaosSchedule()
+                ) as proxy:
+                    async with await EdgeClient.connect(
+                        "127.0.0.1", proxy.port
+                    ) as client:
+                        for i, p in enumerate(problems):
+                            await client.send(_line(p, f"r{i}"))
+                        got = [await client.recv() for _ in problems]
+                    injected = proxy.faults_injected
+                await server.close()
+            return got, injected
+
+        got, injected = asyncio.run(scenario())
+        assert [r["id"] for r in got] == [f"r{i}" for i in range(5)]
+        assert all(r["status"] == "ok" for r in got)
+        assert injected == 0
+
+    def test_latency_schedule_delays_the_round_trip(self, rng):
+        problem = random_fixed_problem(rng, 3, 3)
+
+        async def scenario():
+            import time
+
+            with SolveService() as svc:
+                server = await _start(svc, window=1)
+                # 60 ms each way on every chunk: request and response
+                # cross the proxy once each.
+                schedule = ChaosSchedule(latency_s=0.06)
+                async with ChaosProxy(
+                    "127.0.0.1", server.port, schedule
+                ) as proxy:
+                    async with await EdgeClient.connect(
+                        "127.0.0.1", proxy.port
+                    ) as client:
+                        t0 = time.monotonic()
+                        resp = await client.request(_line(problem, "r1"))
+                        elapsed = time.monotonic() - t0
+                await server.close()
+            return resp, elapsed
+
+        resp, elapsed = asyncio.run(scenario())
+        assert resp["status"] == "ok"
+        assert elapsed >= 0.12
+
+    def test_event_log_records_opens_and_closes(self, rng, tmp_path):
+        problem = random_fixed_problem(rng, 3, 3)
+
+        async def scenario():
+            with SolveService() as svc:
+                server = await _start(svc, window=1)
+                async with ChaosProxy(
+                    "127.0.0.1", server.port, ChaosSchedule()
+                ) as proxy:
+                    async with await EdgeClient.connect(
+                        "127.0.0.1", proxy.port
+                    ) as client:
+                        await client.request(_line(problem, "r1"))
+                    await asyncio.sleep(0.05)
+                    proxy.write_events(tmp_path / "events.jsonl")
+                    events = list(proxy.events)
+                await server.close()
+            return events
+
+        events = asyncio.run(scenario())
+        kinds = [e["event"] for e in events]
+        assert "open" in kinds
+        lines = (tmp_path / "events.jsonl").read_text().splitlines()
+        assert [json.loads(l)["event"] for l in lines] == kinds
+        assert all({"t", "conn", "dir", "event"} <= set(json.loads(l))
+                   for l in lines)
+
+
+class TestByteFaults:
+    def test_corruption_yields_structured_error_not_wrong_answer(self, rng):
+        problem = random_fixed_problem(rng, 3, 3)
+
+        async def scenario():
+            with SolveService() as svc:
+                server = await _start(svc, window=1)
+                # Corrupt the first chunk (the request); max_faults=1
+                # leaves the response frame alone so the client can
+                # still decode the structured error.
+                schedule = ChaosSchedule(
+                    seed=5, corrupt_fraction=1.0, max_faults=1
+                )
+
+                async def once(proxy):
+                    async with await EdgeClient.connect(
+                        "127.0.0.1", proxy.port
+                    ) as client:
+                        await client.send(_line(problem, "r1"))
+                        return await client.recv()
+
+                async with ChaosProxy(
+                    "127.0.0.1", server.port, schedule
+                ) as proxy:
+                    resp = await once(proxy)
+                    injected = dict(proxy.injected)
+                await server.close()
+            return resp, injected
+
+        resp, injected = asyncio.run(scenario())
+        assert injected["corrupt"] >= 1
+        assert resp["status"] == "error"
+        assert resp["error"]["kind"] == "invalid-request"
+
+    def test_truncation_mid_frame_never_loses_accepted_requests(
+        self, rng, tmp_path
+    ):
+        """Satellite (d): the first request is accepted cleanly, the
+        second dies in a truncated frame; the accepted one drains
+        exactly once (journal ground truth), the truncated one never
+        reaches the service."""
+        problems = [random_fixed_problem(rng, 3, 3) for _ in range(2)]
+        journal = tmp_path / "edge.jsonl"
+
+        async def scenario():
+            with SolveService(journal=str(journal)) as svc:
+                server = await _start(svc, window=1)
+                # First chunk per direction is exempt: request r0 always
+                # arrives whole.  The second request chunk truncates.
+                schedule = ChaosSchedule(
+                    seed=3, truncate_fraction=1.0, start_after_chunks=1
+                )
+                async with ChaosProxy(
+                    "127.0.0.1", server.port, schedule
+                ) as proxy:
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", proxy.port
+                    )
+                    client = EdgeClient(reader, writer)
+                    await client.send(_line(problems[0], "r0"))
+                    first = await client.recv()
+                    await client.send(_line(problems[1], "r1"))
+                    second = await client.recv()  # None: severed
+                    injected = dict(proxy.injected)
+                await server.drain(10)
+            return first, second, injected
+
+        first, second, injected = asyncio.run(scenario())
+        assert first["id"] == "r0" and first["status"] == "ok"
+        assert second is None
+        assert injected["truncate"] == 1
+        records = [json.loads(l)
+                   for l in journal.read_text().splitlines()]
+        response_ids = [r["id"] for r in records
+                        if r["type"] == "response"]
+        assert response_ids.count("c1:r0") == 1  # once, never doubled
+        unanswered, recorded = replay(journal)
+        assert not unanswered  # the truncated frame never got accepted
+        assert set(recorded) == {"c1:r0"}
+
+    def test_reset_drops_the_connection_without_forwarding(self, rng):
+        problem = random_fixed_problem(rng, 3, 3)
+
+        async def scenario():
+            with SolveService() as svc:
+                server = await _start(svc, window=1)
+                schedule = ChaosSchedule(seed=1, reset_fraction=1.0)
+                async with ChaosProxy(
+                    "127.0.0.1", server.port, schedule
+                ) as proxy:
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", proxy.port
+                    )
+                    client = EdgeClient(reader, writer)
+                    try:
+                        await client.send(_line(problem, "r1"))
+                        got = await client.recv()
+                    except (ConnectionError, OSError):
+                        got = None
+                    injected = dict(proxy.injected)
+                stats = server.stats
+                await server.close()
+            return got, injected, stats
+
+        got, injected, stats = asyncio.run(scenario())
+        assert got is None
+        assert injected["reset"] == 1
+        assert stats.requests == 0  # dropped before the edge saw it
+
+    def test_max_faults_caps_the_injection_budget(self, rng):
+        problems = [random_fixed_problem(rng, 3, 3) for _ in range(4)]
+
+        async def scenario():
+            with SolveService() as svc:
+                server = await _start(svc, window=1)
+                schedule = ChaosSchedule(
+                    seed=2, corrupt_fraction=1.0, max_faults=1
+                )
+                async with ChaosProxy(
+                    "127.0.0.1", server.port, schedule
+                ) as proxy:
+                    async with await EdgeClient.connect(
+                        "127.0.0.1", proxy.port
+                    ) as client:
+                        got = []
+                        for i, p in enumerate(problems):
+                            await client.send(_line(p, f"r{i}"))
+                            got.append(await client.recv())
+                    injected = proxy.faults_injected
+                await server.close()
+            return got, injected
+
+        got, injected = asyncio.run(scenario())
+        assert injected == 1
+        statuses = [r["status"] for r in got]
+        assert statuses.count("error") == 1
+        assert statuses.count("ok") == len(problems) - 1
+
+
+class TestPartitions:
+    def test_partition_refuses_then_heals(self, rng):
+        problem = random_fixed_problem(rng, 3, 3)
+
+        async def scenario():
+            with SolveService() as svc:
+                server = await _start(svc, window=1)
+                schedule = ChaosSchedule(partitions=((0.0, 0.3),))
+                async with ChaosProxy(
+                    "127.0.0.1", server.port, schedule
+                ) as proxy:
+                    # Inside the window: the connection aborts before any
+                    # byte crosses.
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", proxy.port
+                    )
+                    client = EdgeClient(reader, writer)
+                    refused = await client.recv()
+                    await asyncio.sleep(0.35)
+                    # After the window: a fresh connection works.
+                    async with await EdgeClient.connect(
+                        "127.0.0.1", proxy.port
+                    ) as healed_client:
+                        healed = await healed_client.request(
+                            _line(problem, "r1")
+                        )
+                    injected = dict(proxy.injected)
+                await server.close()
+            return refused, healed, injected
+
+        refused, healed, injected = asyncio.run(scenario())
+        assert refused is None
+        assert injected["partition-refused"] >= 1
+        assert healed["status"] == "ok"
+
+    def test_partition_start_severs_active_connections(self, rng):
+        async def scenario():
+            with SolveService() as svc:
+                server = await _start(svc, window=1)
+                schedule = ChaosSchedule(partitions=((0.2, 0.5),))
+                async with ChaosProxy(
+                    "127.0.0.1", server.port, schedule
+                ) as proxy:
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", proxy.port
+                    )
+                    client = EdgeClient(reader, writer)
+                    # Idle through the partition start: the watchdog
+                    # severs us even though no chunk is in flight.
+                    severed = await client.recv()
+                    events = [e["event"] for e in proxy.events]
+                await server.close()
+            return severed, events
+
+        severed, events = asyncio.run(scenario())
+        assert severed is None
+        assert "partition-start" in events
+
+
+class TestScheduleRoundTrip:
+    def test_json_round_trip_including_fault_plan(self, tmp_path):
+        schedule = ChaosSchedule(
+            seed=42, latency_s=0.002, jitter_s=0.001, jitter_alpha=1.7,
+            bandwidth_bps=1e6, corrupt_fraction=0.01,
+            truncate_fraction=0.02, reset_fraction=0.03,
+            partitions=((1.0, 2.0), (4.0, 5.0)),
+            start_after_chunks=2, max_faults=50,
+            shard_kills=((2.5, 0), (3.5, 1)),
+            fault_plan=FaultPlan(seed=7, raise_fraction=0.1),
+        )
+        path = tmp_path / "schedule.json"
+        schedule.dump(path)
+        loaded = ChaosSchedule.load(path)
+        assert loaded == schedule
+        assert isinstance(loaded.fault_plan, FaultPlan)
+        assert loaded.shard_kills == ((2.5, 0), (3.5, 1))
+
+    def test_unknown_fields_are_rejected(self):
+        with pytest.raises(ValueError, match="unknown ChaosSchedule"):
+            ChaosSchedule.from_jsonable({"seed": 1, "latencies": [1]})
+
+    def test_invalid_fractions_and_windows_are_rejected(self):
+        with pytest.raises(ValueError, match="corrupt_fraction"):
+            ChaosSchedule(corrupt_fraction=1.5)
+        with pytest.raises(ValueError, match="start < end"):
+            ChaosSchedule(partitions=((2.0, 1.0),))
+        with pytest.raises(ValueError, match="jitter_alpha"):
+            ChaosSchedule(jitter_s=0.1, jitter_alpha=1.0)
+
+    def test_rng_streams_are_keyed_per_connection_direction(self):
+        schedule = ChaosSchedule(seed=9)
+        a = [schedule.rng_for(1, "up").random() for _ in range(3)]
+        b = [schedule.rng_for(1, "up").random() for _ in range(3)]
+        c = [schedule.rng_for(2, "up").random() for _ in range(3)]
+        d = [schedule.rng_for(1, "down").random() for _ in range(3)]
+        assert a == b          # replayable
+        assert a != c != d     # independent per connection and direction

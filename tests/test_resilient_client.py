@@ -1,0 +1,383 @@
+"""The resilient edge client and server-side sessions.
+
+The contract under test is end-to-end exactly-once despite arbitrary
+reconnects: a session-scoped request id is solved once no matter how
+many times the client resubmits it, and the answer reaches the client
+even when the socket that carried the original submission is long dead.
+Three server-side mechanisms make that true, each pinned here:
+
+* **replay** — an id already answered re-delivers the parked response
+  from the session cache (never re-enters the service);
+* **rebind** — an id still in flight whose socket died is re-bound to
+  the resubmitting connection;
+* **dedup**  — an id in flight on a *live* socket answers a structured
+  duplicate-request error, which the client recognizes and ignores.
+
+Timeout satellites ride along: ``EdgeClient.connect``/``recv``/
+``request`` accept ``timeout=`` and raise the classified
+:class:`~repro.errors.DeadlineExceededError` on expiry.
+"""
+
+import asyncio
+import json
+import socket
+
+import pytest
+
+from conftest import random_fixed_problem
+from repro.edge import EdgeClient, EdgeServer, ResilientEdgeClient
+from repro.errors import DeadlineExceededError, DuplicateRequestError
+from repro.chaos import ChaosProxy, ChaosSchedule
+from repro.service import SolveService
+from repro.service.request import SolveRequest
+from repro.service.wire import request_to_jsonable
+
+
+def _line(problem, rid=None, **options) -> dict:
+    return request_to_jsonable(
+        SolveRequest(problem=problem, id=rid, **options)
+    )
+
+
+async def _start(svc, **kw) -> EdgeServer:
+    server = EdgeServer(svc, port=0, **kw)
+    await server.start()
+    return server
+
+
+async def _hello(host, port, session):
+    """Open a raw client and join ``session``; returns the client."""
+    client = await EdgeClient.connect(host, port)
+    await client.send_raw(json.dumps({"session": session}))
+    ack = await client.recv()
+    assert ack["session"] == session and ack["status"] == "ok"
+    return client
+
+
+async def _wait_for(predicate, timeout=5.0):
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while not predicate():
+        if loop.time() > deadline:
+            raise AssertionError("condition never became true")
+        await asyncio.sleep(0.01)
+
+
+class TestTimeouts:
+    def test_recv_timeout_raises_classified_deadline_error(self, rng):
+        async def scenario():
+            with SolveService() as svc:
+                server = await _start(svc, window=1)
+                async with await EdgeClient.connect(
+                    "127.0.0.1", server.port
+                ) as client:
+                    with pytest.raises(DeadlineExceededError,
+                                       match="no response line"):
+                        await client.recv(timeout=0.05)
+                    # The stream survives the timeout: a real request
+                    # afterwards still answers.
+                    resp = await client.request(
+                        _line(random_fixed_problem(rng, 3, 3), "r1"),
+                        timeout=30.0,
+                    )
+                await server.close()
+            return resp
+
+        resp = asyncio.run(scenario())
+        assert resp["id"] == "r1" and resp["status"] == "ok"
+
+    def test_connect_timeout_raises_classified_deadline_error(self):
+        # A listener with an exhausted backlog never completes the
+        # handshake: SYNs queue in the kernel until the timeout fires.
+        gate = socket.socket()
+        gate.bind(("127.0.0.1", 0))
+        gate.listen(0)
+        fillers = []
+        for _ in range(4):
+            filler = socket.socket()
+            filler.setblocking(False)
+            filler.connect_ex(gate.getsockname())
+            fillers.append(filler)
+
+        async def scenario():
+            with pytest.raises(DeadlineExceededError, match="connect"):
+                await EdgeClient.connect(
+                    *gate.getsockname(), timeout=0.2
+                )
+
+        try:
+            asyncio.run(scenario())
+        finally:
+            for filler in fillers:
+                filler.close()
+            gate.close()
+
+    def test_request_timeout_on_resilient_client(self, rng):
+        """A partitioned (never-connecting) resilient client fails a
+        request at its deadline with the classified error, not a hang."""
+        async def scenario():
+            gate = socket.socket()
+            gate.bind(("127.0.0.1", 0))
+            gate.listen(0)
+            fillers = []
+            for _ in range(4):
+                filler = socket.socket()
+                filler.setblocking(False)
+                filler.connect_ex(gate.getsockname())
+                fillers.append(filler)
+            try:
+                async with ResilientEdgeClient(
+                    *gate.getsockname(), session="t",
+                    connect_timeout=0.1, attempt_timeout=0.1, seed=0,
+                ) as client:
+                    with pytest.raises(DeadlineExceededError,
+                                       match="unanswered"):
+                        await client.request(
+                            _line(random_fixed_problem(rng, 3, 3), "r1"),
+                            timeout=0.5,
+                        )
+                    return client.stats.as_dict()
+            finally:
+                for filler in fillers:
+                    filler.close()
+                gate.close()
+
+        stats = asyncio.run(scenario())
+        assert stats["deadline_failures"] == 1
+        assert stats["resolved"] == 0
+
+
+class TestSessions:
+    def test_parked_answer_replays_to_a_reconnect(self, rng, tmp_path):
+        """An answer produced while the socket was dead is parked in the
+        session cache and re-delivered on resubmission — the service
+        solves exactly once (journal ground truth)."""
+        problem = random_fixed_problem(rng, 3, 3)
+        journal = tmp_path / "edge.jsonl"
+
+        async def scenario():
+            with SolveService(journal=str(journal)) as svc:
+                # Huge window + flush interval: nothing drains until we
+                # say so, giving deterministic control of dispatch time.
+                server = await _start(svc, window=100, flush_interval=60)
+                first = await _hello("127.0.0.1", server.port, "sess-a")
+                await first.send(_line(problem, "r1"))
+                await _wait_for(lambda: server.stats.requests == 1)
+                await first.close()
+                await _wait_for(
+                    lambda: server.stats.connections_open == 0
+                )
+                # Dispatch happens with no socket alive: the answer
+                # parks instead of dropping.
+                await server._drain_now()
+                assert server.stats.parked_responses == 1
+                second = await _hello("127.0.0.1", server.port, "sess-a")
+                await second.send(_line(problem, "r1"))  # resubmission
+                resp = await second.recv()
+                await second.close()
+                stats = server.stats
+                await server.drain(10)
+            return resp, stats
+
+        resp, stats = asyncio.run(scenario())
+        assert resp["id"] == "r1" and resp["status"] == "ok"
+        assert stats.session_replays == 1
+        assert stats.session_resumes == 1
+        records = [json.loads(l) for l in journal.read_text().splitlines()]
+        response_ids = [r["id"] for r in records if r["type"] == "response"]
+        assert response_ids.count("s:sess-a:r1") == 1
+
+    def test_inflight_id_rebinds_to_the_new_connection(self, rng):
+        """A resubmitted id still being solved re-binds to the new
+        socket instead of being refused or re-solved."""
+        problem = random_fixed_problem(rng, 3, 3)
+
+        async def scenario():
+            with SolveService() as svc:
+                server = await _start(svc, window=100, flush_interval=60)
+                first = await _hello("127.0.0.1", server.port, "sess-b")
+                await first.send(_line(problem, "r1"))
+                await _wait_for(lambda: server.stats.requests == 1)
+                await first.close()
+                await _wait_for(
+                    lambda: server.stats.connections_open == 0
+                )
+                # Still queued (nothing drained yet) when the client
+                # comes back and resubmits.
+                second = await _hello("127.0.0.1", server.port, "sess-b")
+                await second.send(_line(problem, "r1"))
+                await _wait_for(lambda: server.stats.session_rebinds == 1)
+                await server._drain_now()
+                resp = await second.recv()
+                await second.close()
+                stats = server.stats
+                await server.close()
+            return resp, stats
+
+        resp, stats = asyncio.run(scenario())
+        assert resp["id"] == "r1" and resp["status"] == "ok"
+        assert stats.session_rebinds == 1
+        assert stats.requests == 1  # the resubmission never re-entered
+
+    def test_duplicate_on_live_socket_is_refused(self, rng):
+        problem = random_fixed_problem(rng, 3, 3)
+
+        async def scenario():
+            with SolveService() as svc:
+                server = await _start(svc, window=100, flush_interval=60)
+                client = await _hello("127.0.0.1", server.port, "sess-c")
+                await client.send(_line(problem, "r1"))
+                await _wait_for(lambda: server.stats.requests == 1)
+                # Same id again on the SAME live socket: refused, the
+                # original keeps its slot.  (In-order delivery holds
+                # the refusal behind the pending answer.)
+                await client.send(_line(problem, "r1"))
+                await _wait_for(
+                    lambda: server.stats.overload_rejections == 1
+                )
+                await server._drain_now()
+                answer = await client.recv()
+                refusal = await client.recv()
+                await client.close()
+                await server.close()
+            return refusal, answer
+
+        refusal, answer = asyncio.run(scenario())
+        assert refusal["status"] == "error"
+        assert refusal["error"]["kind"] == DuplicateRequestError.kind
+        assert answer["id"] == "r1" and answer["status"] == "ok"
+
+    def test_invalid_session_id_answers_structured_error(self):
+        async def scenario():
+            with SolveService() as svc:
+                server = await _start(svc, window=1)
+                client = await EdgeClient.connect("127.0.0.1", server.port)
+                await client.send_raw(json.dumps({"session": "bad/sid!"}))
+                ack = await client.recv()
+                await client.close()
+                await server.close()
+            return ack
+
+        ack = asyncio.run(scenario())
+        assert ack["status"] == "error"
+        assert ack["error"]["kind"] == "invalid-request"
+
+    def test_session_cache_is_bounded(self, rng):
+        problems = [random_fixed_problem(rng, 3, 3) for _ in range(4)]
+
+        async def scenario():
+            with SolveService() as svc:
+                server = await _start(svc, window=1, session_cache=2)
+                client = await _hello("127.0.0.1", server.port, "sess-d")
+                for i, p in enumerate(problems):
+                    resp = await client.request(_line(p, f"r{i}"))
+                    assert resp["status"] == "ok"
+                cache = server._sessions["sess-d"]
+                await client.close()
+                await server.close()
+            return dict(cache)
+
+        cache = asyncio.run(scenario())
+        assert len(cache) == 2
+        assert set(cache) == {"s:sess-d:r2", "s:sess-d:r3"}
+
+
+class TestResilientExactlyOnce:
+    def test_exactly_once_through_a_reset_heavy_proxy(self, rng, tmp_path):
+        """The headline invariant: every request answered exactly once
+        through a proxy that resets connections, with the journal as
+        ground truth for zero-double-solve."""
+        problems = [random_fixed_problem(rng, 3, 4) for _ in range(16)]
+        journal = tmp_path / "edge.jsonl"
+
+        async def scenario():
+            with SolveService(journal=str(journal)) as svc:
+                server = await _start(
+                    svc, window=4, include_matrix=False
+                )
+                schedule = ChaosSchedule(
+                    seed=7, reset_fraction=0.15, corrupt_fraction=0.05,
+                    latency_s=0.001, start_after_chunks=1,
+                )
+                async with ChaosProxy(
+                    "127.0.0.1", server.port, schedule
+                ) as proxy:
+                    async with ResilientEdgeClient(
+                        "127.0.0.1", proxy.port, session="tough",
+                        attempt_timeout=0.5, seed=3,
+                    ) as client:
+                        responses = await asyncio.gather(*[
+                            client.request(p, timeout=60.0)
+                            for p in problems
+                        ])
+                        stats = client.stats.as_dict()
+                await server.drain(30)
+                edge = server.stats
+            return responses, stats, edge
+
+        responses, stats, edge = asyncio.run(scenario())
+        assert len(responses) == len(problems)
+        assert all(r["status"] == "ok" for r in responses)
+        # Distinct ids answered exactly once each, client-side...
+        ids = [r["id"] for r in responses]
+        assert sorted(ids) == sorted(set(ids))
+        assert stats["resolved"] == len(problems)
+        assert stats["deadline_failures"] == 0
+        # ...and service-side: one journaled response per id, ever.
+        records = [json.loads(l) for l in journal.read_text().splitlines()]
+        by_id: dict = {}
+        for r in records:
+            if r["type"] == "response":
+                by_id[r["id"]] = by_id.get(r["id"], 0) + 1
+        assert len(by_id) == len(problems)
+        assert all(count == 1 for count in by_id.values())
+
+    def test_client_survives_a_full_partition_window(self, rng):
+        problems = [random_fixed_problem(rng, 3, 3) for _ in range(3)]
+
+        async def scenario():
+            with SolveService() as svc:
+                server = await _start(svc, window=1, include_matrix=False)
+                schedule = ChaosSchedule(partitions=((0.1, 0.5),))
+                async with ChaosProxy(
+                    "127.0.0.1", server.port, schedule
+                ) as proxy:
+                    async with ResilientEdgeClient(
+                        "127.0.0.1", proxy.port, session="part",
+                        connect_timeout=0.2, attempt_timeout=0.3, seed=5,
+                    ) as client:
+                        first = await client.request(
+                            problems[0], timeout=30.0
+                        )
+                        await asyncio.sleep(0.15)  # inside the window
+                        rest = await asyncio.gather(*[
+                            client.request(p, timeout=30.0)
+                            for p in problems[1:]
+                        ])
+                        stats = client.stats.as_dict()
+                    injected = dict(proxy.injected)
+                await server.drain(10)
+            return [first, *rest], stats, injected
+
+        responses, stats, injected = asyncio.run(scenario())
+        assert all(r["status"] == "ok" for r in responses)
+        refused = injected["partition-refused"]
+        severed = injected["partition-severed"]
+        assert refused + severed >= 1  # the partition actually bit
+        assert stats["resolved"] == 3
+
+    def test_duplicate_id_reuse_is_rejected_client_side(self, rng):
+        problem = random_fixed_problem(rng, 3, 3)
+
+        async def scenario():
+            with SolveService() as svc:
+                server = await _start(svc, window=1, include_matrix=False)
+                async with ResilientEdgeClient(
+                    "127.0.0.1", server.port, session="dup", seed=0
+                ) as client:
+                    await client.request(_line(problem, "r1"), timeout=30.0)
+                    with pytest.raises(DuplicateRequestError):
+                        await client.submit(_line(problem, "r1"))
+                await server.close()
+
+        asyncio.run(scenario())

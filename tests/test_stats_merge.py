@@ -126,3 +126,62 @@ class TestMergeProperties:
                 assert va == pytest.approx(vb), f.name
             else:
                 assert va == vb, f.name
+
+
+class TestMetricsText:
+    """Prometheus text exposition (``serve --stats --prometheus``)."""
+
+    _LINE = __import__("re").compile(
+        r"^(?:# TYPE [a-z_]+ (?:counter|gauge)"
+        r"|[a-z_]+(?:\{[a-z]+=\"[^\"]*\"\})? -?[0-9.e+-]+)$"
+    )
+
+    def test_every_field_appears_and_the_format_parses(self, rng):
+        stats = random_stats(rng)
+        text = stats.metrics_text()
+        for f in dataclasses.fields(ServiceStats):
+            assert f"repro_{f.name}" in text, f.name
+        for line in text.strip().splitlines():
+            assert self._LINE.match(line), line
+
+    def test_counters_get_total_suffix_gauges_do_not(self):
+        stats = ServiceStats(requests=7, queue_depth=3, cache_size=2)
+        text = stats.metrics_text()
+        assert "repro_requests_total 7" in text
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert "\nrepro_queue_depth 3" in text
+        assert "\nrepro_cache_size 2" in text
+        assert "repro_queue_depth_total" not in text
+
+    def test_dict_fields_become_labelled_series(self):
+        stats = ServiceStats(
+            per_kind={"fixed": 4, "sam": 1},
+            errors_by_kind={"overloaded": 2},
+        )
+        text = stats.metrics_text()
+        assert 'repro_per_kind_total{kind="fixed"} 4' in text
+        assert 'repro_per_kind_total{kind="sam"} 1' in text
+        assert 'repro_errors_by_kind_total{kind="overloaded"} 2' in text
+
+    def test_derived_ratios_are_appended_as_gauges(self):
+        stats = ServiceStats(cache_hits=3, cache_misses=1)
+        text = stats.metrics_text()
+        assert "# TYPE repro_cache_hit_rate gauge" in text
+        assert "repro_cache_hit_rate 0.75" in text
+        assert "repro_mean_solve_time_seconds" in text
+
+    def test_label_values_are_escaped(self):
+        stats = ServiceStats(per_kind={'we"ird\n': 1})
+        text = stats.metrics_text()
+        assert 'kind="we\\"ird\\n"' in text
+
+    def test_edge_stats_exposition(self):
+        from repro.edge import EdgeStats
+
+        stats = EdgeStats(connections=2, connections_open=1, requests=5)
+        text = stats.metrics_text()
+        assert "repro_edge_connections_total 2" in text
+        assert "# TYPE repro_edge_connections_open gauge" in text
+        assert "repro_edge_requests_total 5" in text
+        for line in text.strip().splitlines():
+            assert self._LINE.match(line), line

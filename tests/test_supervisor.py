@@ -1,0 +1,383 @@
+"""The self-healing supervisor: detect → propose → apply → verify → revert.
+
+Driven tick-by-tick against a deterministic fake service (backed by the
+real :class:`ServiceStats` record, so signal extraction runs the real
+code path).  The load-bearing guarantees:
+
+* a detector must stay hot for ``sustain`` consecutive ticks — one
+  noisy sample never triggers an action;
+* at most one action is in flight; detection is suspended while a
+  verification window is open;
+* an action whose verification window shows no improvement is
+  REVERTED and the original configuration restored (the acceptance
+  criterion of the robustness issue);
+* ``PauseIntake`` auto-expires at the end of its window regardless of
+  outcome — pausing is a circuit breaker, not a steady state;
+* every decision lands in the structured action journal (and on disk
+  when a path is given).
+
+An integration block runs the corrective actions against a *real*
+``SolveService`` / inline ``ClusterService`` to pin the service-side
+hooks (``pause_intake``, ``set_admission_policy``, ``shard_health``).
+"""
+
+import json
+
+import pytest
+
+from conftest import random_fixed_problem
+from repro.cluster import ClusterService
+from repro.errors import OverloadedError
+from repro.service import SolveService
+from repro.service.metrics import ServiceStats
+from repro.service.request import SolveRequest
+from repro.supervisor import (
+    ActionJournal,
+    FlipAdmissionPolicy,
+    PauseIntake,
+    RespawnShards,
+    ScaleWindow,
+    Rule,
+    Supervisor,
+)
+from repro.supervisor.actions import SupervisorTarget
+
+
+class FakeService:
+    """Deterministic stand-in exposing the supervisor-facing surface."""
+
+    def __init__(self) -> None:
+        self.stats_obj = ServiceStats()
+        self.max_batch = 8
+        self.policy = "reject-newest"
+        self.paused = False
+        self.pings = 0
+        self.health: dict = {}
+
+    def stats(self) -> ServiceStats:
+        return self.stats_obj.snapshot()
+
+    def shard_health(self) -> dict:
+        return dict(self.health)
+
+    def ping(self) -> dict:
+        self.pings += 1
+        before = dict(self.health)
+        self.health = {sid: "ok" for sid in self.health}
+        return before
+
+    @property
+    def admission_policy(self) -> str:
+        return self.policy
+
+    def set_admission_policy(self, policy: str) -> str:
+        old, self.policy = self.policy, policy
+        return old
+
+    def pause_intake(self) -> None:
+        self.paused = True
+
+    def resume_intake(self) -> None:
+        self.paused = False
+
+
+def make_supervisor(svc, **kw) -> Supervisor:
+    kw.setdefault("verify_ticks", 2)
+    kw.setdefault("sustain_ticks", 2)
+    kw.setdefault("cooldown_ticks", 3)
+    kw.setdefault("queue_high", 10.0)
+    return Supervisor(svc, **kw)
+
+
+class TestDetection:
+    def test_one_noisy_sample_never_triggers(self):
+        svc = FakeService()
+        sup = make_supervisor(svc)
+        svc.stats_obj.queue_depth = 50
+        assert sup.tick() is None          # hot = 1 < sustain
+        svc.stats_obj.queue_depth = 0
+        assert sup.tick() is None          # cooled: hot resets
+        svc.stats_obj.queue_depth = 50
+        assert sup.tick() is None          # hot = 1 again
+        assert svc.max_batch == 8          # nothing ever applied
+
+    def test_sustained_queue_depth_widens_the_window(self):
+        svc = FakeService()
+        sup = make_supervisor(svc)
+        svc.stats_obj.queue_depth = 50
+        assert sup.tick() is None
+        entry = sup.tick()
+        assert entry["phase"] == "apply"
+        assert entry["detector"] == "queue-depth"
+        assert entry["action"] == "widen-batch-window"
+        assert entry["params"] == {"from": 8, "to": 16}
+        assert svc.max_batch == 16
+        assert sup.verifying
+
+    def test_miss_rate_is_a_delta_not_a_lifetime_ratio(self):
+        svc = FakeService()
+        sup = make_supervisor(svc)
+        sup.tick()  # baseline poll
+        # 10% of the NEW requests missed their deadline on each of two
+        # consecutive polls: sustained, so the window narrows.
+        for _ in range(2):
+            svc.stats_obj.requests += 100
+            svc.stats_obj.deadline_exceeded += 10
+            entry = sup.tick()
+        assert entry["phase"] == "apply"
+        assert entry["detector"] == "deadline-miss"
+        assert entry["action"] == "narrow-batch-window"
+        assert svc.max_batch == 4
+        # A long-dead burst does NOT keep the detector hot: no new
+        # misses means miss_rate 0 even though lifetime totals are high.
+        sup2 = make_supervisor(FakeService())
+        probe = sup2.probe()
+        assert probe["miss_rate"] == 0.0
+
+    def test_one_action_in_flight_suspends_other_detectors(self):
+        svc = FakeService()
+        sup = make_supervisor(svc)
+        svc.stats_obj.queue_depth = 50
+        sup.tick()
+        sup.tick()  # queue-depth action applied
+        # A shed storm starts mid-verification: nothing new applies.
+        svc.stats_obj.overload_sheds += 100
+        out = sup.tick()
+        assert out is None and sup.verifying
+        applies = [e for e in sup.journal.entries if e["phase"] == "apply"]
+        assert len(applies) == 1
+
+
+class TestVerifyAndRevert:
+    def test_improvement_keeps_the_action(self):
+        svc = FakeService()
+        sup = make_supervisor(svc)
+        svc.stats_obj.queue_depth = 50
+        sup.tick(); sup.tick()             # applied: window 8 -> 16
+        svc.stats_obj.queue_depth = 2      # back under the threshold
+        assert sup.tick() is None          # verify sample 1/2
+        entry = sup.tick()                 # verdict
+        assert entry["phase"] == "verify"
+        assert entry["outcome"] == "kept"
+        assert svc.max_batch == 16         # the action stands
+        assert not sup.verifying
+
+    def test_no_improvement_reverts_and_restores_state(self):
+        """THE acceptance-criterion scenario: the verification window
+        shows no improvement, so the supervisor reverts the action and
+        the journal records it."""
+        svc = FakeService()
+        sup = make_supervisor(svc)
+        svc.stats_obj.queue_depth = 50
+        sup.tick(); sup.tick()
+        assert svc.max_batch == 16
+        # The queue stays exactly as bad through the whole window.
+        sup.tick()
+        entry = sup.tick()
+        assert entry["phase"] == "verify"
+        assert entry["outcome"] == "reverted"
+        assert entry["baseline"] == 50
+        assert entry["observed"] == 50
+        assert svc.max_batch == 8          # original config restored
+        # The rule is cooling down: the still-bad signal cannot
+        # immediately re-trigger the same action.
+        assert sup.tick() is None
+        assert svc.max_batch == 8
+
+    def test_partial_improvement_below_min_improvement_reverts(self):
+        svc = FakeService()
+        sup = make_supervisor(svc, min_improvement=0.1)
+        svc.stats_obj.queue_depth = 50
+        sup.tick(); sup.tick()
+        svc.stats_obj.queue_depth = 48     # 4% better: not enough
+        sup.tick()
+        entry = sup.tick()
+        assert entry["outcome"] == "reverted"
+        assert svc.max_batch == 8
+
+    def test_pause_intake_auto_expires_even_when_it_helped(self):
+        svc = FakeService()
+        svc.max_batch = 256                # window already at the cap
+        sup = make_supervisor(svc)
+        svc.stats_obj.queue_depth = 500
+        sup.tick()
+        entry = sup.tick()
+        assert entry["action"] == "pause-intake"
+        assert svc.paused
+        svc.stats_obj.queue_depth = 1      # the pause worked
+        sup.tick()
+        entry = sup.tick()
+        assert entry["outcome"] == "kept"
+        assert entry["expired"] is True
+        assert not svc.paused              # expired regardless of outcome
+
+    def test_dead_shard_triggers_respawn_via_ping(self):
+        svc = FakeService()
+        svc.health = {"s0": "dead", "s1": "ok"}
+        sup = make_supervisor(svc)
+        entry = sup.tick()                 # sustain=1: fires immediately
+        assert entry["phase"] == "apply"
+        assert entry["detector"] == "dead-shard"
+        assert entry["action"] == "respawn-shards"
+        assert entry["params"] == {"respawned": ["s0"]}
+        assert svc.pings == 1
+        sup.tick()
+        entry = sup.tick()
+        assert entry["outcome"] == "kept"  # ping healed the shard
+
+
+class TestEscalation:
+    def test_overload_ladder_escalates_one_rung_per_episode(self):
+        svc = FakeService()
+        sup = make_supervisor(svc, window_max=16, cooldown_ticks=0)
+        svc.stats_obj.queue_depth = 50     # never improves
+
+        def run_episode():
+            entries = [sup.tick() for _ in range(4)]
+            return [e for e in entries if e is not None]
+
+        first = run_episode()
+        assert first[0]["action"] == "widen-batch-window"
+        assert first[-1]["outcome"] == "reverted"
+        svc.max_batch = 16                 # at the cap now
+        svc.policy = "block"
+        second = run_episode()
+        assert second[0]["action"] == "flip-admission"
+        assert second[0]["params"] == {"from": "block", "to": "shed-oldest"}
+        assert second[-1]["outcome"] == "reverted"
+        assert svc.policy == "block"       # restored on revert
+        # Once shedding is already in force (as if the flip had been
+        # kept), the only rung left is the intake breaker.
+        svc.policy = "shed-oldest"
+        third = run_episode()
+        assert third[0]["action"] == "pause-intake"
+
+    def test_shed_rate_flips_shed_oldest_back_to_block(self):
+        svc = FakeService()
+        svc.policy = "shed-oldest"
+        sup = make_supervisor(svc)
+        sup.tick()
+        for _ in range(2):
+            svc.stats_obj.overload_sheds += 5
+            entry = sup.tick()
+        assert entry["detector"] == "shed-rate"
+        assert entry["action"] == "flip-admission"
+        assert svc.policy == "block"
+
+
+class TestJournal:
+    def test_decisions_land_on_disk_as_jsonl(self, tmp_path):
+        path = tmp_path / "actions.jsonl"
+        svc = FakeService()
+        sup = make_supervisor(svc, journal=path)
+        svc.stats_obj.queue_depth = 50
+        for _ in range(4):
+            sup.tick()
+        sup.journal.close()
+        lines = path.read_text().splitlines()
+        entries = [json.loads(l) for l in lines]
+        assert [e["phase"] for e in entries] == ["apply", "verify"]
+        assert entries[1]["outcome"] == "reverted"
+        assert all("ts" in e and "tick" in e for e in entries)
+
+    def test_action_journal_is_append_only_across_instances(self, tmp_path):
+        path = tmp_path / "actions.jsonl"
+        with ActionJournal(path) as journal:
+            journal.log(phase="apply", action="x")
+        with ActionJournal(path) as journal:
+            journal.log(phase="verify", action="x", outcome="kept")
+        entries = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [e["phase"] for e in entries] == ["apply", "verify"]
+
+
+class TestActions:
+    def test_scale_window_always_moves_inside_the_clamp(self):
+        svc = FakeService()
+        target = SupervisorTarget(svc)
+        svc.max_batch = 1
+        up = ScaleWindow(1.2, lo=1, hi=4)  # round(1*1.2) == 1: forced +1
+        assert up.apply(target) == {"from": 1, "to": 2}
+        up.revert(target)
+        assert svc.max_batch == 1
+        down = ScaleWindow(0.9, lo=1, hi=4)
+        svc.max_batch = 4
+        assert down.apply(target) == {"from": 4, "to": 3}
+
+    def test_flip_admission_revert_restores_the_old_policy(self):
+        svc = FakeService()
+        target = SupervisorTarget(svc)
+        flip = FlipAdmissionPolicy("shed-oldest")
+        assert flip.apply(target) == {
+            "from": "reject-newest", "to": "shed-oldest"
+        }
+        flip.revert(target)
+        assert svc.policy == "reject-newest"
+
+    def test_respawn_is_not_reversible_pause_auto_expires(self):
+        assert RespawnShards.reversible is False
+        assert PauseIntake.auto_expires is True
+
+
+class TestServiceIntegration:
+    def test_pause_intake_rejects_submissions_on_a_real_service(self, rng):
+        with SolveService() as svc:
+            svc.pause_intake()
+            assert svc.intake_paused
+            with pytest.raises(OverloadedError, match="paused"):
+                svc.submit(SolveRequest(
+                    problem=random_fixed_problem(rng, 3, 3), id="p1"
+                ))
+            svc.resume_intake()
+            assert not svc.intake_paused
+            rid = svc.submit(SolveRequest(
+                problem=random_fixed_problem(rng, 3, 3), id="p1"
+            ))
+            responses = svc.drain()
+            assert [r.id for r in responses] == [rid]
+
+    def test_set_admission_policy_swaps_live(self, rng):
+        with SolveService(max_queue=4) as svc:
+            assert svc.admission_policy == "reject-newest"
+            old = svc.set_admission_policy("shed-oldest")
+            assert old == "reject-newest"
+            assert svc.admission_policy == "shed-oldest"
+            with pytest.raises(ValueError, match="unknown"):
+                svc.set_admission_policy("drop-everything")
+
+    def test_cluster_shard_health_and_router_health_block(self, rng):
+        with ClusterService(shards=2, shard_backend="inline") as cluster:
+            health = cluster.shard_health()
+            assert set(health.values()) <= {"ok", "degraded-inline"}
+            assert len(health) == 2
+            stats = cluster.stats()
+            router = stats.as_dict()["cluster"]["router"]
+            assert router["health"] == health
+            text = stats.metrics_text()
+            assert "repro_shard_up{" in text
+            assert "repro_cluster_shards" in text
+
+    def test_supervisor_against_a_real_cluster_respawns(self):
+        with ClusterService(shards=2, shard_backend="inline") as cluster:
+            sup = Supervisor(cluster, verify_ticks=1)
+            # Inline shards are always alive, so no action fires — but
+            # the full probe path (shard_health before stats) runs.
+            assert sup.tick() is None
+            probe = sup.probe()
+            assert probe["dead_shards"] == 0
+
+
+class TestCustomRules:
+    def test_rules_override_replaces_the_default_set(self):
+        svc = FakeService()
+        fired = []
+
+        def propose(sup):
+            fired.append(sup)
+            return None
+
+        rule = Rule("custom", lambda s: s["queue_depth"], 1.0, propose,
+                    sustain=1, cooldown=0)
+        sup = make_supervisor(svc, rules=[rule])
+        svc.stats_obj.queue_depth = 5
+        assert sup.tick() is None          # propose returned None
+        assert fired == [sup]
