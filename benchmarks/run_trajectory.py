@@ -21,6 +21,7 @@ Output schema (one JSON document, written to ``--out``)::
 
     {
       "generated": "...", "numpy": "...",
+      "backend": "...", "backend_versions": {...},
       "stop": {...}, "sizes": [...],
       "solo": [{kind, size, iterations, converged, cold_s, warm_s,
                 speedup, sweeps, sweeps_per_s_cold, sweeps_per_s_warm,
@@ -60,6 +61,7 @@ from repro.core.convergence import StoppingRule
 from repro.core.problems import ElasticProblem, FixedTotalsProblem, SAMProblem
 from repro.core.sea import solve_elastic, solve_fixed, solve_sam
 from repro.datasets.migration import base_migration_table
+from repro.equilibration.backends import backend_versions, get_backend
 from repro.equilibration.exact import solve_piecewise_linear
 from repro.equilibration.workspace import SweepWorkspace
 from repro.service.request import SolveRequest
@@ -368,6 +370,8 @@ def main(argv=None) -> int:
     doc = {
         "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "numpy": np.__version__,
+        "backend": get_backend().name,
+        "backend_versions": backend_versions(),
         "instances": "gravity-model migration tables (vintage 6570), "
                      "growth-perturbed totals, seed 7",
         "stop": {"eps": STOP.eps, "criterion": STOP.criterion,
@@ -378,6 +382,15 @@ def main(argv=None) -> int:
         "service": None,
         "durability": None,
     }
+    # Blocks other benchmarks own (cluster, edge, chaos, kernel) must
+    # survive a trajectory regeneration: carry everything this run does
+    # not itself produce over from the existing document.
+    existing = {}
+    if args.out.exists():
+        try:
+            existing = json.loads(args.out.read_text())
+        except (OSError, ValueError):
+            existing = {}
 
     failures = []
     for n in sizes:
@@ -433,6 +446,11 @@ def main(argv=None) -> int:
             flush=True,
         )
 
+    for key in ("service", "durability"):
+        if doc[key] is None and key in existing:
+            doc[key] = existing[key]
+    for key, value in existing.items():
+        doc.setdefault(key, value)
     args.out.write_text(json.dumps(doc, indent=2) + "\n")
     print(f"wrote {args.out}")
 

@@ -157,22 +157,27 @@ class _ElasticVariant(DiagonalVariant):
 
     @staticmethod
     def pack(problem):
+        # The per-sweep kernel terms are constant for this variant, so
+        # they are materialized once here instead of allocating fresh
+        # zero/negated vectors on every sweep of the hot loop.
         return {
             "s0": problem.s0,
             "d0": problem.d0,
             "a_row": 1.0 / (2.0 * problem.alpha),
             "a_col": 1.0 / (2.0 * problem.beta),
+            "zero_row": np.zeros_like(problem.s0),
+            "zero_col": np.zeros_like(problem.d0),
+            "neg_s0": -problem.s0,
+            "neg_d0": -problem.d0,
         }
 
     @staticmethod
     def row_terms(data, mu):
-        s0 = data["s0"]
-        return np.zeros_like(s0), data["a_row"], -s0
+        return data["zero_row"], data["a_row"], data["neg_s0"]
 
     @staticmethod
     def col_terms(data, lam):
-        d0 = data["d0"]
-        return np.zeros_like(d0), data["a_col"], -d0
+        return data["zero_col"], data["a_col"], data["neg_d0"]
 
     @staticmethod
     def totals(data, lam, mu):
@@ -195,19 +200,34 @@ class _SAMVariant(DiagonalVariant):
 
     @staticmethod
     def pack(problem):
-        return {"s0": problem.s0, "a_el": 1.0 / (2.0 * problem.alpha)}
+        # Cached zero target plus one scratch buffer per side: the c
+        # term depends on the current duals, so it is rebuilt in place
+        # each sweep (row and col keep separate buffers — the row term
+        # must survive the column half of the sweep).
+        s0 = np.asarray(problem.s0)
+        return {
+            "s0": s0,
+            "a_el": 1.0 / (2.0 * problem.alpha),
+            "zero": np.zeros_like(s0),
+            "c_row": np.empty_like(s0),
+            "c_col": np.empty_like(s0),
+        }
 
     @staticmethod
     def row_terms(data, mu):
         # Constraint sum_j x_ij = S_i(lam_i; mu_i): the elastic offset
         # carries the *current* mu_i (eq. 40b couples the families).
-        s0 = data["s0"]
-        return np.zeros_like(s0), data["a_el"], mu * data["a_el"] - s0
+        c = data["c_row"]
+        np.multiply(mu, data["a_el"], out=c)
+        np.subtract(c, data["s0"], out=c)
+        return data["zero"], data["a_el"], c
 
     @staticmethod
     def col_terms(data, lam):
-        s0 = data["s0"]
-        return np.zeros_like(s0), data["a_el"], lam * data["a_el"] - s0
+        c = data["c_col"]
+        np.multiply(lam, data["a_el"], out=c)
+        np.subtract(c, data["s0"], out=c)
+        return data["zero"], data["a_el"], c
 
     @staticmethod
     def totals(data, lam, mu):

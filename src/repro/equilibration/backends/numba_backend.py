@@ -1,0 +1,278 @@
+"""Optional numba backend: the C scan, ``@njit``-compiled.
+
+Mirrors :mod:`repro.equilibration.backends.cnative` line for line —
+per-row running sums, first-valid candidate, elastic segment-0
+override, degenerate fixed rows, deferred rows to the NumPy tail — but
+JIT-compiled by numba instead of the system C compiler.  Numba's
+default (non-fastmath) codegen keeps strict IEEE-754 semantics with no
+FMA contraction, so the same bit-identity argument applies.
+
+This module always imports; the backend only becomes *available* when
+:mod:`numba` is importable (:class:`NumbaBackend` raises otherwise and
+the registry records it as unavailable).  The repo never requires
+numba — CI's ``kernel-backends`` job installs it to exercise this path,
+every other job runs without it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.equilibration.backends import KernelBackend
+from repro.equilibration.backends.numpy_backend import select_rows_numpy
+
+__all__ = ["NumbaBackend"]
+
+_COMPILED = None
+
+
+def _compile():
+    """Build (once) the njit kernels; raises ImportError without numba."""
+    global _COMPILED
+    if _COMPILED is not None:
+        return _COMPILED
+    from numba import njit  # raises ImportError when numba is absent
+
+    @njit(cache=True)
+    def select_sorted(bs, ss, rhs, a, fixed, counts, lam, needs_py):
+        m, n = bs.shape
+        for i in range(m):
+            ai = a[i]
+            ri = rhs[i]
+            cum_slope = 0.0
+            cum_sb = 0.0
+            have = False
+            li = 0.0
+            for j in range(n):
+                cum_slope += ss[i, j]
+                cum_sb += ss[i, j] * bs[i, j]
+                denom = cum_slope + ai
+                cand = (ri + cum_sb) / denom
+                hi = bs[i, j + 1] if j < n - 1 else np.inf
+                if (
+                    cand >= bs[i, j]
+                    and cand <= hi
+                    and denom > 0.0
+                    and np.isfinite(cand)
+                ):
+                    li = cand
+                    have = True
+                    break
+            if not fixed[i]:
+                lam0 = ri / ai
+                if lam0 <= bs[i, 0]:
+                    li = lam0
+                    have = True
+            if not have and fixed[i] and ri == 0.0:
+                li = bs[i, 0] if counts[i] > 0 else 0.0
+                have = True
+            lam[i] = li
+            needs_py[i] = np.uint8(0) if have else np.uint8(1)
+
+    @njit(cache=True)
+    def take_verify(be_flat, flat_idx, order, bs, bad):
+        m, n = bs.shape
+        nbad = 0
+        for i in range(m):
+            ok = True
+            prev = 0.0
+            prev_o = np.int64(0)
+            for j in range(n):
+                v = be_flat[flat_idx[i, j]]
+                bs[i, j] = v
+                if j > 0 and not (
+                    v > prev or (v == prev and order[i, j] > prev_o)
+                ):
+                    ok = False
+                prev = v
+                prev_o = order[i, j]
+            if not ok:
+                bad[nbad] = i
+                nbad += 1
+        return nbad
+
+    @njit(cache=True)
+    def _key_less(va, ia, vb, ib):
+        # Strict total key of argsort(kind="stable"): value ascending,
+        # NaN above everything, ties broken by original column index.
+        if va < vb:
+            return True
+        if vb != vb:
+            if va == va:
+                return True
+            return ia < ib
+        if va == vb:
+            return ia < ib
+        return False
+
+    @njit(cache=True)
+    def resort_rows(be, slopes_flat, rows, order, bs, ss,
+                    flat_idx, ord_incr):
+        # Adaptive stable re-sort seeded by the cached permutation:
+        # natural-run bottom-up mergesort on the strict total key.
+        n = order.shape[1]
+        tval = np.empty(n)
+        tidx = np.empty(n, dtype=np.int64)
+        starts = np.empty(n + 1, dtype=np.int64)
+        for t in range(rows.shape[0]):
+            row = rows[t]
+            nruns = 1
+            starts[0] = 0
+            bs[row, 0] = be[row, order[row, 0]]
+            for k in range(1, n):
+                bs[row, k] = be[row, order[row, k]]
+                if _key_less(bs[row, k], order[row, k],
+                             bs[row, k - 1], order[row, k - 1]):
+                    starts[nruns] = k
+                    nruns += 1
+            starts[nruns] = n
+            src_is_row = True
+            while nruns > 1:
+                w = 0
+                for rp in range(0, nruns - 1, 2):
+                    x = starts[rp]
+                    xe = starts[rp + 1]
+                    y = xe
+                    ye = starts[rp + 2]
+                    while x < xe and y < ye:
+                        if src_is_row:
+                            sy, iy = bs[row, y], order[row, y]
+                            sx, ix = bs[row, x], order[row, x]
+                        else:
+                            sy, iy = tval[y], tidx[y]
+                            sx, ix = tval[x], tidx[x]
+                        if _key_less(sy, iy, sx, ix):
+                            if src_is_row:
+                                tval[w] = sy
+                                tidx[w] = iy
+                            else:
+                                bs[row, w] = sy
+                                order[row, w] = iy
+                            y += 1
+                        else:
+                            if src_is_row:
+                                tval[w] = sx
+                                tidx[w] = ix
+                            else:
+                                bs[row, w] = sx
+                                order[row, w] = ix
+                            x += 1
+                        w += 1
+                    while x < xe:
+                        if src_is_row:
+                            tval[w] = bs[row, x]
+                            tidx[w] = order[row, x]
+                        else:
+                            bs[row, w] = tval[x]
+                            order[row, w] = tidx[x]
+                        x += 1
+                        w += 1
+                    while y < ye:
+                        if src_is_row:
+                            tval[w] = bs[row, y]
+                            tidx[w] = order[row, y]
+                        else:
+                            bs[row, w] = tval[y]
+                            order[row, w] = tidx[y]
+                        y += 1
+                        w += 1
+                if nruns & 1:
+                    for x in range(starts[nruns - 1], n):
+                        if src_is_row:
+                            tval[w] = bs[row, x]
+                            tidx[w] = order[row, x]
+                        else:
+                            bs[row, w] = tval[x]
+                            order[row, w] = tidx[x]
+                        w += 1
+                nr2 = 0
+                for rp in range(0, nruns, 2):
+                    starts[nr2] = starts[rp]
+                    nr2 += 1
+                starts[nr2] = n
+                nruns = nr2
+                src_is_row = not src_is_row
+            if not src_is_row:
+                for k in range(n):
+                    bs[row, k] = tval[k]
+                    order[row, k] = tidx[k]
+            base = row * n
+            ss[row, 0] = slopes_flat[base + order[row, 0]]
+            flat_idx[row, 0] = base + order[row, 0]
+            for k in range(1, n):
+                ss[row, k] = slopes_flat[base + order[row, k]]
+                flat_idx[row, k] = base + order[row, k]
+                ord_incr[row, k - 1] = order[row, k] > order[row, k - 1]
+
+    _COMPILED = (select_sorted, take_verify, resort_rows)
+    return _COMPILED
+
+
+class NumbaBackend(KernelBackend):
+    """njit'd sweep; available only when numba is installed."""
+
+    name = "numba"
+    compiled = True
+    supports_sparse = False  # sparse stays on the NumPy reference
+
+    def __init__(self) -> None:
+        (
+            self._select_sorted,
+            self._take_verify,
+            self._resort_rows,
+        ) = _compile()
+
+    def select(self, bs, ss, rhs, a_arr, fixed, counts, *,
+               cum_slope=None, cum_sb=None, denom=None, dpos=None,
+               ws=None):
+        r, _ = bs.shape
+        lam = np.empty(r)
+        needs_py = np.empty(r, dtype=np.uint8)
+        self._select_sorted(
+            np.ascontiguousarray(bs), np.ascontiguousarray(ss),
+            np.ascontiguousarray(rhs, dtype=np.float64),
+            np.ascontiguousarray(a_arr, dtype=np.float64),
+            np.ascontiguousarray(fixed, dtype=np.bool_),
+            np.ascontiguousarray(counts, dtype=np.int64),
+            lam, needs_py,
+        )
+        if needs_py.any():
+            rows = np.flatnonzero(needs_py)
+            lam[rows] = select_rows_numpy(
+                rows, np.ascontiguousarray(bs[rows]),
+                np.ascontiguousarray(ss[rows]), rhs[rows], a_arr[rows],
+                fixed[rows], counts[rows],
+            )
+        return lam
+
+    def take_verify(self, be_flat, flat_idx, order, bs_out):
+        """Gather + stable-order check; returns the bad row indices."""
+        r, _ = bs_out.shape
+        bad = np.empty(r, dtype=np.int64)
+        nbad = self._take_verify(
+            np.ascontiguousarray(be_flat),
+            np.ascontiguousarray(flat_idx, dtype=np.int64),
+            np.ascontiguousarray(order, dtype=np.int64),
+            bs_out, bad,
+        )
+        return bad[:nbad]
+
+    def resort_rows(self, be, slopes_flat, rows, order, bs, ss,
+                    flat_idx, ord_incr):
+        """Adaptive stable re-sort; same contract as the C kernel."""
+        if order.dtype.itemsize != 8 or not (
+            order.flags.c_contiguous
+            and bs.flags.c_contiguous
+            and ss.flags.c_contiguous
+            and flat_idx.flags.c_contiguous
+            and ord_incr.flags.c_contiguous
+        ):
+            return False
+        self._resort_rows(
+            np.ascontiguousarray(be),
+            np.ascontiguousarray(slopes_flat),
+            np.ascontiguousarray(rows, dtype=np.int64),
+            order.view(np.int64), bs, ss,
+            flat_idx.view(np.int64), ord_incr.view(np.uint8),
+        )
+        return True

@@ -106,31 +106,37 @@ def _block_workspace(key, shape):
 
 
 def _solve_block(args):
-    """Solve one row block; returns ``(lam, rows_reused, rows_resorted)``.
+    """Solve one row block; returns ``(lam, stats_dict_or_None)``.
 
     The counter deltas ride back with the result (pickled, for process
-    workers) so the parent kernel can aggregate a sort-reuse rate it
-    never observes directly.
+    workers) so the parent kernel can aggregate sort-reuse, skip and
+    repair rates it never observes directly; ``None`` stats mean the
+    block ran the cold kernel (no workspace, nothing to count).
     """
     token, idx, breakpoints, slopes, target, a, c = args
     if token is not None:
         lock, ws = _block_workspace((token, idx, breakpoints.shape), breakpoints.shape)
         if lock.acquire(blocking=False):
             try:
-                before_reused = ws.rows_reused
-                before_resorted = ws.rows_resorted
+                before = ws.counters_extended()
                 lam = solve_piecewise_linear(
                     breakpoints, slopes, target, a=a, c=c, workspace=ws
                 )
-                return (
-                    lam,
-                    ws.rows_reused - before_reused,
-                    ws.rows_resorted - before_resorted,
-                )
+                after = ws.counters_extended()
+                return lam, {
+                    "reused": after["rows_reused"] - before["rows_reused"],
+                    "resorted": after["rows_resorted"] - before["rows_resorted"],
+                    "skipped": after["rows_skipped"] - before["rows_skipped"],
+                    "repairs": after["perm_repairs"] - before["perm_repairs"],
+                    "full_resorts": (
+                        after["full_resorts"] - before["full_resorts"]
+                    ),
+                    "backend": ws.backend_name,
+                }
             finally:
                 lock.release()
     lam = solve_piecewise_linear(breakpoints, slopes, target, a=a, c=c)
-    return lam, 0, 0
+    return lam, None
 
 
 def _probe() -> int:
@@ -209,6 +215,10 @@ class ParallelKernel:
         self.sort_sweeps = 0  # workspace-backed fork/join phases
         self.sort_rows_reused = 0  # block rows served by a cached permutation
         self.sort_rows_resorted = 0  # block rows that re-argsorted
+        self.sort_rows_skipped = 0  # block rows whose multiplier was reused
+        self.sort_perm_repairs = 0  # block rows fixed by splice repair
+        self.sort_full_resorts = 0  # block sweeps that paid a full argsort
+        self.backend_solves: dict[str, int] = {}  # backend name -> block solves
 
     @property
     def sort_reuse_rate(self) -> float:
@@ -305,15 +315,18 @@ class ParallelKernel:
         ]
         results = self._run_tasks(tasks, timeout)
         out = np.empty(m)
-        reused = resorted = 0
-        for (lo, hi), (block, r_hit, r_miss) in zip(blocks, results):
+        for (lo, hi), (block, stats) in zip(blocks, results):
             out[lo:hi] = block
-            reused += r_hit
-            resorted += r_miss
+            if stats is not None:
+                self.sort_rows_reused += stats["reused"]
+                self.sort_rows_resorted += stats["resorted"]
+                self.sort_rows_skipped += stats["skipped"]
+                self.sort_perm_repairs += stats["repairs"]
+                self.sort_full_resorts += stats["full_resorts"]
+                name = stats["backend"]
+                self.backend_solves[name] = self.backend_solves.get(name, 0) + 1
         if token is not None:
             self.sort_sweeps += 1
-            self.sort_rows_reused += reused
-            self.sort_rows_resorted += resorted
         return out
 
     def _run_tasks(self, tasks, timeout):

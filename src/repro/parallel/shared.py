@@ -126,6 +126,10 @@ class SharedMemoryKernel:
         self.sort_sweeps = 0
         self.sort_rows_reused = 0
         self.sort_rows_resorted = 0
+        self.sort_rows_skipped = 0
+        self.sort_perm_repairs = 0
+        self.sort_full_resorts = 0
+        self.backend_solves: dict[str, int] = {}
         # Belt and braces: unlink segments even if close() is never
         # called explicitly (e.g. a kernel dropped without the context
         # manager).
@@ -197,15 +201,18 @@ class SharedMemoryKernel:
                 f"shared-memory worker pool broke mid-dispatch: {exc}"
             ) from exc
         out = np.empty(m)
-        reused = resorted = 0
-        for (lo, hi), (block, r_hit, r_miss) in zip(blocks, parts):
+        for (lo, hi), (block, stats) in zip(blocks, parts):
             out[lo:hi] = block
-            reused += r_hit
-            resorted += r_miss
+            if stats is not None:
+                self.sort_rows_reused += stats["reused"]
+                self.sort_rows_resorted += stats["resorted"]
+                self.sort_rows_skipped += stats["skipped"]
+                self.sort_perm_repairs += stats["repairs"]
+                self.sort_full_resorts += stats["full_resorts"]
+                name = stats["backend"]
+                self.backend_solves[name] = self.backend_solves.get(name, 0) + 1
         if self._ws_token is not None:
             self.sort_sweeps += 1
-            self.sort_rows_reused += reused
-            self.sort_rows_resorted += resorted
         return out
 
     def close(self) -> None:

@@ -45,7 +45,14 @@ class ServiceStats:
     permutation outcomes, summed at snapshot time over the shared
     kernel's per-block workspaces *and* the service-owned workspace
     pairs (disjoint sources: a kernel never counts a caller-provided
-    workspace).  :attr:`sort_reuse_rate` is their ratio.
+    workspace).  :attr:`sort_reuse_rate` is their ratio.  The
+    incremental/backend extension of that block: ``sort_rows_skipped``
+    counts rows whose multiplier was reused without touching the
+    selection tail, ``sort_perm_repairs`` counts rows fixed by a splice
+    repair instead of an argsort, ``sort_full_resorts`` counts sweeps
+    that paid a full ``O(mn log n)`` argsort, and ``backend_solves``
+    buckets workspace-backed solves by kernel backend name
+    (``numpy``/``cnative``/``numba``).
 
     The durability/overload block: ``overload_rejections`` counts
     requests refused at admission (``reject-newest`` or a draining
@@ -89,6 +96,10 @@ class ServiceStats:
     sort_sweeps: int = 0
     sort_rows_reused: int = 0
     sort_rows_resorted: int = 0
+    sort_rows_skipped: int = 0
+    sort_perm_repairs: int = 0
+    sort_full_resorts: int = 0
+    backend_solves: dict[str, int] = field(default_factory=dict)
     overload_rejections: int = 0
     overload_sheds: int = 0
     admission_blocks: int = 0

@@ -201,9 +201,26 @@ class SparseSweepWorkspace:
     out-of-order pair triggers a full re-lexsort (``perm_misses``).
     """
 
-    def __init__(self, nnz: int, m: int) -> None:
+    def __init__(
+        self, nnz: int, m: int, backend: "object | str | None" = None
+    ) -> None:
+        from repro.equilibration.backends import KernelBackend, get_backend
+
         self.nnz = int(nnz)
         self.m = int(m)
+        if isinstance(backend, KernelBackend):
+            self._backend = backend
+        else:
+            self._backend = get_backend(backend)
+        # A backend accelerates the sparse tail only when it both claims
+        # sparse support and ships a segmented kernel; the reference
+        # NumPy backend intentionally resolves to None here so the
+        # in-module `_select_sparse` stays the code path it documents.
+        self._select_backend = (
+            getattr(self._backend, "select_sparse", None)
+            if self._backend.supports_sparse
+            else None
+        )
         self._bs = np.empty(self.nnz)
         self._order = None
         self._ord_incr = None  # within-segment tie stability bits
@@ -220,6 +237,11 @@ class SparseSweepWorkspace:
         self.perm_hits = 0
         self.perm_misses = 0
         self.binds = 0
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the kernel backend serving the segmented tail."""
+        return self._backend.name
 
     @property
     def sort_reuse_rate(self) -> float:
@@ -311,6 +333,10 @@ class SparseSweepWorkspace:
             self.perm_misses += 1
         self.sweeps += 1
 
+        if self._select_backend is not None:
+            return self._select_backend(
+                bs, self._ss_sorted, self._rid, rhs, a_arr, fixed, target, m
+            )
         return _select_sparse(
             m, self.nnz, bs, self._ss_sorted, self._rid, self._seg_start,
             self._seg_end, rhs, a_arr, fixed, target,

@@ -1,0 +1,242 @@
+"""Incremental active-set sweeps: bit-identity under adversarial walks.
+
+The incremental layer may only ever *skip* work it can prove redundant:
+a skipped row reuses its multiplier because no input changed, a
+repaired permutation is accepted only when it passes the stable-order
+uniqueness check, and a skipped sweep returns the previous multipliers
+because nothing moved.  Each test drives the same dual walk through an
+incremental and a non-incremental workspace (or the cold kernel) and
+asserts the outputs are *equal*, not close — then checks the counters
+prove the cheap path actually ran.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import random_fixed_problem
+from repro.core.convergence import StoppingRule
+from repro.core.sea import solve_fixed
+from repro.equilibration.exact import solve_piecewise_linear
+from repro.equilibration.workspace import INCREMENTAL_ENV, SweepWorkspace
+from repro.service import SolveService
+from repro.service.batching import solve_batch
+
+STOP = StoppingRule(eps=1e-9, max_iterations=5000)
+
+
+def _pair(m, n):
+    """(incremental, non-incremental) workspaces of one shape."""
+    return (
+        SweepWorkspace(m, n, incremental=True),
+        SweepWorkspace(m, n, incremental=False),
+    )
+
+
+def _walk(ws, base, slopes, target, mus):
+    return [
+        solve_piecewise_linear(
+            ws.shift(base, mu), slopes, target, workspace=ws
+        )
+        for mu in mus
+    ]
+
+
+class TestFullSkip:
+    def test_frozen_duals_skip_whole_sweeps(self, rng):
+        m, n = 10, 12
+        base = rng.uniform(-5.0, 5.0, (m, n))
+        slopes = rng.uniform(0.5, 2.0, (m, n))
+        target = rng.uniform(5.0, 20.0, m)
+        mu = rng.uniform(-1.0, 1.0, n)
+        inc, ref = _pair(m, n)
+        mus = [mu] * 6  # nothing moves after the first sweep
+        lams_inc = _walk(inc, base, slopes, target, mus)
+        lams_ref = _walk(ref, base, slopes, target, mus)
+        for a, b in zip(lams_inc, lams_ref):
+            np.testing.assert_array_equal(a, b)
+        assert inc.rows_skipped >= 5 * m  # every repeat fully skipped
+        assert ref.rows_skipped == 0
+        assert inc.sweeps == ref.sweeps == 6
+
+    def test_skip_result_is_a_copy(self, rng):
+        m, n = 4, 5
+        base = rng.uniform(-5.0, 5.0, (m, n))
+        slopes = rng.uniform(0.5, 2.0, (m, n))
+        target = rng.uniform(5.0, 20.0, m)
+        ws = SweepWorkspace(m, n, incremental=True)
+        mu = np.zeros(n)
+        lam1 = solve_piecewise_linear(
+            ws.shift(base, mu), slopes, target, workspace=ws
+        )
+        lam2 = solve_piecewise_linear(
+            ws.shift(base, mu), slopes, target, workspace=ws
+        )
+        np.testing.assert_array_equal(lam1, lam2)
+        lam2[:] = -1.0  # mutating the returned copy must not poison
+        lam3 = solve_piecewise_linear(
+            ws.shift(base, mu), slopes, target, workspace=ws
+        )
+        np.testing.assert_array_equal(lam1, lam3)
+
+
+class TestRepair:
+    def test_single_dual_perturbation_repairs(self, rng):
+        # Sparse-active rows: one moved dual touches few rows, the
+        # design point of the splice repair.
+        m, n = 40, 30
+        base = np.full((m, n), 0.0)
+        active = rng.random((m, n)) < 0.15
+        for i in np.flatnonzero(~active.any(axis=1)):
+            active[i, rng.integers(n)] = True
+        base = np.where(active, rng.uniform(-5.0, 5.0, (m, n)), base)
+        slopes = np.where(active, rng.uniform(0.5, 2.0, (m, n)), 0.0)
+        target = rng.uniform(5.0, 20.0, m)
+        inc, ref = _pair(m, n)
+        mu = rng.uniform(-0.5, 0.5, n)
+        mus = [mu.copy()]
+        for k in range(8):
+            mu = mu.copy()
+            mu[int(rng.integers(n))] += rng.uniform(0.5, 2.0)
+            mus.append(mu)
+        lams_inc = _walk(inc, base, slopes, target, mus)
+        lams_ref = _walk(ref, base, slopes, target, mus)
+        for a, b in zip(lams_inc, lams_ref):
+            np.testing.assert_array_equal(a, b)
+        assert inc.rows_skipped > 0  # untouched rows reused verbatim
+        assert ref.perm_repairs == 0
+
+    def test_tie_heavy_walk_bit_identical(self, rng):
+        # Duplicated breakpoint levels: every dual nudge creates or
+        # breaks ties, attacking the stable-order acceptance check.
+        m, n = 15, 20
+        levels = np.array([-2.0, 0.0, 0.0, 1.0, 3.0])
+        base = levels[rng.integers(0, levels.size, (m, n))]
+        slopes = rng.uniform(0.5, 2.0, (m, n))
+        target = rng.uniform(5.0, 30.0, m)
+        inc, ref = _pair(m, n)
+        mu = np.zeros(n)
+        mus = [mu.copy()]
+        for _ in range(10):
+            mu = mu.copy()
+            mu[int(rng.integers(n))] += rng.choice([-1.0, 1.0, 2.0])
+            mus.append(mu)
+        for a, b in zip(
+            _walk(inc, base, slopes, target, mus),
+            _walk(ref, base, slopes, target, mus),
+        ):
+            np.testing.assert_array_equal(a, b)
+
+    def test_nan_poisoning_mid_walk(self, rng):
+        """A NaN appearing between incremental sweeps must be seen by
+        the content diff and produce exactly the cold kernel's result
+        (or its error), never a stale skip."""
+        m, n = 8, 10
+        base = rng.uniform(-5.0, 5.0, (m, n))
+        slopes = rng.uniform(0.5, 2.0, (m, n))
+        target = rng.uniform(5.0, 20.0, m)
+        ws = SweepWorkspace(m, n, incremental=True)
+        mu = np.zeros(n)
+        solve_piecewise_linear(
+            ws.shift(base, mu), slopes, target, workspace=ws
+        )
+        # In-place mutation of the caller's base — the hardest case:
+        # object identity is unchanged, only content differs.
+        base[2, 3] = np.nan
+        lam_w = solve_piecewise_linear(
+            ws.shift(base, mu), slopes, target, workspace=ws
+        )
+        np.testing.assert_array_equal(
+            lam_w, solve_piecewise_linear(base, slopes, target)
+        )
+        # Fully-NaN row: both paths raise the identical error, and the
+        # failed sweep must not leave trusted caches behind.
+        base[2] = np.nan
+        with pytest.raises(ValueError) as warm_err:
+            solve_piecewise_linear(
+                ws.shift(base, mu), slopes, target, workspace=ws
+            )
+        with pytest.raises(ValueError) as cold_err:
+            solve_piecewise_linear(base, slopes, target)
+        assert str(warm_err.value) == str(cold_err.value)
+        base[2] = rng.uniform(-5.0, 5.0, n)
+        lam_after = solve_piecewise_linear(
+            ws.shift(base, mu), slopes, target, workspace=ws
+        )
+        np.testing.assert_array_equal(
+            lam_after, solve_piecewise_linear(base, slopes, target)
+        )
+
+    def test_in_place_base_mutation_never_skips_stale(self, rng):
+        m, n = 6, 7
+        base = rng.uniform(-5.0, 5.0, (m, n))
+        slopes = rng.uniform(0.5, 2.0, (m, n))
+        target = rng.uniform(5.0, 20.0, m)
+        ws = SweepWorkspace(m, n, incremental=True)
+        mu = np.zeros(n)
+        solve_piecewise_linear(
+            ws.shift(base, mu), slopes, target, workspace=ws
+        )
+        base *= 1.01  # silent in-place change, same object identity
+        lam_w = solve_piecewise_linear(
+            ws.shift(base, mu), slopes, target, workspace=ws
+        )
+        np.testing.assert_array_equal(
+            lam_w, solve_piecewise_linear(base, slopes, target)
+        )
+
+
+class TestDrivers:
+    def test_env_var_disables(self, monkeypatch):
+        monkeypatch.setenv(INCREMENTAL_ENV, "0")
+        assert not SweepWorkspace(2, 2).incremental
+        monkeypatch.delenv(INCREMENTAL_ENV)
+        assert SweepWorkspace(2, 2).incremental
+
+    def test_solo_driver_identical_with_and_without(self, rng, monkeypatch):
+        problem = random_fixed_problem(rng, 9, 8)
+        monkeypatch.setenv(INCREMENTAL_ENV, "0")
+        ref = solve_fixed(problem, stop=STOP)
+        monkeypatch.delenv(INCREMENTAL_ENV)
+        cmp_ = solve_fixed(problem, stop=STOP)
+        assert ref.iterations == cmp_.iterations
+        np.testing.assert_array_equal(ref.x, cmp_.x)
+
+    def test_batch_driver_identical_with_and_without(self, rng, monkeypatch):
+        problems = [random_fixed_problem(rng, 6, 6) for _ in range(3)]
+        monkeypatch.setenv(INCREMENTAL_ENV, "0")
+        ref = solve_batch(problems, stop=STOP)
+        monkeypatch.delenv(INCREMENTAL_ENV)
+        cmp_ = solve_batch(problems, stop=STOP)
+        for a, b in zip(ref, cmp_):
+            np.testing.assert_array_equal(a.x, b.x)
+
+    def test_service_identical_and_counters_surface(self, rng, monkeypatch):
+        problem = random_fixed_problem(rng, 7, 7)
+        monkeypatch.setenv(INCREMENTAL_ENV, "0")
+        with SolveService() as svc:
+            ref = svc.solve(problem, batchable=False)
+        monkeypatch.delenv(INCREMENTAL_ENV)
+        with SolveService() as svc:
+            cmp_ = svc.solve(problem, batchable=False)
+            stats = svc.stats()
+        np.testing.assert_array_equal(ref.result.x, cmp_.result.x)
+        # The incremental/backend counters ride the stats pipeline end
+        # to end: dataclass fields, merge, JSON view, Prometheus text.
+        as_dict = stats.as_dict()
+        for key in (
+            "sort_rows_skipped",
+            "sort_perm_repairs",
+            "sort_full_resorts",
+            "backend_solves",
+        ):
+            assert key in as_dict
+        assert sum(stats.backend_solves.values()) > 0
+        merged = stats.merge(stats)
+        assert merged.sort_full_resorts == 2 * stats.sort_full_resorts
+        assert sum(merged.backend_solves.values()) == 2 * sum(
+            stats.backend_solves.values()
+        )
+        text = stats.metrics_text()
+        assert "repro_sort_perm_repairs_total" in text
+        assert "repro_sort_rows_skipped_total" in text
+        assert "repro_backend_solves_total" in text

@@ -194,17 +194,22 @@ class TestWorkspaceAdversarial:
             lam_w, solve_piecewise_linear(base - mu[None, :], slopes, target)
         )
 
-        # Subset path: swap two breakpoints in one row only.
+        # Subset path: swap two breakpoints in one row only.  The stale
+        # row is fixed by a subset resort or — when the incremental
+        # layer catches the two moved columns — a permutation repair;
+        # either way only a strict subset of rows is touched.
         base2 = base.copy()
         base2[3, [0, 1]] = base2[3, [1, 0]] + np.array([1.0, -1.0])
         before = ws.rows_resorted
+        before_rep = ws.perm_repairs
         lam_w = solve_piecewise_linear(
             ws.shift(base2, mu), slopes, target, workspace=ws
         )
         np.testing.assert_array_equal(
             lam_w, solve_piecewise_linear(base2 - mu[None, :], slopes, target)
         )
-        assert 0 < ws.rows_resorted - before < m
+        subset_fixed = (ws.rows_resorted - before) + (ws.perm_repairs - before_rep)
+        assert 0 < subset_fixed < m
 
         # Full path: negate everything, reversing every row's order.
         base3 = -base2
