@@ -38,14 +38,43 @@ Output schema (merged into ``--out`` under ``"cluster"``)::
 ``--check`` exits 1 unless the 4-shard point is >= 2.5x the single
 service — the acceptance gate; ``--smoke`` shrinks the workload and the
 curve to 1-vs-2 shards for CI.
+
+Network mode (``--net``)
+------------------------
+
+``--net`` benches the TCP shard tier instead of the affinity curve and
+writes a ``netcluster`` block.  Both measurements run against real
+``repro shard-serve`` subprocesses on loopback with journal shipping on
+(``fsync=1`` on both sides), so the numbers include the full durability
+tax — serialize, ship, fsync the replica, ack:
+
+* **throughput** — the same drifting-family workload through an
+  N-shard :class:`ClusterService` on the ``process`` backend vs the
+  ``net`` backend, both journaled; ``ratio`` is net/process, i.e. the
+  wire + shipping tax on one box.
+* **failover** — repeated drills: warm the cluster, submit a full
+  cycle, SIGKILL one shard-serve host *and delete its journal
+  directory*, then time ``drain()`` until every response is back.
+  Recovery runs solely from the router-side replica journals.
+  ``recovery_p50_s``/``recovery_p95_s`` summarise the drills;
+  ``lost``/``doubled`` must be zero.
+
+``--net --check`` exits 1 if any drill loses or double-answers a
+request, skips failover, or leaks failover-lost records; with
+``--smoke`` the workload and drill count shrink for CI.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
+import re
+import shutil
+import subprocess
 import sys
+import tempfile
 import time
 
 import numpy as np
@@ -168,6 +197,242 @@ def bench_cluster(
     }
 
 
+# -- network mode -------------------------------------------------------------
+
+NET_OPTS = dict(
+    connect_timeout=5.0, max_reconnects=2,
+    backoff_base=0.05, backoff_max=0.2, seed=0,
+)
+
+
+class _Host:
+    """One ``repro shard-serve`` subprocess on a loopback port."""
+
+    def __init__(self, scratch: pathlib.Path, name: str) -> None:
+        self.journal_dir = scratch / name
+        self.journal_dir.mkdir(parents=True)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH")) if p
+        )
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "shard-serve",
+             "--tcp", "127.0.0.1:0", "--shard-id", name,
+             "--journal", str(self.journal_dir / "local.journal"),
+             "--fsync", "1", "--no-batch"],
+            env=env, stderr=subprocess.PIPE, text=True,
+        )
+        line = self.proc.stderr.readline()
+        m = re.search(r"shard listening on ([\d.]+:\d+)", line)
+        if not m:
+            self.proc.kill()
+            raise SystemExit(f"shard-serve did not announce: {line!r}")
+        self.spec = m.group(1)
+
+    def die(self, *, lose_disk: bool = False) -> None:
+        """SIGKILL the host; optionally take its journal disk with it."""
+        self.proc.kill()
+        self.proc.wait(timeout=10)
+        if lose_disk:
+            shutil.rmtree(self.journal_dir, ignore_errors=True)
+
+    def close(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(timeout=10)
+        if self.proc.stderr:
+            self.proc.stderr.close()
+
+
+def bench_net_throughput(
+    workload: Workload, shards: int, cycles: int, cache_size: int,
+) -> dict:
+    """Journaled ``process`` cluster vs journaled ``net`` cluster."""
+    scratch = pathlib.Path(tempfile.mkdtemp(prefix="bench-net-tp-"))
+    requests = workload.families * cycles
+    try:
+        svc = ClusterService(
+            shards=shards, shard_backend="process",
+            journal_dir=scratch / "process", fsync=1,
+            warm_start=True, batching=False, cache_size=cache_size,
+        )
+        try:
+            process_wall = drive(workload, svc, cycles)
+        finally:
+            svc.shutdown(deadline_s=5.0)
+
+        hosts = [_Host(scratch, f"tp-{i}") for i in range(shards)]
+        try:
+            svc = ClusterService(
+                shards=shards, shard_backend="net",
+                shard_specs=[h.spec for h in hosts],
+                journal_dir=scratch / "replicas", fsync=1,
+                net_options=dict(NET_OPTS),
+                warm_start=True, batching=False, cache_size=cache_size,
+            )
+            try:
+                net_wall = drive(workload, svc, cycles)
+                shipped = svc.stats().router["shipped_records"]
+            finally:
+                svc.close()
+        finally:
+            for host in hosts:
+                host.close()
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    return {
+        "shards": shards,
+        "process_rps": round(requests / process_wall, 1),
+        "net_rps": round(requests / net_wall, 1),
+        "ratio": round(process_wall / net_wall, 3),
+        "shipped_records": shipped,
+    }
+
+
+def bench_net_failover(
+    workload: Workload, shards: int, drills: int, cache_size: int,
+) -> dict:
+    """SIGKILL-a-host drills: time drain-to-recovery off the replicas."""
+    recoveries, lost, doubled, failovers = [], 0, 0, 0
+    for drill in range(drills):
+        scratch = pathlib.Path(
+            tempfile.mkdtemp(prefix=f"bench-net-fo{drill}-")
+        )
+        hosts = [_Host(scratch, f"fo-{i}") for i in range(shards)]
+        svc = None
+        try:
+            svc = ClusterService(
+                shards=shards, shard_backend="net",
+                shard_specs=[h.spec for h in hosts],
+                journal_dir=scratch / "replicas", fsync=1,
+                net_options=dict(NET_OPTS),
+                warm_start=True, batching=False, cache_size=cache_size,
+            )
+            drive(workload, svc, 1)  # warm every family once
+            drift = np.random.default_rng(1000 + drill)
+            expect = {
+                svc.submit(workload.request(fam, drift))
+                for fam in range(workload.families)
+            }
+            hosts[0].die(lose_disk=True)
+            t0 = time.perf_counter()
+            responses = svc.drain()
+            recoveries.append(time.perf_counter() - t0)
+            got = [r.id for r in responses]
+            doubled += len(got) - len(set(got))
+            lost += len(expect - set(got))
+            bad = [r for r in responses if not (r.ok and r.converged)]
+            if bad:
+                raise SystemExit(f"failover drill solve failed: {bad[0].error}")
+            router = svc.stats().router
+            failovers += router["failovers"]
+            lost += router["failover_lost"]
+        finally:
+            if svc is not None:
+                svc.close()
+            for host in hosts:
+                host.close()
+            shutil.rmtree(scratch, ignore_errors=True)
+        print(
+            f"drill {drill}: recovery {recoveries[-1]:.3f}s  "
+            f"lost={lost} doubled={doubled}",
+            flush=True,
+        )
+    return {
+        "drills": drills,
+        "shards": shards,
+        "requests_per_drill": workload.families,
+        "recovery_p50_s": round(float(np.percentile(recoveries, 50)), 3),
+        "recovery_p95_s": round(float(np.percentile(recoveries, 95)), 3),
+        "failovers": failovers,
+        "lost": lost,
+        "doubled": doubled,
+    }
+
+
+def run_net(args) -> int:
+    workload = Workload(args.size, args.families)
+
+    throughput = bench_net_throughput(
+        workload, args.net_shards, args.cycles, args.cache_size
+    )
+    print(
+        f"net tp    n={args.size} K={args.families}  "
+        f"process={throughput['process_rps']:.1f} rps  "
+        f"net={throughput['net_rps']:.1f} rps  "
+        f"ratio={throughput['ratio']:.3f}",
+        flush=True,
+    )
+
+    failover = bench_net_failover(
+        workload, args.net_shards, args.drills, args.cache_size
+    )
+    print(
+        f"failover  drills={failover['drills']}  "
+        f"p50={failover['recovery_p50_s']:.3f}s  "
+        f"p95={failover['recovery_p95_s']:.3f}s  "
+        f"lost={failover['lost']} doubled={failover['doubled']}",
+        flush=True,
+    )
+
+    block = {
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "note": (
+            "loopback shard-serve hosts with journal shipping on "
+            "(fsync=1 both sides): ratio is the wire+shipping tax vs "
+            "the process backend; failover drills SIGKILL a host and "
+            "delete its journal dir, recovery replays solely from the "
+            "router-side replicas"
+        ),
+        "workload": {
+            "kind": "fixed",
+            "size": args.size,
+            "families": args.families,
+            "cycles": args.cycles,
+            "drift": DRIFT,
+            "eps": EPS,
+            "cache_size": args.cache_size,
+        },
+        "throughput": throughput,
+        "failover": failover,
+    }
+
+    if not args.smoke:
+        doc = {}
+        if args.out.exists():
+            doc = json.loads(args.out.read_text())
+        doc["netcluster"] = block
+        args.out.write_text(json.dumps(doc, indent=1) + "\n")
+        print(f"wrote netcluster block -> {args.out}")
+
+    if args.check:
+        problems = []
+        if failover["lost"]:
+            problems.append(f"{failover['lost']} request(s) lost")
+        if failover["doubled"]:
+            problems.append(f"{failover['doubled']} double answer(s)")
+        if failover["failovers"] < args.drills:
+            problems.append(
+                f"only {failover['failovers']} failover(s) across "
+                f"{args.drills} drills — kills did not exercise recovery"
+            )
+        if throughput["net_rps"] <= 0:
+            problems.append("net throughput is zero")
+        if problems:
+            print("check: " + "; ".join(problems), file=sys.stderr)
+            return 1
+        print(
+            f"check: {args.drills} drills exactly-once "
+            f"(ratio={throughput['ratio']:.3f}, "
+            f"p95={failover['recovery_p95_s']:.3f}s)"
+        )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--size", type=int, default=80,
@@ -186,17 +451,32 @@ def main(argv=None) -> int:
                              "inline — isolates cache affinity from IPC)")
     parser.add_argument("--out", type=pathlib.Path,
                         default=REPO_ROOT / "BENCH_sweeps.json")
+    parser.add_argument("--net", action="store_true",
+                        help="bench the TCP shard tier (loopback "
+                             "shard-serve hosts, journal shipping on) "
+                             "instead of the affinity curve; writes "
+                             "the netcluster block")
+    parser.add_argument("--net-shards", type=int, default=2,
+                        help="host count for --net throughput and "
+                             "failover drills")
+    parser.add_argument("--drills", type=int, default=5,
+                        help="--net: SIGKILL-a-host failover drills")
     parser.add_argument("--smoke", action="store_true",
                         help="CI: tiny workload, 1-vs-2-shard curve, "
                              "no JSON write")
     parser.add_argument("--check", action="store_true",
                         help="exit 1 unless the 4-shard point reaches "
-                             "2.5x single-service throughput")
+                             "2.5x single-service throughput (with "
+                             "--net: unless every drill is exactly-once)")
     args = parser.parse_args(argv)
 
     if args.smoke:
         args.size, args.families, args.cycles = 40, 12, 3
         args.cache_size, args.shards = 12, [1, 2]
+        args.drills = 2
+
+    if args.net:
+        return run_net(args)
 
     workload = Workload(args.size, args.families)
     requests = args.families * args.cycles

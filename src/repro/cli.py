@@ -37,6 +37,21 @@ Commands
     ``--stats --prometheus`` emits the exit stats in Prometheus text
     exposition instead of JSON.
 
+``shard-serve``
+    Host one cluster shard over TCP for a remote router::
+
+        python -m repro shard-serve --tcp 0.0.0.0:7800 \\
+            --journal shard-a.journal --fsync 1
+
+    The router side is ``serve --cluster N --shard-backend net
+    --shard host:port`` (one ``--shard`` per remote, or
+    comma-separated).  Every journal record the shard writes is
+    shipped to the router's replica journal and acknowledged before
+    the response is delivered, so the router can fail a dead *host*'s
+    keyspace over onto survivors with zero lost and zero
+    double-answered requests.  ``--recover`` replays the local journal
+    on startup, exactly like ``serve --recover``.
+
 ``chaos-proxy``
     Run a seeded fault-injecting TCP proxy in front of an edge::
 
@@ -191,11 +206,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fair-share bound on any one shard's in-flight "
                             "requests (--cluster only; pairs with "
                             "--max-queue like --max-per-kind does)")
-    serve.add_argument("--shard-backend", choices=("process", "inline"),
+    serve.add_argument("--shard-backend",
+                       choices=("process", "inline", "net"),
                        default="process",
                        help="cluster replica isolation: child processes "
-                            "over pipes (default) or in-process shards "
-                            "(deterministic, zero IPC)")
+                            "over pipes (default), in-process shards "
+                            "(deterministic, zero IPC), or remote "
+                            "shard-serve hosts over TCP (net; requires "
+                            "--shard addresses)")
+    serve.add_argument("--shard", action="append", default=None,
+                       metavar="HOST:PORT",
+                       help="remote shard address for --shard-backend net "
+                            "(repeatable, or comma-separated); the number "
+                            "of addresses must match --cluster (or "
+                            "implies it); with --journal, every remote "
+                            "journal record is shipped into a per-shard "
+                            "replica journal under the --journal "
+                            "directory, enabling host-loss failover")
     serve.add_argument("--supervise", action="store_true",
                        help="run the self-healing supervisor next to the "
                             "--tcp edge: it polls service/cluster stats, "
@@ -214,6 +241,48 @@ def build_parser() -> argparse.ArgumentParser:
                        help="with --stats, print Prometheus text "
                             "exposition (repro_* series) to stderr "
                             "instead of JSON")
+
+    shard = sub.add_parser(
+        "shard-serve",
+        help="host one cluster shard over TCP for a remote "
+             "serve --shard-backend net router",
+    )
+    shard.add_argument("--tcp", required=True, metavar="HOST:PORT",
+                       help="address to listen on (port 0 picks a free "
+                            "port; the bound address is announced on "
+                            "stderr as 'shard listening on HOST:PORT')")
+    shard.add_argument("--shard-id", default="shard",
+                       help="shard name reported in the hello handshake "
+                            "(default 'shard')")
+    shard.add_argument("--journal",
+                       help="local write-ahead journal path; with a "
+                            "router-side replica this is what makes "
+                            "host-loss failover exactly-once")
+    shard.add_argument("--fsync", type=int, default=0,
+                       help="journal fsync interval (0 never, 1 every "
+                            "record, N every N records; default 0)")
+    shard.add_argument("--recover", action="store_true",
+                       help="replay unanswered requests from --journal "
+                            "on startup (exactly once)")
+    shard.add_argument("--snapshot",
+                       help="warm-state sidecar path (saved on exit, "
+                            "restored on start)")
+    shard.add_argument("--workers", type=int, default=1,
+                       help="worker count of this shard's kernel pool")
+    shard.add_argument("--backend", choices=("serial", "thread", "process"),
+                       default="serial")
+    shard.add_argument("--window", type=int, default=32,
+                       help="micro-batch window (default 32)")
+    shard.add_argument("--no-batch", action="store_true",
+                       help="disable same-shape request fusion")
+    shard.add_argument("--no-warm-start", action="store_true",
+                       help="disable the warm-start cache")
+    shard.add_argument("--deadline", type=float, default=None,
+                       help="default per-request wall-clock budget in "
+                            "seconds")
+    shard.add_argument("--retries", type=int, default=1,
+                       help="default re-attempts after transient errors "
+                            "(default 1)")
 
     chaos = sub.add_parser(
         "chaos-proxy",
@@ -404,6 +473,36 @@ def _validate_serve_args(args) -> None:
         )
     if args.cluster is not None and args.cluster < 1:
         raise SystemExit(f"--cluster must be >= 1 shard, got {args.cluster}")
+    if args.shard:
+        from repro.cluster.transport import parse_host_port
+
+        specs = [
+            spec for chunk in args.shard
+            for spec in chunk.split(",") if spec
+        ]
+        for spec in specs:
+            try:
+                parse_host_port(spec)
+            except ValueError as exc:
+                raise SystemExit(f"--shard: {exc}") from exc
+        if args.shard_backend != "net":
+            raise SystemExit(
+                "--shard addresses are remote shard-serve hosts; they "
+                "require --shard-backend net"
+            )
+        if args.cluster is None:
+            args.cluster = len(specs)
+        elif args.cluster != len(specs):
+            raise SystemExit(
+                f"--cluster {args.cluster} does not match the "
+                f"{len(specs)} --shard address(es)"
+            )
+        args.shard = specs
+    elif args.shard_backend == "net":
+        raise SystemExit(
+            "--shard-backend net requires --shard HOST:PORT addresses "
+            "(one per remote shard-serve process)"
+        )
     if args.fsync < 0:
         raise SystemExit(f"--fsync must be >= 0, got {args.fsync}")
     if args.window < 1:
@@ -468,6 +567,8 @@ def _build_service(args):
             admission_policy=args.admission,
             max_per_shard=args.max_per_shard,
         )
+        if args.shard:
+            kwargs["shard_specs"] = args.shard
         if args.recover:
             return ClusterService.recover(
                 args.journal, shards=args.cluster, **kwargs
@@ -694,6 +795,71 @@ def _cmd_serve(args) -> int:
     return 2 if any_nonconverged else 0
 
 
+def _cmd_shard_serve(args) -> int:
+    """Host one :class:`SolveService` shard behind a
+    :class:`~repro.cluster.net.ShardServer` until SIGTERM/SIGINT (or a
+    router-sent ``shutdown``/``close``), then exit 0."""
+    import signal
+
+    from repro.cluster.net import ShardServer
+    from repro.service import SolveService
+
+    host, sep, port_s = args.tcp.rpartition(":")
+    if not sep or not port_s.isdigit() or int(port_s) > 65535:
+        raise SystemExit(
+            f"--tcp expects HOST:PORT (PORT in 0..65535, 0 = pick a "
+            f"free port), got {args.tcp!r}"
+        )
+    if args.recover and not args.journal:
+        raise SystemExit("--recover requires --journal")
+    if args.fsync < 0:
+        raise SystemExit(f"--fsync must be >= 0, got {args.fsync}")
+    if args.window < 1:
+        raise SystemExit(f"--window must be >= 1, got {args.window}")
+
+    kwargs = dict(
+        workers=args.workers,
+        backend=args.backend,
+        batching=not args.no_batch,
+        warm_start=not args.no_warm_start,
+        max_batch=max(args.window, 1),
+        default_deadline_s=args.deadline,
+        default_retries=max(args.retries, 0),
+        fsync=max(args.fsync, 0),
+        snapshot_path=args.snapshot,
+    )
+    if args.recover:
+        svc = SolveService.recover(args.journal, **kwargs)
+    else:
+        svc = SolveService(journal=args.journal, **kwargs)
+
+    with svc:
+        server = ShardServer(
+            svc, host=host or "127.0.0.1", port=int(port_s),
+            shard_id=args.shard_id,
+        )
+        # Port 0 binds a free port; announce the real one before any
+        # router can need it (tests and the bench parse this line).
+        print(f"shard listening on {server.address}",
+              file=sys.stderr, flush=True)
+
+        def _handler(signum, frame):  # noqa: ARG001 — signal signature
+            server.stop()
+
+        restore: list[tuple[int, object]] = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                restore.append((sig, signal.signal(sig, _handler)))
+            except ValueError:
+                pass  # not the main thread (in-process tests)
+        try:
+            server.serve_forever()
+        finally:
+            for sig, old in restore:
+                signal.signal(sig, old)
+    return 0
+
+
 def _cmd_chaos_proxy(args) -> int:
     """Run a :class:`~repro.chaos.ChaosProxy` until SIGINT/SIGTERM (or
     ``--duration``), then write the event log and exit 0."""
@@ -800,6 +966,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_solve(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "shard-serve":
+        return _cmd_shard_serve(args)
     if args.command == "chaos-proxy":
         return _cmd_chaos_proxy(args)
     if args.command == "experiment":

@@ -8,11 +8,21 @@ journal), sheds load at the edge, respawns dead replicas from their
 journals, and — via the
 :class:`~repro.cluster.recovery.RecoveryCoordinator` — replays a whole
 journal directory exactly-once even when the shard count changed.
+
+Replicas come in three transports behind one interface: in-process
+(:class:`~repro.cluster.worker.InlineShard`), forked child over a pipe
+(:class:`~repro.cluster.worker.ProcessShard`), and remote host over
+TCP with synchronous journal shipping
+(:class:`~repro.cluster.net.NetShard` ↔
+:class:`~repro.cluster.net.ShardServer`), the last of which makes even
+*host* loss survivable via :meth:`ClusterService.failover`.
 """
 
 from repro.cluster.cluster import ClusterService, ClusterStats
+from repro.cluster.net import NetShard, ShardServer
 from repro.cluster.recovery import RecoveryCoordinator
 from repro.cluster.ring import HashRing, request_route_key, route_key
+from repro.cluster.transport import Backoff, parse_host_port
 from repro.cluster.worker import (
     InlineShard,
     ProcessShard,
@@ -28,5 +38,9 @@ __all__ = [
     "request_route_key",
     "ProcessShard",
     "InlineShard",
+    "NetShard",
+    "ShardServer",
     "ShardCrashedError",
+    "Backoff",
+    "parse_host_port",
 ]

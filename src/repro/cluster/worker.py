@@ -246,7 +246,19 @@ class ProcessShard:
         return self.call("submit", request)
 
     def ping(self, timeout: float | None = 5.0) -> int:
-        return self.call("ping", timeout=timeout)
+        """Liveness probe.  A child that is *alive but unresponsive*
+        (wedged in a fault-plan delay, a runaway solve, a deadlocked
+        pool) is as lost to the router as a dead one — and worse: its
+        late pong would desynchronize the single-outstanding-command
+        pipe.  So a timed-out ping kills the child before raising,
+        which both restores pipe discipline and routes the caller into
+        the ordinary respawn path."""
+        try:
+            return self.call("ping", timeout=timeout)
+        except ShardCrashedError:
+            if self._proc.is_alive():
+                self.kill()
+            raise
 
     def stats(self):
         return self.call("stats")
@@ -368,12 +380,21 @@ def journal_seq_base(journal_dir) -> int:
     sequence (mirroring the single service's journal-global seq); after
     a restart the base must clear every id already journaled, or a
     replayed stream could collide with its own history.
+
+    Archived failover replicas (``failover-NNN/``) count too: their
+    records were re-routed into live journals as *responses* but the
+    sequence numbers they consumed must stay burned.  Over-counting is
+    harmless (ids skip ahead); under-counting risks collision.  Remap
+    archives (``remap-NNN/``) are excluded — the coordinator rewrites
+    those records into the live journals, which already count them.
     """
     base = 0
     journal_dir = pathlib.Path(journal_dir)
     if not journal_dir.exists():
         return 0
-    for path in sorted(journal_dir.glob("shard-*.journal")):
+    paths = sorted(journal_dir.glob("shard-*.journal"))
+    paths += sorted(journal_dir.glob("failover-*/shard-*.journal"))
+    for path in paths:
         journal = Journal(path)
         base += journal.request_records
         journal.close()

@@ -46,6 +46,7 @@ from repro.service.wire import request_from_jsonable, request_to_jsonable
 
 __all__ = [
     "Journal",
+    "ReplicaJournal",
     "replay",
     "replay_full",
     "derive_request_id",
@@ -204,12 +205,15 @@ class Journal:
         self._seen: dict[str, bool] = {}
         self.request_records = 0  # total request records ever journaled
         self.appended = 0         # records appended by *this* process
+        self.lines = 0            # total intact records currently on disk
         self._unsynced = 0
+        self._subscribers: list = []
         self.path.parent.mkdir(parents=True, exist_ok=True)
         good_end = 0
         if self.path.exists():
             for obj, end in _scan(self.path):
                 good_end = end
+                self.lines += 1
                 rid = obj.get("id")
                 if obj["type"] == "request":
                     self._seen[rid] = False
@@ -266,13 +270,47 @@ class Journal:
         })
         self._seen[response.id] = True
 
+    # -- streaming -----------------------------------------------------------
+
+    def subscribe(self, fn) -> None:
+        """Register ``fn(raw_line)`` to observe every appended record.
+
+        Called after the record is flushed to the kernel, with the raw
+        JSON text (no trailing newline) exactly as written — the hook
+        the network shard server uses to ship its WAL to the router's
+        replica byte-for-byte.  Subscriber exceptions propagate to the
+        appender: shipping is *synchronous* durability, so a failed
+        ship must fail the operation that produced the record.
+        """
+        self._subscribers.append(fn)
+
+    def read_tail(self, start: int) -> list[str]:
+        """Raw record lines from index ``start`` (0-based) to the end.
+
+        Used for replica catch-up after a reconnect: the router says
+        how many lines it already holds and the server re-ships the
+        rest.  Safe to call on a live journal — every ``_write`` ends
+        with a flush, so the file always contains whole lines up to
+        ``self.lines``.
+        """
+        if start >= self.lines:
+            return []
+        self._fh.flush()
+        with self.path.open("r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        return lines[start:self.lines]
+
     def _write(self, obj: dict) -> None:
-        self._fh.write(json.dumps(obj, separators=(",", ":")) + "\n")
+        text = json.dumps(obj, separators=(",", ":"))
+        self._fh.write(text + "\n")
         self._fh.flush()
         self.appended += 1
+        self.lines += 1
         self._unsynced += 1
         if self.fsync and self._unsynced >= self.fsync:
             self.sync()
+        for fn in self._subscribers:
+            fn(text)
 
     def sync(self) -> None:
         """Force the appended records onto stable storage."""
@@ -288,6 +326,101 @@ class Journal:
             self._fh.close()
 
     def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ReplicaJournal:
+    """Router-side byte-for-byte replica of a remote shard's journal.
+
+    The network shard server ships every WAL record it appends as the
+    raw line text; :meth:`append_line` validates and appends it here
+    *before* the remote's response is delivered, so when the remote
+    host dies the replica holds everything the shard ever durably did
+    — replaying it (via :func:`replay` / :func:`replay_full`, the file
+    format is identical) recovers with zero lost and zero
+    double-answered requests.
+
+    ``lines`` counts intact records and doubles as the ``have`` cursor
+    the router sends on reconnect so the server ships only the tail it
+    missed.  The same torn-tail truncation as :class:`Journal` applies
+    on open; ``fsync`` follows the same 0/1/N cadence.
+    """
+
+    def __init__(self, path, fsync: int = 0) -> None:
+        if fsync < 0:
+            raise ValueError("fsync must be >= 0")
+        self.path = pathlib.Path(path)
+        self.fsync = int(fsync)
+        self._seen: dict[str, bool] = {}
+        self.lines = 0
+        self.request_records = 0
+        self._unsynced = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        good_end = 0
+        if self.path.exists():
+            for obj, end in _scan(self.path):
+                good_end = end
+                self.lines += 1
+                rid = obj.get("id")
+                if obj["type"] == "request":
+                    self._seen[rid] = False
+                    self.request_records += 1
+                elif obj["type"] == "response":
+                    self._seen[rid] = True
+            if good_end < self.path.stat().st_size:
+                with self.path.open("rb+") as fh:
+                    fh.truncate(good_end)
+        self._fh = self.path.open("a", encoding="utf-8")
+
+    def __contains__(self, request_id: str) -> bool:
+        return request_id in self._seen
+
+    def answered(self, request_id: str) -> bool:
+        return self._seen.get(request_id) is True
+
+    def append_line(self, line: str) -> None:
+        """Append one shipped record line (validated before write).
+
+        Raises ``ValueError`` when the line is not an intact journal
+        record — a corrupted ship must be rejected *before* it poisons
+        the replica, so the transport can drop the connection and
+        re-fetch the line on reconnect.
+        """
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"shipped journal line is not JSON: {exc}")
+        if not isinstance(obj, dict) or "type" not in obj:
+            raise ValueError("shipped journal line is not a journal record")
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        self.lines += 1
+        self._unsynced += 1
+        rid = obj.get("id")
+        if obj["type"] == "request":
+            self._seen.setdefault(rid, False)
+            self.request_records += 1
+        elif obj["type"] == "response":
+            self._seen[rid] = True
+        if self.fsync and self._unsynced >= self.fsync:
+            self.sync()
+
+    def sync(self) -> None:
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._unsynced = 0
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            if self.fsync:
+                os.fsync(self._fh.fileno())
+            self._fh.close()
+
+    def __enter__(self) -> "ReplicaJournal":
         return self
 
     def __exit__(self, *exc) -> None:

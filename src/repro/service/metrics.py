@@ -191,6 +191,25 @@ class ServiceStats:
         }
         return replace(self, **overrides)
 
+    @classmethod
+    def from_dict(cls, obj: dict) -> "ServiceStats":
+        """Rebuild a stats record from an :meth:`as_dict` payload.
+
+        Field-driven like the rest of the class, so a newly added
+        counter round-trips the network shard hop without touching
+        this method; the derived-rate keys :meth:`as_dict` appends are
+        simply ignored (they recompute from the counters)."""
+        stats = cls()
+        for f in fields(stats):
+            if f.name in obj:
+                value = obj[f.name]
+                setattr(
+                    stats,
+                    f.name,
+                    dict(value) if isinstance(value, dict) else value,
+                )
+        return stats
+
     def as_dict(self) -> dict:
         """Flat JSON-ready view including the derived rates.
 

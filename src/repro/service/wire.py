@@ -55,6 +55,8 @@ __all__ = [
     "request_to_jsonable",
     "response_to_jsonable",
     "response_from_jsonable",
+    "response_to_jsonable_full",
+    "response_from_jsonable_full",
     "read_requests",
     "dump_response",
     "error_line",
@@ -300,6 +302,60 @@ def response_from_jsonable(obj: dict) -> SolveResponse:
         batched=bool(obj.get("batched", False)),
         retries=int(obj.get("retries", 0)),
     )
+
+
+def response_to_jsonable_full(response: SolveResponse) -> dict:
+    """Full-fidelity strict-JSON response encoding for shard transport.
+
+    The client-facing codec (:func:`response_to_jsonable`) is
+    deliberately lossy: it rounds ``elapsed``, drops the ``lam``/``mu``
+    duals and ``submitted_at``, and omits the warm-start/cache/batch
+    flags on the error branch.  The router↔shard hop cannot afford any
+    of that — the router re-delivers these responses verbatim and the
+    bit-identity guarantees depend on it — so this codec rides on the
+    base object and adds the missing fields, with non-finite dual
+    entries going through the same ``nonfinite`` sidecar so the frame
+    stays strict JSON."""
+    obj = response_to_jsonable(response, include_matrix=True)
+    obj["submitted_at"] = response.submitted_at
+    obj["warm_started"] = response.warm_started
+    obj["cache_exact"] = response.cache_exact
+    obj["batched"] = response.batched
+    obj["elapsed"] = response.elapsed
+    if response.ok:
+        nonfinite = obj.get("nonfinite") or {}
+        obj["result_elapsed"] = response.result.elapsed
+        for key, arr in (
+            ("lam", response.result.lam), ("mu", response.result.mu)
+        ):
+            if arr is None:
+                obj[key] = None
+            else:
+                obj[key], spots = _encode_array(arr)
+                if spots:
+                    nonfinite[key] = spots
+        if nonfinite:
+            obj["nonfinite"] = nonfinite
+    return obj
+
+
+def response_from_jsonable_full(obj: dict) -> SolveResponse:
+    """Inverse of :func:`response_to_jsonable_full` (bit-lossless)."""
+    resp = response_from_jsonable(obj)
+    resp.submitted_at = obj.get("submitted_at", 0)
+    resp.warm_started = bool(obj.get("warm_started", resp.warm_started))
+    resp.cache_exact = bool(obj.get("cache_exact", resp.cache_exact))
+    resp.batched = bool(obj.get("batched", resp.batched))
+    if "elapsed" in obj and obj["elapsed"] is not None:
+        resp.elapsed = float(obj["elapsed"])
+    if resp.result is not None:
+        nonfinite = obj.get("nonfinite") or {}
+        resp.result.lam = _decode_array(obj.get("lam"), nonfinite.get("lam"))
+        resp.result.mu = _decode_array(obj.get("mu"), nonfinite.get("mu"))
+        resp.result.elapsed = float(
+            obj.get("result_elapsed", resp.result.elapsed)
+        )
+    return resp
 
 
 def decode_request_line(

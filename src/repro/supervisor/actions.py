@@ -12,6 +12,7 @@ from __future__ import annotations
 
 __all__ = [
     "Action",
+    "FailoverShard",
     "FlipAdmissionPolicy",
     "PauseIntake",
     "RespawnShards",
@@ -83,6 +84,22 @@ class RespawnShards(Action):
             sid for sid, state in health.items() if state != "ok"
         )
         return {"respawned": respawned}
+
+
+class FailoverShard(Action):
+    """Probe every network replica and fail over the ones that stay
+    unreachable past the reconnect backoff
+    (:meth:`~repro.cluster.cluster.ClusterService.failover_unreachable`)
+    — the host-loss counterpart of :class:`RespawnShards`.  Not
+    reversible: a keyspace moved onto survivors and replayed from its
+    shipped replica stays moved (the dead host may hold stale answers
+    it must never deliver)."""
+
+    name = "failover-shard"
+    reversible = False
+
+    def apply(self, target: SupervisorTarget) -> dict:
+        return {"failed_over": target.service.failover_unreachable()}
 
 
 class FlipAdmissionPolicy(Action):

@@ -31,6 +31,7 @@ from typing import Callable
 
 from repro.supervisor.actions import (
     Action,
+    FailoverShard,
     FlipAdmissionPolicy,
     PauseIntake,
     RespawnShards,
@@ -175,7 +176,8 @@ class Supervisor:
             "shed_count": delta["sheds"],
             "breaker_trips": delta["breaker_trips"],
             "dead_shards": sum(
-                1 for state in health.values() if state == "dead"
+                1 for state in health.values()
+                if state in ("dead", "unreachable")
             ),
         }
 
@@ -193,6 +195,15 @@ class Supervisor:
 
     def _default_rules(self) -> list[Rule]:
         def propose_respawn(sup: "Supervisor") -> Action | None:
+            # Pick the remedy that matches the loss: an unreachable
+            # *network* replica needs its keyspace failed over onto
+            # survivors (the router cannot respawn a remote host); a
+            # dead local child just respawns from its journal.
+            shard_health = getattr(sup.service, "shard_health", None)
+            if shard_health is not None and any(
+                state == "unreachable" for state in shard_health().values()
+            ):
+                return FailoverShard()
             return RespawnShards()
 
         def propose_overload(sup: "Supervisor") -> Action | None:

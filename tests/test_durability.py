@@ -35,6 +35,7 @@ from repro.service import (
 from repro.service.admission import AdmissionConfig, AdmissionController
 from repro.service.journal import (
     Journal,
+    ReplicaJournal,
     derive_request_id,
     replay,
     response_from_record,
@@ -128,6 +129,39 @@ class TestJournal:
             j2.close()
         assert replay(path)[0] == []
 
+    def test_torn_tail_with_batched_fsync_writer_death(self, tmp_path, rng):
+        """``fsync=N`` (N>1) widens the window: a writer SIGKILLed
+        mid-record leaves flushed-but-unsynced whole lines *and* a torn
+        half-line.  Reopening must keep every whole record (they
+        survived mere process death — the flush reached the kernel)
+        and truncate exactly the torn tail, then stay append-ready."""
+        path = tmp_path / "j.jsonl"
+        j = Journal(path, fsync=3)
+        for i in range(5):  # 5 records: the last two are unsynced
+            req = SolveRequest(problem=random_fixed_problem(rng, 3, 3),
+                               id=f"r{i}")
+            req._order = i
+            j.append_request(req)
+        assert j._unsynced == 2
+        # The writer dies mid-record: no close(), half a line on disk.
+        with path.open("a") as fh:
+            fh.write('{"type":"request","id":"r5","seq":5,"requ')
+        del j  # simulate SIGKILL: the file handle is never flushed again
+        j2 = Journal(path, fsync=3)
+        try:
+            assert j2.lines == 5
+            assert j2.pending_ids() == [f"r{i}" for i in range(5)]
+            assert "r5" not in j2
+            req = SolveRequest(problem=random_fixed_problem(rng, 3, 3),
+                               id="r5")
+            req._order = 5
+            j2.append_request(req)
+            assert j2.lines == 6
+        finally:
+            j2.close()
+        unanswered, _ = replay(path)
+        assert [r.id for r in unanswered] == [f"r{i}" for i in range(6)]
+
     def test_duplicate_id_refused(self, tmp_path, rng):
         path = tmp_path / "j.jsonl"
         req = SolveRequest(problem=random_fixed_problem(rng, 3, 3), id="r0")
@@ -179,6 +213,74 @@ class TestJournal:
         )
         assert math.isinf(rec.elapsed)
         assert rec.error_kind == "internal" and rec.submitted_at == 3
+
+
+class TestReplicaJournal:
+    """The router-side replica of a shipped remote WAL shares the
+    journal's torn-tail and fsync discipline — same file format, same
+    crash-consistency, byte-for-byte appends."""
+
+    def _line(self, rng, rid, seq=0, answered=False):
+        req = SolveRequest(problem=random_fixed_problem(rng, 3, 3), id=rid)
+        req._order = seq
+        if answered:
+            from repro.service.journal import response_to_record
+            return json.dumps({"type": "response", "id": rid,
+                               "response": response_to_record(
+                                   SolveResponse(id=rid, error="x",
+                                                 error_kind="internal"))},
+                              separators=(",", ":"))
+        from repro.service.wire import request_to_jsonable
+        return json.dumps({"type": "request", "id": rid, "seq": seq,
+                           "request": request_to_jsonable(req)},
+                          separators=(",", ":"))
+
+    def test_append_line_is_byte_for_byte_and_indexed(self, tmp_path, rng):
+        path = tmp_path / "replica.journal"
+        lines = [self._line(rng, "r0"), self._line(rng, "r0", answered=True)]
+        with ReplicaJournal(path, fsync=1) as rep:
+            for line in lines:
+                rep.append_line(line)
+            assert rep.lines == 2 and rep.request_records == 1
+            assert "r0" in rep and rep.answered("r0")
+        assert path.read_text() == "".join(line + "\n" for line in lines)
+        # The replica replays exactly like a journal (same format).
+        unanswered, recorded = replay(path)
+        assert unanswered == [] and set(recorded) == {"r0"}
+
+    def test_corrupt_ship_is_rejected_before_the_write(self, tmp_path, rng):
+        path = tmp_path / "replica.journal"
+        with ReplicaJournal(path) as rep:
+            rep.append_line(self._line(rng, "r0"))
+            for bad in ('{"type":"request","id"', '"not-a-record"', "[1,2]",
+                        '{"no":"type"}'):
+                with pytest.raises(ValueError):
+                    rep.append_line(bad)
+            assert rep.lines == 1
+        # Nothing but the good line reached the disk.
+        assert path.read_text().count("\n") == 1
+
+    def test_torn_tail_truncated_under_batched_fsync(self, tmp_path, rng):
+        """The replica writer dying mid-append under ``fsync=N`` must
+        reopen append-consistent at the last whole record — the
+        ``lines`` cursor is the reconnect ``have`` the router sends, so
+        an overcount would make catch-up skip shipped records."""
+        path = tmp_path / "replica.journal"
+        rep = ReplicaJournal(path, fsync=4)
+        for i in range(3):
+            rep.append_line(self._line(rng, f"r{i}", seq=i))
+        with path.open("a") as fh:
+            fh.write('{"type":"response","id":"r2","resp')  # torn mid-ship
+        del rep  # writer dies; never closed
+        rep2 = ReplicaJournal(path, fsync=4)
+        try:
+            assert rep2.lines == 3
+            assert not rep2.answered("r2")
+            # Catch-up resumes exactly at the cursor.
+            rep2.append_line(self._line(rng, "r2", answered=True))
+            assert rep2.lines == 4 and rep2.answered("r2")
+        finally:
+            rep2.close()
 
 
 class TestAdmission:
